@@ -1,0 +1,52 @@
+//! Criterion bench: the ACT-style embodied-carbon evaluation (Eq. 1/2
+//! + wafer geometry + yield) — the carbon-oracle cost inside the GA.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use carma_carbon::{CarbonModel, YieldModel};
+use carma_dataflow::{Accelerator, AreaModel};
+use carma_netlist::{Area, TechNode};
+
+fn bench_embodied(c: &mut Criterion) {
+    let model = CarbonModel::for_node(TechNode::N7);
+    let die = Area::from_mm2(1.5);
+    c.bench_function("embodied_carbon_eval", |b| {
+        b.iter(|| black_box(model.embodied_carbon(black_box(die))));
+    });
+}
+
+fn bench_yield_models(c: &mut Criterion) {
+    let die = Area::from_mm2(50.0);
+    let mut group = c.benchmark_group("yield");
+    for (name, ym) in [
+        ("poisson", YieldModel::Poisson),
+        ("murphy", YieldModel::Murphy),
+        ("negbin", YieldModel::NegativeBinomial { alpha: 3.0 }),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(ym.yield_for(black_box(die), 0.1)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_area_to_carbon_chain(c: &mut Criterion) {
+    let carbon = CarbonModel::for_node(TechNode::N7);
+    let area_model = AreaModel::new(3000);
+    let accel = Accelerator::nvdla_preset(1024, TechNode::N7);
+    c.bench_function("area_to_carbon_chain", |b| {
+        b.iter(|| {
+            let die = area_model.die_area(black_box(&accel));
+            black_box(carbon.embodied_carbon(die))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_embodied,
+    bench_yield_models,
+    bench_full_area_to_carbon_chain
+);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench: exhaustive error characterization of an 8×8
+//! multiplier (65 536 operand pairs) — one NSGA-II fitness evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use carma_multiplier::{ApproxGenome, ErrorProfile, LutMultiplier, MultiplierCircuit, ReductionKind};
+
+fn bench_exhaustive_profile(c: &mut Criterion) {
+    let base = MultiplierCircuit::generate(8, ReductionKind::Dadda);
+    let approx = ApproxGenome::truncation(2, 2).apply(&base);
+    let mut group = c.benchmark_group("error_profile");
+    group.throughput(Throughput::Elements(65_536));
+    group.sample_size(20);
+    group.bench_function("exhaustive_8x8", |b| {
+        b.iter(|| black_box(ErrorProfile::exhaustive(&approx)));
+    });
+    group.bench_function("sampled_8x8_16k", |b| {
+        b.iter(|| black_box(ErrorProfile::sampled(&approx, 1 << 14, 7)));
+    });
+    group.finish();
+}
+
+fn bench_genome_apply(c: &mut Criterion) {
+    let base = MultiplierCircuit::generate(8, ReductionKind::Dadda);
+    let genome = ApproxGenome::truncation(3, 2);
+    c.bench_function("genome_apply_and_sweep", |b| {
+        b.iter(|| black_box(genome.apply(&base)));
+    });
+}
+
+fn bench_lut_compile(c: &mut Criterion) {
+    let base = MultiplierCircuit::generate(8, ReductionKind::Dadda);
+    let mut group = c.benchmark_group("lut");
+    group.sample_size(20);
+    group.bench_function("compile_8x8", |b| {
+        b.iter(|| black_box(LutMultiplier::compile(&base)));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_exhaustive_profile,
+    bench_genome_apply,
+    bench_lut_compile
+);
+criterion_main!(benches);

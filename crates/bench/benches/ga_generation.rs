@@ -1,0 +1,63 @@
+//! Criterion bench: GA machinery costs — one full GA-CDP fitness
+//! evaluation (design point → FPS → area → carbon → CDP) and one
+//! NSGA-II non-dominated sort, the two engines behind FIG2/FIG3.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::OnceLock;
+
+use carma_core::{CarmaContext, DesignPoint};
+use carma_dnn::DnnModel;
+use carma_ga::fast_non_dominated_sort;
+use carma_netlist::TechNode;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn ctx() -> &'static CarmaContext {
+    static CTX: OnceLock<CarmaContext> = OnceLock::new();
+    CTX.get_or_init(|| CarmaContext::reduced(TechNode::N7))
+}
+
+fn bench_design_eval(c: &mut Criterion) {
+    let model = DnnModel::vgg16();
+    let dp = DesignPoint::nvdla_like(512);
+    // Warm the perf cache: this measures the GA steady state.
+    let _ = ctx().evaluate(&dp, &model);
+    c.bench_function("design_eval_cached", |b| {
+        b.iter(|| black_box(ctx().evaluate(black_box(&dp), &model)));
+    });
+}
+
+fn bench_design_eval_cold(c: &mut Criterion) {
+    let model = DnnModel::resnet50();
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("design_eval_cold");
+    group.sample_size(20);
+    group.bench_function("random_points", |b| {
+        b.iter(|| {
+            // Random points mostly miss the cache → includes the
+            // mapping search.
+            let dp = DesignPoint::random(&mut rng, ctx().library().len());
+            black_box(ctx().evaluate(&dp, &model))
+        });
+    });
+    group.finish();
+}
+
+fn bench_non_dominated_sort(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let objs: Vec<Vec<f64>> = (0..256)
+        .map(|_| vec![rng.random::<f64>(), rng.random::<f64>()])
+        .collect();
+    c.bench_function("nsga2_sort_256", |b| {
+        b.iter(|| black_box(fast_non_dominated_sort(black_box(&objs))));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_design_eval,
+    bench_design_eval_cold,
+    bench_non_dominated_sort
+);
+criterion_main!(benches);

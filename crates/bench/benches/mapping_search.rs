@@ -1,0 +1,44 @@
+//! Criterion bench: the nn-dataflow-substitute mapping search — one
+//! GA-CDP fitness evaluation's performance-oracle cost (FIG2/FIG3
+//! inner loop).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use carma_dataflow::{Accelerator, PerfModel};
+use carma_dnn::DnnModel;
+use carma_netlist::TechNode;
+
+fn bench_network_mapping(c: &mut Criterion) {
+    let perf = PerfModel::new();
+    let mut group = c.benchmark_group("mapping_search");
+    group.sample_size(30);
+    for (name, model) in [
+        ("vgg16", DnnModel::vgg16()),
+        ("resnet50", DnnModel::resnet50()),
+        ("resnet152", DnnModel::resnet152()),
+    ] {
+        let accel = Accelerator::nvdla_preset(512, TechNode::N7);
+        group.bench_function(format!("{name}_512mac"), |b| {
+            b.iter(|| black_box(perf.evaluate(black_box(&accel), &model)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_array_size_scaling(c: &mut Criterion) {
+    let perf = PerfModel::new();
+    let model = DnnModel::vgg16();
+    let mut group = c.benchmark_group("mapping_vs_array_size");
+    group.sample_size(30);
+    for macs in [64u32, 512, 2048] {
+        let accel = Accelerator::nvdla_preset(macs, TechNode::N7);
+        group.bench_function(format!("vgg16_{macs}mac"), |b| {
+            b.iter(|| black_box(perf.evaluate(black_box(&accel), &model)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_network_mapping, bench_array_size_scaling);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench: netlist lane-simulation throughput — the inner
+//! loop of multiplier characterization (the cost that bounds the
+//! NSGA-II library search).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use carma_multiplier::{MultiplierCircuit, ReductionKind};
+use carma_netlist::LaneSim;
+
+fn bench_lane_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netlist_sim");
+    for kind in ReductionKind::ALL {
+        let circuit = MultiplierCircuit::generate(8, kind);
+        let netlist = circuit.netlist().clone();
+        let sim = LaneSim::new(&netlist);
+        let inputs: Vec<u64> = (0..16).map(|i| 0xDEAD_BEEF_u64.rotate_left(i)).collect();
+        // 64 multiplications per eval.
+        group.throughput(Throughput::Elements(64));
+        group.bench_function(format!("mul8x8_{kind}_64lanes"), |b| {
+            let mut scratch = Vec::new();
+            b.iter(|| sim.eval_into(black_box(&inputs), &mut scratch));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let circuit = MultiplierCircuit::generate(8, ReductionKind::Dadda);
+    c.bench_function("netlist_sweep_mul8", |b| {
+        b.iter(|| black_box(circuit.netlist().sweep()));
+    });
+}
+
+criterion_group!(benches, bench_lane_sim, bench_sweep);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! FIG2-table: regenerates the table embedded in the paper's Figure 2 —
+//! average and peak carbon-footprint reduction (%) of iso-architecture
+//! approximation for each technology node × accuracy-drop class.
+//!
+//! Paper values for reference (VGG16):
+//!
+//! ```text
+//! node   type   0.5%   1.0%   2.0%
+//! 7nm    avg    2.83   4.49   5.17
+//!        peak   5.78   9.18  10.56
+//! 14nm   avg    5.58   6.90   8.02
+//!        peak   8.87  10.98  12.75
+//! 28nm   avg    3.33   5.71   8.44
+//!        peak   4.60   7.87  11.65
+//! ```
+//!
+//! ```text
+//! cargo run --release -p carma-bench --bin table1
+//! ```
+
+use carma_bench::{banner, Scale};
+use carma_core::experiments::{format_table, reduction_table};
+use carma_dnn::DnnModel;
+use carma_netlist::TechNode;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner("Figure 2 table — carbon reduction from approximation only", scale);
+
+    let model = DnnModel::vgg16();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for node in TechNode::ALL {
+        let ctx = scale.context(node);
+        let table = reduction_table(&ctx, &model);
+        let avg: Vec<String> = table.iter().map(|r| format!("{:.2}", r.avg_pct)).collect();
+        let peak: Vec<String> = table.iter().map(|r| format!("{:.2}", r.peak_pct)).collect();
+        rows.push(vec![
+            node.to_string(),
+            "avg".to_string(),
+            avg[0].clone(),
+            avg[1].clone(),
+            avg[2].clone(),
+        ]);
+        rows.push(vec![
+            String::new(),
+            "peak".to_string(),
+            peak[0].clone(),
+            peak[1].clone(),
+            peak[2].clone(),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(
+            &["node", "type", "0.5%", "1.0%", "2.0%"],
+            &rows
+        )
+    );
+    println!("(paper peak maximum: 12.75% at 14 nm / 2.0%)");
+}

@@ -1,0 +1,94 @@
+//! # carma-bench
+//!
+//! Experiment-regeneration binaries (one per paper table/figure, see
+//! DESIGN.md §5) and Criterion performance benches for the CARMA
+//! stack.
+//!
+//! The binaries honour the `CARMA_SCALE` environment variable:
+//!
+//! * `quick` (default) — reduced multiplier library and GA budget;
+//!   minutes on a laptop, same qualitative shapes;
+//! * `full` — the paper-scale configuration (depth-4 library, 256
+//!   accuracy samples, GA 48×60).
+//!
+//! ```text
+//! CARMA_SCALE=full cargo run --release -p carma-bench --bin fig2
+//! ```
+
+use carma_core::CarmaContext;
+use carma_dnn::EvaluatorConfig;
+use carma_ga::GaConfig;
+use carma_multiplier::MultiplierLibrary;
+use carma_netlist::TechNode;
+
+/// Experiment scale, selected via the `CARMA_SCALE` env var.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced library and GA budget (default).
+    Quick,
+    /// Paper-scale configuration.
+    Full,
+}
+
+impl Scale {
+    /// Reads the scale from the environment (`CARMA_SCALE=full|quick`).
+    pub fn from_env() -> Self {
+        match std::env::var("CARMA_SCALE").as_deref() {
+            Ok("full") => Scale::Full,
+            _ => Scale::Quick,
+        }
+    }
+
+    /// Builds a context at this scale for `node`.
+    pub fn context(self, node: TechNode) -> CarmaContext {
+        match self {
+            Scale::Quick => CarmaContext::with_parts(
+                node,
+                MultiplierLibrary::truncation_ladder(8, 3),
+                EvaluatorConfig {
+                    samples: 192,
+                    ..EvaluatorConfig::default()
+                },
+            ),
+            Scale::Full => CarmaContext::standard(node),
+        }
+    }
+
+    /// The GA budget at this scale.
+    pub fn ga(self) -> GaConfig {
+        match self {
+            Scale::Quick => GaConfig::default()
+                .with_population(32)
+                .with_generations(30),
+            Scale::Full => GaConfig::default(),
+        }
+    }
+}
+
+/// Prints a standard experiment banner.
+pub fn banner(name: &str, scale: Scale) {
+    println!("=== CARMA experiment: {name} (scale: {scale:?}) ===");
+    println!(
+        "reproduces: Panteleaki et al., \"Leveraging Approximate Computing for \
+         Carbon-Aware DNN Accelerators\", DATE 2025\n"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_defaults_to_quick() {
+        // The test environment does not set CARMA_SCALE.
+        if std::env::var("CARMA_SCALE").is_err() {
+            assert_eq!(Scale::from_env(), Scale::Quick);
+        }
+    }
+
+    #[test]
+    fn quick_ga_is_smaller_than_full() {
+        assert!(Scale::Quick.ga().population <= Scale::Full.ga().population);
+        assert!(Scale::Quick.ga().generations <= Scale::Full.ga().generations);
+    }
+}

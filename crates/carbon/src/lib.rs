@@ -1,0 +1,51 @@
+//! # carma-carbon
+//!
+//! Embodied-carbon model for the CARMA project, reimplementing the
+//! ACT-style (Gupta et al., ISCA '22) / ECO-CHIP-style (Sudarshan et
+//! al., HPCA '24) methodology the paper relies on.
+//!
+//! The paper's equations:
+//!
+//! ```text
+//! C_embodied = CFPA × A_die + CFPA_Si × A_wasted          (Eq. 1)
+//! CFPA       = (CI_fab × EPA + C_gas + C_material) / Y     (Eq. 2)
+//! ```
+//!
+//! where `CI_fab` is the carbon intensity of the fab's electricity
+//! grid, `EPA` the energy consumed per unit area of processed die,
+//! `C_gas` direct greenhouse-gas emissions per area, `C_material` the
+//! carbon of raw material procurement per area, and `Y` the fabrication
+//! yield (a function of die area and the node's defect density).
+//!
+//! The optimization target of the paper is the **Carbon Delay Product**
+//! (CDP): embodied carbon × inference delay.
+//!
+//! ## Example
+//!
+//! ```
+//! use carma_carbon::{CarbonModel, Cdp};
+//! use carma_netlist::{Area, TechNode};
+//!
+//! let model = CarbonModel::for_node(TechNode::N7);
+//! let die = Area::from_mm2(2.0);
+//! let carbon = model.embodied_carbon(die);
+//! assert!(carbon.as_grams() > 0.0);
+//!
+//! // 40 FPS → 25 ms per inference.
+//! let cdp = Cdp::from_fps(carbon, 40.0);
+//! assert!(cdp.value() > 0.0);
+//! ```
+
+pub mod embodied;
+pub mod metrics;
+pub mod params;
+pub mod system;
+pub mod wafer;
+pub mod yield_model;
+
+pub use embodied::{CarbonBreakdown, CarbonMass, CarbonModel};
+pub use metrics::{Cdp, Cep, Edp, OperationalCarbon};
+pub use system::{Die, Package, SystemCarbon};
+pub use params::{FabParams, GridMix, SILICON_CFPA_G_PER_CM2};
+pub use wafer::Wafer;
+pub use yield_model::YieldModel;

@@ -1,0 +1,233 @@
+//! Sustainability metrics: CDP (the paper's fitness), plus CEP/EDP and
+//! an operational-carbon model used by the ablation benches.
+
+use std::fmt;
+
+use crate::embodied::CarbonMass;
+use crate::params::GridMix;
+
+/// Carbon Delay Product: embodied carbon × inference delay.
+///
+/// *"CDP is a comprehensive metric that integrates performance and the
+/// embodied carbon footprint"* — the fitness function of the paper's
+/// genetic algorithm. Lower is better.
+///
+/// ```
+/// use carma_carbon::{CarbonMass, Cdp};
+///
+/// let carbon = CarbonMass::from_grams(20.0);
+/// let fast = Cdp::from_fps(carbon, 50.0);
+/// let slow = Cdp::from_fps(carbon, 25.0);
+/// assert!(fast.value() < slow.value());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Cdp {
+    carbon: CarbonMass,
+    delay_s: f64,
+}
+
+impl Cdp {
+    /// Builds a CDP from embodied carbon and a per-inference delay in
+    /// seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay_s` is not finite and positive.
+    pub fn new(carbon: CarbonMass, delay_s: f64) -> Self {
+        assert!(
+            delay_s.is_finite() && delay_s > 0.0,
+            "delay must be > 0, got {delay_s}"
+        );
+        Cdp { carbon, delay_s }
+    }
+
+    /// Builds a CDP from embodied carbon and a throughput in frames per
+    /// second (delay = 1/FPS).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fps` is not finite and positive.
+    pub fn from_fps(carbon: CarbonMass, fps: f64) -> Self {
+        assert!(fps.is_finite() && fps > 0.0, "fps must be > 0, got {fps}");
+        Cdp::new(carbon, 1.0 / fps)
+    }
+
+    /// The scalar CDP value in gCO₂·s; lower is better.
+    pub fn value(&self) -> f64 {
+        self.carbon.as_grams() * self.delay_s
+    }
+
+    /// The embodied-carbon factor.
+    pub fn carbon(&self) -> CarbonMass {
+        self.carbon
+    }
+
+    /// The delay factor in seconds.
+    pub fn delay_s(&self) -> f64 {
+        self.delay_s
+    }
+}
+
+impl fmt::Display for Cdp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4} gCO₂·s", self.value())
+    }
+}
+
+/// Carbon Energy Product: embodied carbon × energy per inference.
+/// An alternative fitness explored by the `ablation_metric` bench.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Cep {
+    carbon: CarbonMass,
+    energy_j: f64,
+}
+
+impl Cep {
+    /// Builds a CEP from embodied carbon and per-inference energy in
+    /// joules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `energy_j` is not finite and positive.
+    pub fn new(carbon: CarbonMass, energy_j: f64) -> Self {
+        assert!(
+            energy_j.is_finite() && energy_j > 0.0,
+            "energy must be > 0, got {energy_j}"
+        );
+        Cep { carbon, energy_j }
+    }
+
+    /// The scalar CEP value in gCO₂·J; lower is better.
+    pub fn value(&self) -> f64 {
+        self.carbon.as_grams() * self.energy_j
+    }
+}
+
+/// Energy Delay Product — the classical efficiency metric, provided so
+/// the ablation can show what optimizing for EDP instead of CDP does to
+/// embodied carbon.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Edp {
+    energy_j: f64,
+    delay_s: f64,
+}
+
+impl Edp {
+    /// Builds an EDP from per-inference energy (J) and delay (s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is not finite and positive.
+    pub fn new(energy_j: f64, delay_s: f64) -> Self {
+        assert!(energy_j.is_finite() && energy_j > 0.0, "energy must be > 0");
+        assert!(delay_s.is_finite() && delay_s > 0.0, "delay must be > 0");
+        Edp { energy_j, delay_s }
+    }
+
+    /// The scalar EDP value in J·s; lower is better.
+    pub fn value(&self) -> f64 {
+        self.energy_j * self.delay_s
+    }
+}
+
+/// Operational (use-phase) carbon model: emissions from the electricity
+/// the accelerator consumes over its deployed lifetime.
+///
+/// The paper focuses on embodied carbon because recent studies show it
+/// *"now surpasses operational emissions"* for edge ML; this model lets
+/// the benches quantify exactly that comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperationalCarbon {
+    /// Carbon intensity of the deployment site's electricity.
+    pub grid: GridMix,
+    /// Average power draw in watts.
+    pub power_w: f64,
+    /// Deployed lifetime in hours.
+    pub lifetime_hours: f64,
+}
+
+impl OperationalCarbon {
+    /// Creates an operational model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if power or lifetime is negative or not finite.
+    pub fn new(grid: GridMix, power_w: f64, lifetime_hours: f64) -> Self {
+        assert!(power_w.is_finite() && power_w >= 0.0, "power must be ≥ 0");
+        assert!(
+            lifetime_hours.is_finite() && lifetime_hours >= 0.0,
+            "lifetime must be ≥ 0"
+        );
+        OperationalCarbon {
+            grid,
+            power_w,
+            lifetime_hours,
+        }
+    }
+
+    /// Total use-phase emissions over the lifetime.
+    pub fn total(&self) -> CarbonMass {
+        let kwh = self.power_w * self.lifetime_hours / 1000.0;
+        CarbonMass::from_grams(kwh * self.grid.grams_per_kwh())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdp_value_is_product() {
+        let cdp = Cdp::new(CarbonMass::from_grams(30.0), 0.025);
+        assert!((cdp.value() - 0.75).abs() < 1e-12);
+        assert!((cdp.delay_s() - 0.025).abs() < 1e-15);
+        assert!((cdp.carbon().as_grams() - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_fps_inverts_throughput() {
+        let cdp = Cdp::from_fps(CarbonMass::from_grams(10.0), 40.0);
+        assert!((cdp.delay_s() - 0.025).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cdp_trades_carbon_against_speed() {
+        // Half the carbon at half the speed → same CDP.
+        let a = Cdp::from_fps(CarbonMass::from_grams(20.0), 40.0);
+        let b = Cdp::from_fps(CarbonMass::from_grams(10.0), 20.0);
+        assert!((a.value() - b.value()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "fps must be > 0")]
+    fn zero_fps_rejected() {
+        let _ = Cdp::from_fps(CarbonMass::from_grams(1.0), 0.0);
+    }
+
+    #[test]
+    fn cep_and_edp_values() {
+        assert!((Cep::new(CarbonMass::from_grams(5.0), 2.0).value() - 10.0).abs() < 1e-12);
+        assert!((Edp::new(3.0, 2.0).value() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn operational_carbon_of_edge_device() {
+        // 2 W edge device, 3 years ≈ 26 280 h on the world-average grid:
+        // 52.56 kWh × 475 g/kWh ≈ 25 kg.
+        let op = OperationalCarbon::new(GridMix::WorldAverage, 2.0, 26_280.0);
+        let total = op.total();
+        assert!((total.as_kg() - 24.966).abs() < 0.1, "{total}");
+    }
+
+    #[test]
+    fn zero_lifetime_means_zero_operational() {
+        let op = OperationalCarbon::new(GridMix::Coal, 10.0, 0.0);
+        assert_eq!(op.total(), CarbonMass::ZERO);
+    }
+
+    #[test]
+    fn cdp_display() {
+        let cdp = Cdp::from_fps(CarbonMass::from_grams(10.0), 10.0);
+        assert!(cdp.to_string().contains("gCO₂·s"));
+    }
+}

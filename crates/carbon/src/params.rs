@@ -1,0 +1,168 @@
+//! Fabrication parameters per technology node and grid-mix presets.
+//!
+//! Values follow the ACT model's published per-node fab
+//! characterization (energy per area, direct gas emissions per area,
+//! material footprint per area, defect density). They are calibrated
+//! approximations of the imec-derived numbers ACT tabulates; DESIGN.md
+//! §4 documents the substitution. The qualitative property the paper
+//! depends on — *advanced nodes cost more carbon per cm² but need fewer
+//! cm²* — is faithfully preserved.
+
+use carma_netlist::TechNode;
+use std::fmt;
+
+/// Carbon footprint per cm² of raw silicon wafer (Czochralski growth,
+/// slicing, polishing), in grams CO₂ per cm². Used to price the wasted
+/// wafer area of Eq. 1 (`CFPA_Si`).
+pub const SILICON_CFPA_G_PER_CM2: f64 = 100.0;
+
+/// Per-node fabrication parameters (the ACT fab model).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FabParams {
+    /// The node these parameters describe.
+    pub node: TechNode,
+    /// Energy consumed per unit area of processed die, kWh/cm² (EPA).
+    pub epa_kwh_per_cm2: f64,
+    /// Direct greenhouse-gas emissions per area, g CO₂/cm² (C_gas).
+    pub gpa_g_per_cm2: f64,
+    /// Raw-material procurement footprint per area, g CO₂/cm²
+    /// (C_material).
+    pub mpa_g_per_cm2: f64,
+    /// Defect density D₀, defects/cm² — drives yield.
+    pub defect_density_per_cm2: f64,
+}
+
+impl FabParams {
+    /// The ACT-calibrated parameters for `node`.
+    ///
+    /// EPA grows toward advanced nodes (more masks, more EUV passes);
+    /// defect density also grows (newer process, lower maturity).
+    pub fn for_node(node: TechNode) -> Self {
+        match node {
+            TechNode::N7 => FabParams {
+                node,
+                epa_kwh_per_cm2: 1.52,
+                gpa_g_per_cm2: 180.0,
+                mpa_g_per_cm2: 500.0,
+                defect_density_per_cm2: 0.13,
+            },
+            TechNode::N14 => FabParams {
+                node,
+                epa_kwh_per_cm2: 1.20,
+                gpa_g_per_cm2: 148.0,
+                mpa_g_per_cm2: 500.0,
+                defect_density_per_cm2: 0.09,
+            },
+            TechNode::N28 => FabParams {
+                node,
+                epa_kwh_per_cm2: 0.90,
+                gpa_g_per_cm2: 105.0,
+                mpa_g_per_cm2: 500.0,
+                defect_density_per_cm2: 0.07,
+            },
+        }
+    }
+}
+
+/// Electricity-grid carbon intensity of the fabrication facility.
+///
+/// ACT shows fab location dominates CI_fab; these presets span the
+/// realistic range and feed the grid-sensitivity ablation
+/// (`ablation_grid` bench).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GridMix {
+    /// Taiwan grid (where most leading-edge fabs operate), ≈ 500 g/kWh.
+    TaiwanGrid,
+    /// Mostly-renewable supply contract, ≈ 30 g/kWh.
+    Renewable,
+    /// Coal-heavy grid, ≈ 820 g/kWh.
+    Coal,
+    /// World average, ≈ 475 g/kWh.
+    WorldAverage,
+    /// A custom intensity in g CO₂/kWh.
+    Custom(f64),
+}
+
+impl GridMix {
+    /// Carbon intensity in grams CO₂ per kWh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`GridMix::Custom`] value is negative or not finite.
+    pub fn grams_per_kwh(self) -> f64 {
+        match self {
+            GridMix::TaiwanGrid => 500.0,
+            GridMix::Renewable => 30.0,
+            GridMix::Coal => 820.0,
+            GridMix::WorldAverage => 475.0,
+            GridMix::Custom(v) => {
+                assert!(v.is_finite() && v >= 0.0, "carbon intensity must be ≥ 0");
+                v
+            }
+        }
+    }
+}
+
+impl Default for GridMix {
+    /// The paper's implicit default: a leading-edge fab on the Taiwan
+    /// grid.
+    fn default() -> Self {
+        GridMix::TaiwanGrid
+    }
+}
+
+impl fmt::Display for GridMix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GridMix::TaiwanGrid => write!(f, "taiwan-grid"),
+            GridMix::Renewable => write!(f, "renewable"),
+            GridMix::Coal => write!(f, "coal"),
+            GridMix::WorldAverage => write!(f, "world-average"),
+            GridMix::Custom(v) => write!(f, "custom({v} g/kWh)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epa_grows_toward_advanced_nodes() {
+        let e7 = FabParams::for_node(TechNode::N7).epa_kwh_per_cm2;
+        let e14 = FabParams::for_node(TechNode::N14).epa_kwh_per_cm2;
+        let e28 = FabParams::for_node(TechNode::N28).epa_kwh_per_cm2;
+        assert!(e7 > e14 && e14 > e28);
+    }
+
+    #[test]
+    fn defect_density_grows_toward_advanced_nodes() {
+        let d7 = FabParams::for_node(TechNode::N7).defect_density_per_cm2;
+        let d28 = FabParams::for_node(TechNode::N28).defect_density_per_cm2;
+        assert!(d7 > d28);
+    }
+
+    #[test]
+    fn grid_presets_span_realistic_range() {
+        assert!(GridMix::Renewable.grams_per_kwh() < GridMix::WorldAverage.grams_per_kwh());
+        assert!(GridMix::WorldAverage.grams_per_kwh() < GridMix::Coal.grams_per_kwh());
+        assert_eq!(GridMix::Custom(123.0).grams_per_kwh(), 123.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "carbon intensity must be ≥ 0")]
+    fn negative_custom_intensity_rejected() {
+        let _ = GridMix::Custom(-1.0).grams_per_kwh();
+    }
+
+    #[test]
+    fn display_names_are_stable() {
+        assert_eq!(GridMix::TaiwanGrid.to_string(), "taiwan-grid");
+        assert_eq!(GridMix::Custom(10.0).to_string(), "custom(10 g/kWh)");
+    }
+
+    #[test]
+    fn default_is_taiwan() {
+        assert_eq!(GridMix::default(), GridMix::TaiwanGrid);
+    }
+}

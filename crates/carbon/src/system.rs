@@ -1,0 +1,257 @@
+//! System-level embodied carbon: packaging, DRAM, and the
+//! ECO-CHIP-style chiplet decomposition.
+//!
+//! The paper computes die-level carbon via the ECO-CHIP methodology
+//! (Sudarshan et al., HPCA '24), which also prices packaging and
+//! multi-die integration. This module extends CARMA's Eq. 1 die model
+//! to the full deployed system — an edge module is never a bare die —
+//! and provides the chiplet alternative ECO-CHIP advocates: split the
+//! accelerator across dies (possibly at different nodes) and pay for
+//! an interposer instead of one large monolithic die.
+
+use carma_netlist::{Area, TechNode};
+
+use crate::embodied::{CarbonMass, CarbonModel};
+use crate::params::SILICON_CFPA_G_PER_CM2;
+
+/// Embodied carbon of DRAM per gigabyte (ACT-class figure for
+/// LPDDR4-generation processes), g CO₂/GB.
+pub const DRAM_CARBON_G_PER_GB: f64 = 70.0;
+
+/// Fixed carbon of substrate + assembly for a standard single-die
+/// flip-chip package, g CO₂.
+pub const PACKAGE_BASE_G: f64 = 48.0;
+
+/// Incremental packaging carbon per die in a multi-die package
+/// (placement, bonding, test), g CO₂.
+pub const PER_DIE_BONDING_G: f64 = 6.0;
+
+/// Area overhead of a 2.5-D silicon interposer relative to the summed
+/// chiplet area.
+pub const INTERPOSER_AREA_OVERHEAD: f64 = 1.10;
+
+/// The packaging style of a system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Package {
+    /// Single-die flip-chip package.
+    Monolithic,
+    /// 2.5-D integration on a passive silicon interposer.
+    Interposer2_5d,
+}
+
+impl Package {
+    /// Packaging carbon for `dies` dies with total silicon area
+    /// `total_die_area`.
+    ///
+    /// The interposer is passive silicon (no FEOL processing), priced
+    /// at the raw-wafer CFPA over its area.
+    pub fn carbon(self, dies: usize, total_die_area: Area) -> CarbonMass {
+        let base = CarbonMass::from_grams(PACKAGE_BASE_G);
+        let bonding = CarbonMass::from_grams(PER_DIE_BONDING_G * dies as f64);
+        match self {
+            Package::Monolithic => base + bonding,
+            Package::Interposer2_5d => {
+                let interposer_area = total_die_area * INTERPOSER_AREA_OVERHEAD;
+                let interposer =
+                    CarbonMass::from_grams(SILICON_CFPA_G_PER_CM2 * interposer_area.as_cm2());
+                base + bonding + interposer
+            }
+        }
+    }
+}
+
+/// One die of a (possibly multi-die) system: its fabrication node and
+/// area.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Die {
+    /// Fabrication node of this die.
+    pub node: TechNode,
+    /// Die area.
+    pub area: Area,
+}
+
+/// A complete edge-module bill of embodied carbon.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemCarbon {
+    /// Per-die embodied carbon (Eq. 1 per die).
+    pub dies: Vec<CarbonMass>,
+    /// Packaging (substrate, bonding, interposer).
+    pub package: CarbonMass,
+    /// DRAM devices.
+    pub dram: CarbonMass,
+}
+
+impl SystemCarbon {
+    /// Computes the system carbon of `dies` in `package` with
+    /// `dram_gb` gigabytes of external memory.
+    ///
+    /// Each die is priced with [`CarbonModel::for_node`] at its own
+    /// node — the chiplet advantage ECO-CHIP quantifies: only the
+    /// compute die needs the (carbon-expensive) advanced node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dies` is empty or `dram_gb` is negative.
+    pub fn of(dies: &[Die], package: Package, dram_gb: f64) -> SystemCarbon {
+        assert!(!dies.is_empty(), "a system needs at least one die");
+        assert!(dram_gb >= 0.0, "dram_gb must be ≥ 0");
+        let die_carbon: Vec<CarbonMass> = dies
+            .iter()
+            .map(|d| CarbonModel::for_node(d.node).embodied_carbon(d.area))
+            .collect();
+        let total_area: Area = dies.iter().map(|d| d.area).sum();
+        SystemCarbon {
+            dies: die_carbon,
+            package: package.carbon(dies.len(), total_area),
+            dram: CarbonMass::from_grams(DRAM_CARBON_G_PER_GB * dram_gb),
+        }
+    }
+
+    /// Total embodied carbon of the module.
+    pub fn total(&self) -> CarbonMass {
+        self.dies.iter().copied().sum::<CarbonMass>() + self.package + self.dram
+    }
+
+    /// The silicon (die) share of the total, in `[0, 1]`.
+    pub fn silicon_fraction(&self) -> f64 {
+        let dies: f64 = self.dies.iter().map(|c| c.as_grams()).sum();
+        dies / self.total().as_grams()
+    }
+}
+
+/// Compares a monolithic implementation against an ECO-CHIP-style
+/// split: compute logic on the advanced node, SRAM/IO on a mature
+/// node.
+///
+/// Returns `(monolithic, chiplet)` system carbon for an accelerator
+/// whose logic occupies `logic_area` (priced at `logic_node`) and
+/// whose memory/periphery occupies `mem_area` (monolithic: same node,
+/// scaled by density; chiplet: at `mem_node` directly).
+///
+/// # Panics
+///
+/// Panics if any area is zero.
+pub fn monolithic_vs_chiplet(
+    logic_node: TechNode,
+    mem_node: TechNode,
+    logic_area: Area,
+    mem_area_at_mem_node: Area,
+    dram_gb: f64,
+) -> (SystemCarbon, SystemCarbon) {
+    assert!(
+        logic_area.as_um2() > 0.0 && mem_area_at_mem_node.as_um2() > 0.0,
+        "areas must be positive"
+    );
+    // Monolithic: the memory section shrinks by the SRAM density ratio
+    // when implemented on the advanced node.
+    let density_ratio = mem_node.params().sram_bitcell_um2 / logic_node.params().sram_bitcell_um2;
+    let mem_area_at_logic_node = Area::from_um2(mem_area_at_mem_node.as_um2() / density_ratio);
+    let mono = SystemCarbon::of(
+        &[Die {
+            node: logic_node,
+            area: logic_area + mem_area_at_logic_node,
+        }],
+        Package::Monolithic,
+        dram_gb,
+    );
+    let chiplet = SystemCarbon::of(
+        &[
+            Die {
+                node: logic_node,
+                area: logic_area,
+            },
+            Die {
+                node: mem_node,
+                area: mem_area_at_mem_node,
+            },
+        ],
+        Package::Interposer2_5d,
+        dram_gb,
+    );
+    (mono, chiplet)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn die(node: TechNode, mm2: f64) -> Die {
+        Die {
+            node,
+            area: Area::from_mm2(mm2),
+        }
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let sys = SystemCarbon::of(&[die(TechNode::N7, 2.0)], Package::Monolithic, 2.0);
+        let expect = sys.dies[0] + sys.package + sys.dram;
+        assert_eq!(sys.total(), expect);
+        assert!((sys.dram.as_grams() - 140.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn package_carbon_scales_with_dies() {
+        let a = Area::from_mm2(4.0);
+        let one = Package::Monolithic.carbon(1, a);
+        let two = Package::Monolithic.carbon(2, a);
+        assert!((two.as_grams() - one.as_grams() - PER_DIE_BONDING_G).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interposer_costs_more_than_flip_chip() {
+        let a = Area::from_mm2(10.0);
+        let mono = Package::Monolithic.carbon(2, a);
+        let int = Package::Interposer2_5d.carbon(2, a);
+        assert!(int > mono);
+    }
+
+    #[test]
+    fn dram_dominates_small_edge_dies() {
+        // The ACT observation: for edge modules, memory and packaging
+        // dwarf the logic die.
+        let sys = SystemCarbon::of(&[die(TechNode::N7, 1.0)], Package::Monolithic, 4.0);
+        assert!(sys.silicon_fraction() < 0.10, "{}", sys.silicon_fraction());
+    }
+
+    #[test]
+    fn chiplet_split_saves_carbon_for_sram_heavy_designs() {
+        // A large SRAM section implemented at 28 nm (cheap carbon/cm²,
+        // but bigger) vs shrunk onto the 7 nm die: ECO-CHIP's headline
+        // effect. With CFPA(7nm) ≈ 2.1× CFPA(28nm) and SRAM density
+        // ratio ≈ 4.7×, the monolithic integration wins on area but
+        // loses on per-area carbon for big SRAM if yield bites; for
+        // edge-scale dies the monolithic side typically wins — the
+        // comparison must at least run and be self-consistent.
+        let (mono, chiplet) = monolithic_vs_chiplet(
+            TechNode::N7,
+            TechNode::N28,
+            Area::from_mm2(2.0),
+            Area::from_mm2(20.0),
+            0.0,
+        );
+        assert!(mono.total().as_grams() > 0.0);
+        assert!(chiplet.total().as_grams() > 0.0);
+        assert_eq!(chiplet.dies.len(), 2);
+        assert_eq!(mono.dies.len(), 1);
+    }
+
+    #[test]
+    fn advanced_node_die_costs_more_per_area() {
+        let s7 = SystemCarbon::of(&[die(TechNode::N7, 5.0)], Package::Monolithic, 0.0);
+        let s28 = SystemCarbon::of(&[die(TechNode::N28, 5.0)], Package::Monolithic, 0.0);
+        assert!(s7.dies[0] > s28.dies[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "a system needs at least one die")]
+    fn empty_system_rejected() {
+        let _ = SystemCarbon::of(&[], Package::Monolithic, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dram_gb must be ≥ 0")]
+    fn negative_dram_rejected() {
+        let _ = SystemCarbon::of(&[die(TechNode::N7, 1.0)], Package::Monolithic, -1.0);
+    }
+}

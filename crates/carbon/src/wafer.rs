@@ -1,0 +1,155 @@
+//! Wafer geometry: dies per wafer and wasted silicon accounting.
+//!
+//! Eq. 1 of the paper charges each die not only for its own area but
+//! for its share of the *wasted* wafer area (edge dies, saw streets,
+//! edge exclusion). We use the standard dies-per-wafer estimate
+//!
+//! ```text
+//! DPW = π·(d/2)² / A  −  π·d / sqrt(2·A)
+//! ```
+//!
+//! and attribute `(usable wafer area − DPW·A) / DPW` of wasted silicon
+//! to each die.
+
+use carma_netlist::Area;
+
+/// A silicon wafer description.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Wafer {
+    /// Wafer diameter in millimetres.
+    pub diameter_mm: f64,
+    /// Edge-exclusion ring width in millimetres (no printable dies).
+    pub edge_exclusion_mm: f64,
+}
+
+impl Wafer {
+    /// The industry-standard 300 mm production wafer with a 3 mm edge
+    /// exclusion.
+    pub fn standard_300mm() -> Self {
+        Wafer {
+            diameter_mm: 300.0,
+            edge_exclusion_mm: 3.0,
+        }
+    }
+
+    /// Usable (printable) wafer area.
+    pub fn usable_area(&self) -> Area {
+        let r = (self.diameter_mm - 2.0 * self.edge_exclusion_mm) / 2.0;
+        Area::from_mm2(std::f64::consts::PI * r * r)
+    }
+
+    /// Estimated number of whole dies printable on the wafer.
+    ///
+    /// Uses the first-order dies-per-wafer formula; returns at least 1
+    /// as long as the die fits in the usable area at all, and 0 for
+    /// dies larger than the wafer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `die` has zero area.
+    pub fn dies_per_wafer(&self, die: Area) -> f64 {
+        assert!(die.as_mm2() > 0.0, "die area must be positive");
+        let d = self.diameter_mm - 2.0 * self.edge_exclusion_mm;
+        let a = die.as_mm2();
+        let dpw = std::f64::consts::PI * (d / 2.0) * (d / 2.0) / a
+            - std::f64::consts::PI * d / (2.0 * a).sqrt();
+        if dpw < 0.0 {
+            if a <= self.usable_area().as_mm2() {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            dpw.floor().max(1.0)
+        }
+    }
+
+    /// Wasted silicon area attributed to each die: the usable wafer
+    /// area not covered by whole dies, divided by the die count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `die` has zero area or does not fit on the wafer.
+    pub fn wasted_area_per_die(&self, die: Area) -> Area {
+        let dpw = self.dies_per_wafer(die);
+        assert!(dpw >= 1.0, "die does not fit on the wafer");
+        let covered = die.as_mm2() * dpw;
+        let wasted_total = (self.usable_area().as_mm2() - covered).max(0.0);
+        Area::from_mm2(wasted_total / dpw)
+    }
+}
+
+impl Default for Wafer {
+    fn default() -> Self {
+        Wafer::standard_300mm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn usable_area_of_300mm_wafer() {
+        let w = Wafer::standard_300mm();
+        // π·147² mm² ≈ 67 887 mm².
+        assert!((w.usable_area().as_mm2() - 67_887.0).abs() < 10.0);
+    }
+
+    #[test]
+    fn small_dies_are_plentiful() {
+        let w = Wafer::standard_300mm();
+        // A 2 mm² edge-AI die: tens of thousands per wafer.
+        let dpw = w.dies_per_wafer(Area::from_mm2(2.0));
+        assert!(dpw > 20_000.0, "dpw = {dpw}");
+    }
+
+    #[test]
+    fn known_dpw_for_100mm2_die() {
+        let w = Wafer::standard_300mm();
+        let dpw = w.dies_per_wafer(Area::from_mm2(100.0));
+        // π·147²/100 − π·294/√200 ≈ 679 − 65 ≈ 614.
+        assert!((550.0..680.0).contains(&dpw), "dpw = {dpw}");
+    }
+
+    #[test]
+    fn giant_die_returns_zero_or_one() {
+        let w = Wafer::standard_300mm();
+        assert_eq!(w.dies_per_wafer(Area::from_mm2(100_000.0)), 0.0);
+        // A die exactly at the usable-area scale but geometrically
+        // unplaceable by the first-order formula: degrades to 1.
+        let big = Area::from_mm2(50_000.0);
+        assert!(w.dies_per_wafer(big) <= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "die area must be positive")]
+    fn zero_die_rejected() {
+        let _ = Wafer::standard_300mm().dies_per_wafer(Area::ZERO);
+    }
+
+    proptest! {
+        #[test]
+        fn waste_fraction_grows_with_die_size(mm2 in 1.0f64..400.0) {
+            let w = Wafer::standard_300mm();
+            let small = Area::from_mm2(mm2);
+            let large = Area::from_mm2(mm2 * 4.0);
+            let frac = |a: Area| {
+                w.wasted_area_per_die(a).as_mm2() / a.as_mm2()
+            };
+            // Larger dies waste a larger *fraction* of the wafer
+            // (more edge loss per die) — the effect the paper's
+            // "wasted area" term captures.
+            prop_assert!(frac(large) > frac(small) * 0.5);
+        }
+
+        #[test]
+        fn dies_cover_no_more_than_usable_area(mm2 in 0.5f64..2000.0) {
+            let w = Wafer::standard_300mm();
+            let die = Area::from_mm2(mm2);
+            let dpw = w.dies_per_wafer(die);
+            prop_assert!(dpw * mm2 <= w.usable_area().as_mm2() * 1.001);
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Fabrication yield as a function of die area and defect density.
+//!
+//! The paper notes that *"the technology node used in the fabrication
+//! process significantly impacts scaling trends and yield results"*;
+//! yield enters Eq. 2 as the divisor of CFPA. Three classical models
+//! are provided; Murphy's is the default (and what ACT uses), the other
+//! two power the `ablation_yield` bench.
+
+use carma_netlist::Area;
+
+/// A die-yield model `Y(A, D₀) ∈ (0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum YieldModel {
+    /// Poisson model: `Y = exp(−A·D₀)`. Pessimistic for large dies.
+    Poisson,
+    /// Murphy's model: `Y = ((1 − exp(−A·D₀)) / (A·D₀))²`. The ACT
+    /// default.
+    Murphy,
+    /// Negative-binomial (Stapper) model with clustering parameter
+    /// `alpha`: `Y = (1 + A·D₀/α)^(−α)`.
+    NegativeBinomial {
+        /// Defect clustering parameter (typically 1–5).
+        alpha: f64,
+    },
+}
+
+impl Default for YieldModel {
+    fn default() -> Self {
+        YieldModel::Murphy
+    }
+}
+
+impl YieldModel {
+    /// Computes the yield for a die of `area` at defect density
+    /// `defects_per_cm2`.
+    ///
+    /// Returns a value in `(0, 1]`; a zero-area die yields 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `defects_per_cm2` is negative, or if
+    /// [`YieldModel::NegativeBinomial`] was built with `alpha ≤ 0`.
+    pub fn yield_for(&self, area: Area, defects_per_cm2: f64) -> f64 {
+        assert!(
+            defects_per_cm2 >= 0.0 && defects_per_cm2.is_finite(),
+            "defect density must be ≥ 0"
+        );
+        let ad = area.as_cm2() * defects_per_cm2;
+        if ad == 0.0 {
+            return 1.0;
+        }
+        match *self {
+            YieldModel::Poisson => (-ad).exp(),
+            YieldModel::Murphy => {
+                let t = (1.0 - (-ad).exp()) / ad;
+                t * t
+            }
+            YieldModel::NegativeBinomial { alpha } => {
+                assert!(alpha > 0.0, "alpha must be > 0");
+                (1.0 + ad / alpha).powf(-alpha)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const D0: f64 = 0.1;
+
+    #[test]
+    fn zero_area_yields_one() {
+        for m in [
+            YieldModel::Poisson,
+            YieldModel::Murphy,
+            YieldModel::NegativeBinomial { alpha: 3.0 },
+        ] {
+            assert_eq!(m.yield_for(Area::ZERO, D0), 1.0);
+        }
+    }
+
+    #[test]
+    fn zero_defects_yield_one() {
+        let a = Area::from_mm2(100.0);
+        assert_eq!(YieldModel::Murphy.yield_for(a, 0.0), 1.0);
+    }
+
+    #[test]
+    fn murphy_is_between_poisson_and_negbin() {
+        // Classical ordering for moderate A·D0: Poisson ≤ Murphy ≤
+        // negative binomial (clustered defects waste fewer dies).
+        let a = Area::from_mm2(80.0); // 0.8 cm² → A·D0 = 0.08… sizeable
+        let p = YieldModel::Poisson.yield_for(a, 1.0);
+        let m = YieldModel::Murphy.yield_for(a, 1.0);
+        let nb = YieldModel::NegativeBinomial { alpha: 2.0 }.yield_for(a, 1.0);
+        assert!(p < m, "poisson {p} < murphy {m}");
+        assert!(m < nb, "murphy {m} < negbin {nb}");
+    }
+
+    #[test]
+    fn known_poisson_value() {
+        // A = 1 cm², D0 = 1 → Y = e^-1.
+        let y = YieldModel::Poisson.yield_for(Area::from_mm2(100.0), 1.0);
+        assert!((y - (-1.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "defect density must be ≥ 0")]
+    fn negative_defect_density_rejected() {
+        let _ = YieldModel::Murphy.yield_for(Area::from_mm2(1.0), -0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be > 0")]
+    fn non_positive_alpha_rejected() {
+        let _ = YieldModel::NegativeBinomial { alpha: 0.0 }.yield_for(Area::from_mm2(1.0), 0.1);
+    }
+
+    proptest! {
+        #[test]
+        fn yield_is_in_unit_interval(mm2 in 0.0f64..2000.0, d0 in 0.0f64..2.0) {
+            for m in [
+                YieldModel::Poisson,
+                YieldModel::Murphy,
+                YieldModel::NegativeBinomial { alpha: 3.0 },
+            ] {
+                let y = m.yield_for(Area::from_mm2(mm2), d0);
+                prop_assert!(y > 0.0 && y <= 1.0, "{m:?}: {y}");
+            }
+        }
+
+        #[test]
+        fn yield_is_monotone_decreasing_in_area(
+            mm2 in 1.0f64..500.0,
+            extra in 1.0f64..500.0,
+            d0 in 0.01f64..1.0,
+        ) {
+            for m in [
+                YieldModel::Poisson,
+                YieldModel::Murphy,
+                YieldModel::NegativeBinomial { alpha: 3.0 },
+            ] {
+                let y_small = m.yield_for(Area::from_mm2(mm2), d0);
+                let y_large = m.yield_for(Area::from_mm2(mm2 + extra), d0);
+                prop_assert!(y_large < y_small, "{m:?}: {y_large} !< {y_small}");
+            }
+        }
+    }
+}

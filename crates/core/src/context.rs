@@ -1,0 +1,342 @@
+//! The evaluation context: multiplier library + accuracy buckets +
+//! carbon model + performance oracle, bound to one technology node.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use carma_carbon::{CarbonMass, CarbonModel};
+use carma_dataflow::{Accelerator, AreaModel, PerfModel};
+use carma_dnn::{AccuracyEvaluator, DnnModel, EvaluatorConfig};
+use carma_multiplier::MultiplierLibrary;
+use carma_netlist::{Area, TechNode};
+use parking_lot::Mutex;
+
+use crate::space::DesignPoint;
+
+/// The full evaluation of one design point on one DNN.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignEval {
+    /// The materialized accelerator.
+    pub accelerator: Accelerator,
+    /// Index of the chosen multiplier in the context's library.
+    pub mult_idx: usize,
+    /// Name of the chosen multiplier.
+    pub multiplier: String,
+    /// Throughput on the evaluated DNN.
+    pub fps: f64,
+    /// Die area.
+    pub die_area: Area,
+    /// Embodied carbon of the die (Eq. 1).
+    pub embodied: CarbonMass,
+    /// Raw Carbon Delay Product in gCO₂·s (embodied carbon ×
+    /// inference latency).
+    pub cdp: f64,
+    /// Inference latency in seconds.
+    pub latency_s: f64,
+    /// Energy of one inference in joules (multiplier-scaled).
+    pub energy_j: f64,
+    /// Accuracy drop induced by the multiplier, in `[0, 1]`.
+    pub accuracy_drop: f64,
+}
+
+impl fmt::Display for DesignEval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} + {} → {:.1} FPS, {:.3} mm², {}, CDP {:.4}, Δacc {:.2}%",
+            self.accelerator,
+            self.multiplier,
+            self.fps,
+            self.die_area.as_mm2(),
+            self.embodied,
+            self.cdp,
+            self.accuracy_drop * 100.0
+        )
+    }
+}
+
+/// Cached per-accelerator performance summary (the multiplier does not
+/// change cycle counts, so FPS is shared across multiplier choices).
+#[derive(Debug, Clone, Copy)]
+struct PerfSummary {
+    fps: f64,
+    latency_s: f64,
+    dram_bytes: u64,
+    sram_bytes: u64,
+    macs: u64,
+}
+
+/// The CARMA evaluation context for one technology node.
+///
+/// Holds the (pre-characterized) multiplier library with its DNN
+/// accuracy buckets, the ACT carbon model and a memoizing performance
+/// oracle. Construction is the expensive part (library
+/// characterization + behavioural accuracy runs); evaluation of design
+/// points is then cheap enough to sit inside the GA loop.
+pub struct CarmaContext {
+    node: TechNode,
+    library: MultiplierLibrary,
+    accuracy_drops: Vec<f64>,
+    carbon: CarbonModel,
+    perf: PerfModel,
+    perf_cache: Mutex<HashMap<(Accelerator, String), PerfSummary>>,
+}
+
+impl fmt::Debug for CarmaContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CarmaContext")
+            .field("node", &self.node)
+            .field("library_len", &self.library.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl CarmaContext {
+    /// The standard context: truncation-ladder library of depth 4
+    /// (15 units) with the default 256-sample behavioural accuracy
+    /// evaluation. Takes seconds to build (release mode).
+    pub fn standard(node: TechNode) -> Self {
+        Self::with_parts(
+            node,
+            MultiplierLibrary::truncation_ladder(8, 4),
+            EvaluatorConfig::default(),
+        )
+    }
+
+    /// A reduced context for tests and quick demos: depth-2 ladder
+    /// (6 units), 48 evaluation samples.
+    pub fn reduced(node: TechNode) -> Self {
+        Self::with_parts(
+            node,
+            MultiplierLibrary::truncation_ladder(8, 2),
+            EvaluatorConfig {
+                samples: 48,
+                ..EvaluatorConfig::default()
+            },
+        )
+    }
+
+    /// Builds a context from an arbitrary multiplier library (e.g. an
+    /// NSGA-II-evolved one) and evaluator configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the library is not 8-bit (the behavioural engine's
+    /// datatype).
+    pub fn with_parts(
+        node: TechNode,
+        library: MultiplierLibrary,
+        evaluator: EvaluatorConfig,
+    ) -> Self {
+        assert_eq!(library.width(), 8, "context requires an 8-bit library");
+        let eval = AccuracyEvaluator::new(evaluator);
+        let accuracy_drops = eval
+            .evaluate_library(&library)
+            .into_iter()
+            .map(|(_, drop)| drop)
+            .collect();
+        CarmaContext {
+            node,
+            library,
+            accuracy_drops,
+            carbon: CarbonModel::for_node(node),
+            perf: PerfModel::new(),
+            perf_cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The technology node of this context.
+    pub fn node(&self) -> TechNode {
+        self.node
+    }
+
+    /// The multiplier library.
+    pub fn library(&self) -> &MultiplierLibrary {
+        &self.library
+    }
+
+    /// The carbon model in use.
+    pub fn carbon_model(&self) -> &CarbonModel {
+        &self.carbon
+    }
+
+    /// Replaces the carbon model (for yield/grid ablations).
+    pub fn set_carbon_model(&mut self, model: CarbonModel) {
+        self.carbon = model;
+    }
+
+    /// Accuracy drop of library entry `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn accuracy_drop(&self, idx: usize) -> f64 {
+        self.accuracy_drops[idx]
+    }
+
+    /// Indices of all library entries whose accuracy drop is within
+    /// `max_drop`, sorted by increasing transistor count.
+    pub fn entries_within_drop(&self, max_drop: f64) -> Vec<usize> {
+        let mut v: Vec<usize> = (0..self.library.len())
+            .filter(|&i| self.accuracy_drops[i] <= max_drop)
+            .collect();
+        v.sort_by_key(|&i| self.library[i].transistors());
+        v
+    }
+
+    /// Index of the smallest-area entry within `max_drop` (the
+    /// "approximate only" selection rule); index 0 (exact) always
+    /// qualifies.
+    pub fn best_mult_within_drop(&self, max_drop: f64) -> usize {
+        self.entries_within_drop(max_drop)
+            .first()
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Memoized FPS/latency of `accel` on `model`.
+    fn perf_summary(&self, accel: &Accelerator, model: &DnnModel) -> PerfSummary {
+        let key = (*accel, model.name().to_string());
+        if let Some(s) = self.perf_cache.lock().get(&key) {
+            return *s;
+        }
+        let report = self.perf.evaluate(accel, model);
+        let s = PerfSummary {
+            fps: report.fps,
+            latency_s: report.latency_s,
+            dram_bytes: report.dram_bytes,
+            sram_bytes: report.sram_bytes,
+            macs: report.macs,
+        };
+        self.perf_cache.lock().insert(key, s);
+        s
+    }
+
+    /// Evaluates a design point on `model`: performance, area, embodied
+    /// carbon, CDP and accuracy drop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the design point's multiplier index is out of library
+    /// range.
+    pub fn evaluate(&self, point: &DesignPoint, model: &DnnModel) -> DesignEval {
+        let mult_idx = usize::from(point.mult_idx);
+        let entry = &self.library[mult_idx];
+        let accel = point.to_accelerator(self.node);
+        let perf = self.perf_summary(&accel, model);
+        let area_model = AreaModel::new(entry.transistors());
+        let die_area = area_model.die_area(&accel);
+        let embodied = self.carbon.embodied_carbon(die_area);
+        let exact_transistors = self.library.exact().transistors();
+        let p = self.node.params();
+        // Multiplier share of MAC energy scales with its transistor
+        // count (see carma-dataflow::EnergyModel; recomputed here from
+        // the cached traffic numbers to avoid re-running the mapper).
+        let mult_scale = entry.transistors() as f64 / exact_transistors as f64;
+        let mac_pj = p.mac_energy_pj * (0.4 + 0.6 * mult_scale);
+        let energy_j = (perf.macs as f64 * mac_pj
+            + perf.sram_bytes as f64 * p.sram_read_pj_per_byte
+            + perf.dram_bytes as f64 * p.dram_access_pj_per_byte)
+            * 1e-12;
+        DesignEval {
+            accelerator: accel,
+            mult_idx,
+            multiplier: entry.name.clone(),
+            fps: perf.fps,
+            die_area,
+            embodied,
+            cdp: embodied.as_grams() * perf.latency_s,
+            latency_s: perf.latency_s,
+            energy_j,
+            accuracy_drop: self.accuracy_drops[mult_idx],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    /// Shared reduced context: construction is the slow part, so tests
+    /// share one.
+    pub(crate) fn ctx7() -> &'static CarmaContext {
+        static CTX: OnceLock<CarmaContext> = OnceLock::new();
+        CTX.get_or_init(|| CarmaContext::reduced(TechNode::N7))
+    }
+
+    #[test]
+    fn context_builds_and_buckets() {
+        let ctx = ctx7();
+        assert_eq!(ctx.node(), TechNode::N7);
+        assert!(ctx.library().len() >= 4);
+        // Exact entry has zero drop; it is entry 0 (sorted by MRED).
+        assert_eq!(ctx.accuracy_drop(0), 0.0);
+        // Drops are probabilities.
+        for i in 0..ctx.library().len() {
+            assert!((0.0..=1.0).contains(&ctx.accuracy_drop(i)));
+        }
+    }
+
+    #[test]
+    fn entries_within_drop_shrink_with_threshold() {
+        let ctx = ctx7();
+        let strict = ctx.entries_within_drop(0.0);
+        let loose = ctx.entries_within_drop(1.0);
+        assert!(!strict.is_empty());
+        assert_eq!(loose.len(), ctx.library().len());
+        assert!(strict.len() <= loose.len());
+    }
+
+    #[test]
+    fn best_mult_within_drop_saves_area() {
+        let ctx = ctx7();
+        let idx = ctx.best_mult_within_drop(1.0); // anything allowed
+        let best = &ctx.library()[idx];
+        let exact = ctx.library().exact();
+        assert!(best.transistors() <= exact.transistors());
+    }
+
+    #[test]
+    fn evaluate_produces_consistent_cdp() {
+        let ctx = ctx7();
+        let dp = DesignPoint::nvdla_like(256);
+        let eval = ctx.evaluate(&dp, &DnnModel::resnet50());
+        assert!(eval.fps > 0.0);
+        assert!((eval.cdp - eval.embodied.as_grams() / eval.fps).abs() < 1e-9);
+        assert_eq!(eval.accuracy_drop, 0.0); // exact multiplier
+    }
+
+    #[test]
+    fn approximate_point_has_smaller_carbon_same_fps() {
+        let ctx = ctx7();
+        let exact_dp = DesignPoint::nvdla_like(256);
+        let mut approx_dp = exact_dp;
+        approx_dp.mult_idx = (ctx.library().len() - 1) as u16; // largest error, smallest area
+        let model = DnnModel::resnet50();
+        let e = ctx.evaluate(&exact_dp, &model);
+        let a = ctx.evaluate(&approx_dp, &model);
+        assert_eq!(e.fps, a.fps, "multiplier must not change cycles");
+        assert!(a.embodied < e.embodied, "approx must cut carbon");
+        assert!(a.cdp < e.cdp);
+    }
+
+    #[test]
+    fn perf_cache_hits_are_consistent() {
+        let ctx = ctx7();
+        let dp = DesignPoint::nvdla_like(128);
+        let model = DnnModel::resnet50();
+        let a = ctx.evaluate(&dp, &model);
+        let b = ctx.evaluate(&dp, &model);
+        assert_eq!(a.fps, b.fps);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let ctx = ctx7();
+        let s = ctx
+            .evaluate(&DesignPoint::nvdla_like(64), &DnnModel::resnet50())
+            .to_string();
+        assert!(s.contains("FPS") && s.contains("CDP"), "{s}");
+    }
+}

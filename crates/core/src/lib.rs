@@ -1,0 +1,44 @@
+//! # carma-core
+//!
+//! The paper's contribution: **carbon-aware DNN accelerator design via
+//! approximate computing**, optimizing the Carbon Delay Product (CDP)
+//! with a genetic algorithm under FPS and accuracy-drop constraints.
+//!
+//! The flow (paper Fig. 1):
+//!
+//! 1. `carma-multiplier` generates area-aware approximate multipliers
+//!    (gate pruning + precision scaling, NSGA-II Pareto search);
+//! 2. `carma-dnn` buckets them by DNN accuracy drop;
+//! 3. this crate's GA searches the hardware space — PE width, PE
+//!    height, local buffer size, global buffer size, multiplier choice
+//!    — with CDP as the fitness, FPS/accuracy thresholds as
+//!    constraints, `carma-dataflow` as the performance oracle and
+//!    `carma-carbon` as the embodied-carbon oracle.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use carma_core::{CarmaContext, Constraints, flow};
+//! use carma_dnn::DnnModel;
+//! use carma_ga::GaConfig;
+//! use carma_netlist::TechNode;
+//!
+//! let ctx = CarmaContext::standard(TechNode::N7);
+//! let best = flow::ga_cdp(
+//!     &ctx,
+//!     &DnnModel::vgg16(),
+//!     Constraints::new(30.0, 0.02),
+//!     GaConfig::default(),
+//! );
+//! println!("best design: {} at {:.1} FPS, {}", best.accelerator, best.fps, best.embodied);
+//! ```
+
+pub mod context;
+pub mod experiments;
+pub mod flow;
+pub mod report;
+pub mod space;
+
+pub use context::{CarmaContext, DesignEval};
+pub use flow::{Constraints, FitnessMetric, SweepPoint};
+pub use space::DesignPoint;

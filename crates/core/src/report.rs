@@ -1,0 +1,195 @@
+//! Markdown design-report generation.
+//!
+//! Turns a [`DesignEval`] (plus its context) into the kind of report a
+//! sustainability-conscious design review wants: the configuration,
+//! the carbon bill with every Eq. 1/2 term, the utilization story, and
+//! the comparison against the exact NVDLA baseline.
+
+use std::fmt::Write as _;
+
+use carma_dataflow::RooflineReport;
+use carma_dnn::DnnModel;
+
+use crate::context::{CarmaContext, DesignEval};
+use crate::flow::smallest_exact_meeting;
+
+/// Renders a full markdown report for `eval` (a design produced by the
+/// GA-CDP flow or any manual design point) on `model`.
+///
+/// # Example
+///
+/// ```no_run
+/// use carma_core::{CarmaContext, DesignPoint};
+/// use carma_core::report::design_report;
+/// use carma_dnn::DnnModel;
+/// use carma_netlist::TechNode;
+///
+/// let ctx = CarmaContext::reduced(TechNode::N7);
+/// let model = DnnModel::vgg16();
+/// let eval = ctx.evaluate(&DesignPoint::nvdla_like(512), &model);
+/// println!("{}", design_report(&ctx, &model, &eval));
+/// ```
+pub fn design_report(ctx: &CarmaContext, model: &DnnModel, eval: &DesignEval) -> String {
+    let mut out = String::new();
+    let w = &mut out;
+
+    let _ = writeln!(w, "# CARMA design report — {} @ {}", model.name(), ctx.node());
+    let _ = writeln!(w);
+
+    let _ = writeln!(w, "## Configuration");
+    let _ = writeln!(w);
+    let a = &eval.accelerator;
+    let _ = writeln!(w, "| parameter | value |");
+    let _ = writeln!(w, "|---|---|");
+    let _ = writeln!(w, "| PE array | {}×{} ({} MACs) |", a.pe_width, a.pe_height, a.macs());
+    let _ = writeln!(w, "| local RF / PE | {} B |", a.local_rf_bytes);
+    let _ = writeln!(w, "| global buffer | {} KiB |", a.global_buffer_kib);
+    let _ = writeln!(w, "| multiplier | `{}` |", eval.multiplier);
+    let mult = &ctx.library()[eval.mult_idx];
+    let _ = writeln!(
+        w,
+        "| multiplier area | {} transistors ({:+.1} % vs exact) |",
+        mult.transistors(),
+        -100.0 * mult.area_saving_vs(ctx.library().exact())
+    );
+    let _ = writeln!(
+        w,
+        "| accuracy drop | {:.2} % (MRED {:.5}) |",
+        eval.accuracy_drop * 100.0,
+        mult.profile.mred
+    );
+    let _ = writeln!(w);
+
+    let _ = writeln!(w, "## Performance");
+    let _ = writeln!(w);
+    let _ = writeln!(w, "| metric | value |");
+    let _ = writeln!(w, "|---|---|");
+    let _ = writeln!(w, "| throughput | {:.1} FPS |", eval.fps);
+    let _ = writeln!(w, "| latency | {:.2} ms |", eval.latency_s * 1e3);
+    let _ = writeln!(w, "| energy / inference | {:.2} mJ |", eval.energy_j * 1e3);
+    let roofline = RooflineReport::analyze(a, model);
+    let _ = writeln!(
+        w,
+        "| array occupancy (MAC-weighted) | {:.0} % |",
+        roofline.average_utilization * 100.0
+    );
+    let _ = writeln!(
+        w,
+        "| memory-bound layers | {:.0} % |",
+        roofline.memory_bound_fraction() * 100.0
+    );
+    let _ = writeln!(w);
+
+    let _ = writeln!(w, "## Embodied carbon (Eq. 1/2)");
+    let _ = writeln!(w);
+    let b = ctx.carbon_model().embodied_breakdown(eval.die_area);
+    let _ = writeln!(w, "| term | value |");
+    let _ = writeln!(w, "|---|---|");
+    let _ = writeln!(w, "| die area | {:.3} mm² |", eval.die_area.as_mm2());
+    let _ = writeln!(w, "| fab yield | {:.4} |", b.fab_yield);
+    let _ = writeln!(w, "| CFPA | {:.0} gCO₂/cm² |", b.cfpa_g_per_cm2);
+    let _ = writeln!(w, "| die term | {} |", b.die_carbon);
+    let _ = writeln!(w, "| wasted-silicon term | {} |", b.wasted_carbon);
+    let _ = writeln!(w, "| **total embodied** | **{}** |", b.total);
+    let _ = writeln!(w, "| CDP | {:.4} gCO₂·s |", eval.cdp);
+    let _ = writeln!(w);
+
+    let _ = writeln!(w, "## Versus the exact NVDLA baseline");
+    let _ = writeln!(w);
+    let baseline = smallest_exact_meeting(ctx, model, eval.fps.min(30.0).max(1.0));
+    let saving = 1.0 - eval.embodied.as_grams() / baseline.eval.embodied.as_grams();
+    let verdict = if saving >= 0.0 {
+        format!("**reduces** embodied carbon by **{:.1} %**", saving * 100.0)
+    } else {
+        format!("**increases** embodied carbon by **{:.1} %**", -saving * 100.0)
+    };
+    let _ = writeln!(
+        w,
+        "Smallest exact preset at comparable service level: {} MACs, {} \
+         ({:.1} FPS). This design {verdict}.",
+        baseline.macs,
+        baseline.eval.embodied,
+        baseline.eval.fps,
+    );
+    out
+}
+
+/// Renders experiment rows as CSV (header + one line per row); fields
+/// are provided by the caller so any row type can be exported.
+pub fn to_csv(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in rows {
+        let escaped: Vec<String> = row
+            .iter()
+            .map(|c| {
+                if c.contains(',') || c.contains('"') {
+                    format!("\"{}\"", c.replace('"', "\"\""))
+                } else {
+                    c.clone()
+                }
+            })
+            .collect();
+        out.push_str(&escaped.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::DesignPoint;
+    use carma_netlist::TechNode;
+    use std::sync::OnceLock;
+
+    fn ctx() -> &'static CarmaContext {
+        static CTX: OnceLock<CarmaContext> = OnceLock::new();
+        CTX.get_or_init(|| CarmaContext::reduced(TechNode::N7))
+    }
+
+    #[test]
+    fn report_contains_all_sections() {
+        let model = DnnModel::resnet50();
+        let eval = ctx().evaluate(&DesignPoint::nvdla_like(256), &model);
+        let r = design_report(ctx(), &model, &eval);
+        for section in [
+            "# CARMA design report",
+            "## Configuration",
+            "## Performance",
+            "## Embodied carbon",
+            "## Versus the exact NVDLA baseline",
+        ] {
+            assert!(r.contains(section), "missing `{section}`");
+        }
+        assert!(r.contains("gCO₂"));
+        assert!(r.contains("FPS"));
+    }
+
+    #[test]
+    fn report_reflects_multiplier_choice() {
+        let model = DnnModel::resnet50();
+        let mut dp = DesignPoint::nvdla_like(256);
+        dp.mult_idx = (ctx().library().len() - 1) as u16;
+        let eval = ctx().evaluate(&dp, &model);
+        let r = design_report(ctx(), &model, &eval);
+        assert!(r.contains(&eval.multiplier), "{r}");
+    }
+
+    #[test]
+    fn csv_escapes_fields() {
+        let csv = to_csv(
+            &["a", "b"],
+            &[
+                vec!["1".to_string(), "plain".to_string()],
+                vec!["2".to_string(), "with,comma".to_string()],
+                vec!["3".to_string(), "with\"quote".to_string()],
+            ],
+        );
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "a,b");
+        assert_eq!(lines[2], "2,\"with,comma\"");
+        assert_eq!(lines[3], "3,\"with\"\"quote\"");
+    }
+}

@@ -1,0 +1,251 @@
+//! The GA-CDP design space — the chromosome of the paper's Fig. 1:
+//! PE width, PE height, local buffer size, global buffer size, plus the
+//! approximate-multiplier selection.
+
+use carma_dataflow::Accelerator;
+use carma_netlist::TechNode;
+use rand::{Rng, RngExt};
+
+/// Selectable per-PE register-file sizes, bytes.
+pub const RF_SIZES: [u32; 4] = [16, 32, 64, 128];
+/// Selectable global (CONV) buffer sizes, KiB.
+pub const GB_SIZES: [u32; 7] = [32, 64, 128, 256, 512, 1024, 2048];
+/// Range of the log2 PE-array side (4..=64 PEs per side).
+pub const PE_LOG2_RANGE: std::ops::RangeInclusive<u8> = 2..=6;
+
+/// One point of the hardware/multiplier design space.
+///
+/// Array sides are stored as log2 codes so mutation steps move between
+/// adjacent power-of-two configurations, matching the paper's NVDLA
+/// sweep granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DesignPoint {
+    /// log2 of the output-channel (Atomic-K) unroll, in
+    /// [`PE_LOG2_RANGE`].
+    pub pe_width_log2: u8,
+    /// log2 of the input-channel (Atomic-C) unroll, in
+    /// [`PE_LOG2_RANGE`].
+    pub pe_height_log2: u8,
+    /// Index into [`RF_SIZES`].
+    pub rf_code: u8,
+    /// Index into [`GB_SIZES`].
+    pub gb_code: u8,
+    /// Index into the multiplier library.
+    pub mult_idx: u16,
+}
+
+impl DesignPoint {
+    /// The NVDLA-preset-equivalent point with an exact multiplier
+    /// (multiplier index 0 must be the library's exact entry).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `macs` is not a power of two in `[16, 4096]`.
+    pub fn nvdla_like(macs: u32) -> Self {
+        let a = Accelerator::nvdla_preset(macs, TechNode::N7);
+        let gb_code = GB_SIZES
+            .iter()
+            .position(|&g| g >= a.global_buffer_kib)
+            .unwrap_or(GB_SIZES.len() - 1) as u8;
+        DesignPoint {
+            pe_width_log2: a.pe_width.trailing_zeros() as u8,
+            pe_height_log2: a.pe_height.trailing_zeros() as u8,
+            rf_code: 1, // 32 B
+            gb_code,
+            mult_idx: 0,
+        }
+    }
+
+    /// Samples a uniform random design point over a library of
+    /// `library_len` multipliers.
+    pub fn random(rng: &mut dyn Rng, library_len: usize) -> Self {
+        DesignPoint {
+            pe_width_log2: rng.random_range(*PE_LOG2_RANGE.start()..=*PE_LOG2_RANGE.end()),
+            pe_height_log2: rng.random_range(*PE_LOG2_RANGE.start()..=*PE_LOG2_RANGE.end()),
+            rf_code: rng.random_range(0..RF_SIZES.len()) as u8,
+            gb_code: rng.random_range(0..GB_SIZES.len()) as u8,
+            mult_idx: rng.random_range(0..library_len) as u16,
+        }
+    }
+
+    /// Uniform gene-wise crossover.
+    pub fn crossover(&self, other: &DesignPoint, rng: &mut dyn Rng) -> DesignPoint {
+        let pick = |a: u8, b: u8, rng: &mut dyn Rng| if rng.random_bool(0.5) { a } else { b };
+        DesignPoint {
+            pe_width_log2: pick(self.pe_width_log2, other.pe_width_log2, rng),
+            pe_height_log2: pick(self.pe_height_log2, other.pe_height_log2, rng),
+            rf_code: pick(self.rf_code, other.rf_code, rng),
+            gb_code: pick(self.gb_code, other.gb_code, rng),
+            mult_idx: if rng.random_bool(0.5) {
+                self.mult_idx
+            } else {
+                other.mult_idx
+            },
+        }
+    }
+
+    /// Mutates one or two genes. Each mutated gene usually takes a ±1
+    /// step (local refinement) but is occasionally re-randomized
+    /// (exploration), which keeps the GA from collapsing onto the
+    /// seeded NVDLA presets before it has tried off-preset buffer and
+    /// array shapes.
+    pub fn mutate(&mut self, rng: &mut dyn Rng, library_len: usize) {
+        let genes = 1 + usize::from(rng.random_bool(0.4));
+        for _ in 0..genes {
+            self.mutate_one(rng, library_len);
+        }
+    }
+
+    fn mutate_one(&mut self, rng: &mut dyn Rng, library_len: usize) {
+        let up = rng.random_bool(0.5);
+        let explore = rng.random_bool(0.2);
+        match rng.random_range(0..5u32) {
+            0 => {
+                self.pe_width_log2 = if explore {
+                    rng.random_range(*PE_LOG2_RANGE.start()..=*PE_LOG2_RANGE.end())
+                } else {
+                    step_in(
+                        self.pe_width_log2,
+                        up,
+                        *PE_LOG2_RANGE.start(),
+                        *PE_LOG2_RANGE.end(),
+                    )
+                };
+            }
+            1 => {
+                self.pe_height_log2 = if explore {
+                    rng.random_range(*PE_LOG2_RANGE.start()..=*PE_LOG2_RANGE.end())
+                } else {
+                    step_in(
+                        self.pe_height_log2,
+                        up,
+                        *PE_LOG2_RANGE.start(),
+                        *PE_LOG2_RANGE.end(),
+                    )
+                };
+            }
+            2 => {
+                self.rf_code = if explore {
+                    rng.random_range(0..RF_SIZES.len()) as u8
+                } else {
+                    step_in(self.rf_code, up, 0, RF_SIZES.len() as u8 - 1)
+                };
+            }
+            3 => {
+                self.gb_code = if explore {
+                    rng.random_range(0..GB_SIZES.len()) as u8
+                } else {
+                    step_in(self.gb_code, up, 0, GB_SIZES.len() as u8 - 1)
+                };
+            }
+            _ => {
+                self.mult_idx = rng.random_range(0..library_len) as u16;
+            }
+        }
+    }
+
+    /// Materializes the accelerator at `node`.
+    pub fn to_accelerator(&self, node: TechNode) -> Accelerator {
+        Accelerator {
+            pe_width: 1 << self.pe_width_log2,
+            pe_height: 1 << self.pe_height_log2,
+            local_rf_bytes: RF_SIZES[usize::from(self.rf_code).min(RF_SIZES.len() - 1)],
+            global_buffer_kib: GB_SIZES[usize::from(self.gb_code).min(GB_SIZES.len() - 1)],
+            node,
+        }
+    }
+
+    /// Total MAC count of the design.
+    pub fn macs(&self) -> u32 {
+        1u32 << (self.pe_width_log2 + self.pe_height_log2)
+    }
+}
+
+fn step_in(v: u8, up: bool, lo: u8, hi: u8) -> u8 {
+    if up {
+        (v + 1).min(hi)
+    } else {
+        v.saturating_sub(1).max(lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn nvdla_like_reproduces_preset() {
+        for macs in [64u32, 256, 2048] {
+            let dp = DesignPoint::nvdla_like(macs);
+            let a = dp.to_accelerator(TechNode::N7);
+            let preset = Accelerator::nvdla_preset(macs, TechNode::N7);
+            assert_eq!(a.macs(), preset.macs(), "{macs}");
+            assert_eq!(a.global_buffer_kib, preset.global_buffer_kib.max(32));
+            assert_eq!(dp.mult_idx, 0);
+        }
+    }
+
+    #[test]
+    fn random_points_are_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let dp = DesignPoint::random(&mut rng, 9);
+            assert!(PE_LOG2_RANGE.contains(&dp.pe_width_log2));
+            assert!(PE_LOG2_RANGE.contains(&dp.pe_height_log2));
+            assert!((dp.rf_code as usize) < RF_SIZES.len());
+            assert!((dp.gb_code as usize) < GB_SIZES.len());
+            assert!((dp.mult_idx as usize) < 9);
+            let a = dp.to_accelerator(TechNode::N14);
+            assert!(a.validate().is_ok(), "{a}");
+        }
+    }
+
+    #[test]
+    fn mutation_keeps_points_valid() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut dp = DesignPoint::random(&mut rng, 5);
+        for _ in 0..500 {
+            dp.mutate(&mut rng, 5);
+            assert!(dp.to_accelerator(TechNode::N28).validate().is_ok());
+            assert!((dp.mult_idx as usize) < 5);
+        }
+    }
+
+    #[test]
+    fn crossover_mixes_genes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = DesignPoint {
+            pe_width_log2: 2,
+            pe_height_log2: 2,
+            rf_code: 0,
+            gb_code: 0,
+            mult_idx: 0,
+        };
+        let b = DesignPoint {
+            pe_width_log2: 6,
+            pe_height_log2: 6,
+            rf_code: 3,
+            gb_code: 6,
+            mult_idx: 4,
+        };
+        let mut saw_mix = false;
+        for _ in 0..50 {
+            let c = a.crossover(&b, &mut rng);
+            // Every gene comes from a parent.
+            assert!(c.pe_width_log2 == 2 || c.pe_width_log2 == 6);
+            assert!(c.gb_code == 0 || c.gb_code == 6);
+            if c != a && c != b {
+                saw_mix = true;
+            }
+        }
+        assert!(saw_mix, "crossover never mixed genes");
+    }
+
+    #[test]
+    fn macs_matches_accelerator() {
+        let dp = DesignPoint::nvdla_like(512);
+        assert_eq!(dp.macs(), dp.to_accelerator(TechNode::N7).macs());
+    }
+}

@@ -1,0 +1,172 @@
+//! Accelerator die-area model.
+//!
+//! Composes the multiplier's transistor count (the knob the paper's
+//! approximation step turns) with the accumulator, register files,
+//! global buffer and periphery into a die area — the quantity the
+//! carbon model prices.
+
+use carma_netlist::{Area, TechNode};
+
+use crate::arch::Accelerator;
+
+/// Transistors of the 32-bit accumulator adder in each PE
+/// (32 mirror full adders at 28 transistors each).
+const ACCUMULATOR_TRANSISTORS: u64 = 32 * 28;
+/// Transistors of per-PE pipeline/control logic (operand latches,
+/// enable logic).
+const PE_CONTROL_TRANSISTORS: u64 = 260;
+/// Multiplicative periphery overhead: NoC, DMA engines, sequencer,
+/// CSB — calibrated so an NVDLA-full-like configuration lands at a
+/// plausible edge-die area.
+const PERIPHERY_FACTOR: f64 = 1.35;
+/// Fixed base area (pads, PHY, clocking) in mm².
+const BASE_AREA_MM2: f64 = 0.05;
+
+/// Die-area model parameterized by the multiplier circuit size.
+///
+/// ```
+/// use carma_dataflow::{Accelerator, AreaModel};
+/// use carma_netlist::TechNode;
+///
+/// let accel = Accelerator::nvdla_preset(512, TechNode::N7);
+/// // An exact 8×8 Dadda multiplier is ≈ 3000 transistors.
+/// let exact = AreaModel::new(3000);
+/// let approx = AreaModel::new(2400);
+/// assert!(approx.die_area(&accel).as_mm2() < exact.die_area(&accel).as_mm2());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AreaModel {
+    mult_transistors: u64,
+}
+
+impl AreaModel {
+    /// Creates an area model for PEs built around a multiplier of the
+    /// given transistor count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mult_transistors` is zero.
+    pub fn new(mult_transistors: u64) -> Self {
+        assert!(mult_transistors > 0, "multiplier cannot be empty");
+        AreaModel { mult_transistors }
+    }
+
+    /// The multiplier transistor count this model was built with.
+    pub fn mult_transistors(&self) -> u64 {
+        self.mult_transistors
+    }
+
+    /// Area of a single PE (multiplier + accumulator + control +
+    /// local register file) at `node`.
+    pub fn pe_area(&self, node: TechNode, local_rf_bytes: u32) -> Area {
+        let logic = Area::from_transistors(
+            self.mult_transistors + ACCUMULATOR_TRANSISTORS + PE_CONTROL_TRANSISTORS,
+            node,
+        );
+        let rf = Area::from_mm2(node.params().sram_area_mm2(u64::from(local_rf_bytes)));
+        logic + rf
+    }
+
+    /// Total die area of `accel`.
+    pub fn die_area(&self, accel: &Accelerator) -> Area {
+        let node = accel.node;
+        let array = self.pe_area(node, accel.local_rf_bytes) * f64::from(accel.macs());
+        let buffer = Area::from_mm2(node.params().sram_area_mm2(accel.global_buffer_bytes()));
+        let core = (array + buffer) * PERIPHERY_FACTOR;
+        core + Area::from_mm2(BASE_AREA_MM2)
+    }
+
+    /// The MAC-array share of the die (reported by the ablation
+    /// benches to show where approximation savings act).
+    pub fn array_fraction(&self, accel: &Accelerator) -> f64 {
+        let array =
+            (self.pe_area(accel.node, accel.local_rf_bytes) * f64::from(accel.macs())).as_mm2();
+        array / self.die_area(accel).as_mm2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const EXACT_MULT: u64 = 3000;
+
+    #[test]
+    fn die_area_grows_with_macs() {
+        let m = AreaModel::new(EXACT_MULT);
+        let mut last = 0.0;
+        for macs in [64u32, 256, 1024, 2048] {
+            let a = m
+                .die_area(&Accelerator::nvdla_preset(macs, TechNode::N7))
+                .as_mm2();
+            assert!(a > last, "{macs}: {a} !> {last}");
+            last = a;
+        }
+    }
+
+    #[test]
+    fn smaller_multiplier_shrinks_die() {
+        let accel = Accelerator::nvdla_preset(1024, TechNode::N7);
+        let exact = AreaModel::new(EXACT_MULT).die_area(&accel);
+        let approx = AreaModel::new(EXACT_MULT * 7 / 10).die_area(&accel);
+        assert!(approx < exact);
+        // The saving is bounded by the array fraction.
+        let saving = 1.0 - approx.as_mm2() / exact.as_mm2();
+        assert!(saving > 0.0 && saving < 0.5, "saving = {saving}");
+    }
+
+    #[test]
+    fn edge_die_scale_is_plausible() {
+        // NVDLA-full-like at 7 nm should be a small edge die:
+        // fraction of a mm² to a few mm².
+        let m = AreaModel::new(EXACT_MULT);
+        let a = m
+            .die_area(&Accelerator::nvdla_preset(2048, TechNode::N7))
+            .as_mm2();
+        assert!((0.3..10.0).contains(&a), "area = {a} mm²");
+    }
+
+    #[test]
+    fn same_config_larger_at_older_node() {
+        let m = AreaModel::new(EXACT_MULT);
+        let a7 = m.die_area(&Accelerator::nvdla_preset(512, TechNode::N7));
+        let a28 = m.die_area(&Accelerator::nvdla_preset(512, TechNode::N28));
+        assert!(a28 > a7);
+    }
+
+    #[test]
+    fn array_fraction_is_a_fraction() {
+        let m = AreaModel::new(EXACT_MULT);
+        for macs in [64u32, 2048] {
+            let f = m.array_fraction(&Accelerator::nvdla_preset(macs, TechNode::N7));
+            assert!(f > 0.0 && f < 1.0, "{macs}: {f}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multiplier cannot be empty")]
+    fn zero_multiplier_rejected() {
+        let _ = AreaModel::new(0);
+    }
+
+    proptest! {
+        #[test]
+        fn die_area_monotone_in_multiplier_size(t1 in 500u64..5000, extra in 1u64..2000) {
+            let accel = Accelerator::nvdla_preset(256, TechNode::N14);
+            let small = AreaModel::new(t1).die_area(&accel);
+            let large = AreaModel::new(t1 + extra).die_area(&accel);
+            prop_assert!(large > small);
+        }
+
+        #[test]
+        fn die_area_monotone_in_buffer(kib in 16u32..512, extra in 16u32..512) {
+            let mut a = Accelerator::nvdla_preset(256, TechNode::N7);
+            a.global_buffer_kib = kib;
+            let mut b = a;
+            b.global_buffer_kib = kib + extra;
+            let m = AreaModel::new(EXACT_MULT);
+            prop_assert!(m.die_area(&b) > m.die_area(&a));
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # carma-dataflow
+//!
+//! NVDLA-paradigm accelerator modeling: architecture description,
+//! loop-tiling mapping search, latency/FPS estimation, energy
+//! accounting and die-area computation.
+//!
+//! This is the reproduction's substitute for the paper's use of
+//! nn-dataflow (Tangram): for every (architecture, DNN) pair it finds a
+//! legal tiling that minimizes latency under the buffer constraints and
+//! reports cycles, FPS, DRAM traffic and energy. Absolute numbers are
+//! not calibrated to the authors' testbed; the orderings the paper
+//! depends on (more PEs → more FPS and more area; bigger buffers →
+//! fewer DRAM stalls) hold by construction.
+//!
+//! ## Example
+//!
+//! ```
+//! use carma_dataflow::{Accelerator, PerfModel};
+//! use carma_dnn::DnnModel;
+//! use carma_netlist::TechNode;
+//!
+//! let accel = Accelerator::nvdla_preset(256, TechNode::N7);
+//! let perf = PerfModel::default().evaluate(&accel, &DnnModel::vgg16());
+//! assert!(perf.fps > 0.0);
+//! ```
+
+pub mod arch;
+pub mod area;
+pub mod energy;
+pub mod mapping;
+pub mod perf;
+pub mod roofline;
+
+pub use arch::{Accelerator, NVDLA_MAC_SIZES};
+pub use area::AreaModel;
+pub use energy::EnergyModel;
+pub use mapping::{LayerMapping, MappingSearch};
+pub use perf::{LayerPerf, PerfModel, PerfReport};
+pub use roofline::{Bound, LayerRoofline, RooflineReport};

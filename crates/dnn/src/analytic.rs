@@ -1,0 +1,234 @@
+//! Analytic accuracy-drop surrogate.
+//!
+//! Behavioural evaluation (a full forward pass per sample per
+//! multiplier) is exact but costly; design-space loops that try *many*
+//! multipliers want a cheap estimate. This module fits a two-feature
+//! linear surrogate
+//!
+//! ```text
+//! drop ≈ k_std · σ̂(e)/P_max  +  k_bias · |E[e]|/P_max
+//! ```
+//!
+//! on behavioural measurements (the features are the normalized error
+//! standard deviation and bias from
+//! [`carma_multiplier::ErrorProfile`]), then predicts
+//! drops for unseen multipliers. Error variance perturbs logits in a
+//! random-walk fashion while bias shifts all of them coherently —
+//! which is why the two features carry different weights.
+
+use carma_multiplier::{ErrorProfile, LutMultiplier, MultiplierLibrary};
+
+use crate::accuracy::AccuracyEvaluator;
+
+/// A calibrated analytic accuracy-drop estimator.
+///
+/// ```no_run
+/// use carma_dnn::accuracy::{AccuracyEvaluator, EvaluatorConfig};
+/// use carma_dnn::analytic::AnalyticAccuracyModel;
+/// use carma_multiplier::MultiplierLibrary;
+///
+/// let evaluator = AccuracyEvaluator::new(EvaluatorConfig::default());
+/// let library = MultiplierLibrary::truncation_ladder(8, 3);
+/// let model = AnalyticAccuracyModel::calibrate(&evaluator, &library);
+/// let est = model.estimate(&library.entries()[2].profile);
+/// assert!((0.0..=1.0).contains(&est));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalyticAccuracyModel {
+    k_std: f64,
+    k_bias: f64,
+}
+
+impl AnalyticAccuracyModel {
+    /// Calibrates the surrogate by measuring every member of `library`
+    /// behaviourally on `evaluator` and least-squares fitting the two
+    /// coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the library has fewer than two entries with non-zero
+    /// error (the fit would be underdetermined).
+    pub fn calibrate(evaluator: &AccuracyEvaluator, library: &MultiplierLibrary) -> Self {
+        let points: Vec<(ErrorProfile, f64)> = library
+            .entries()
+            .iter()
+            .filter(|e| e.profile.error_rate > 0.0)
+            .map(|e| {
+                let lut = LutMultiplier::compile(&e.circuit);
+                (e.profile, evaluator.accuracy_drop(&lut))
+            })
+            .collect();
+        Self::fit(&points)
+    }
+
+    /// Fits the surrogate on pre-measured `(profile, drop)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two points are provided.
+    pub fn fit(points: &[(ErrorProfile, f64)]) -> Self {
+        assert!(
+            points.len() >= 2,
+            "need at least two calibration points, got {}",
+            points.len()
+        );
+        // Two-feature least squares through the origin: solve the 2×2
+        // normal equations.
+        let (mut s11, mut s12, mut s22, mut b1, mut b2) = (0.0, 0.0, 0.0, 0.0, 0.0);
+        for (profile, drop) in points {
+            let (x1, x2) = Self::features(profile);
+            s11 += x1 * x1;
+            s12 += x1 * x2;
+            s22 += x2 * x2;
+            b1 += x1 * drop;
+            b2 += x2 * drop;
+        }
+        let det = s11 * s22 - s12 * s12;
+        let (k_std, k_bias) = if det.abs() < 1e-18 {
+            // Collinear features (e.g. pure truncation, where bias and
+            // std track each other): fall back to a single-feature fit.
+            (if s11 > 0.0 { b1 / s11 } else { 0.0 }, 0.0)
+        } else {
+            ((b1 * s22 - b2 * s12) / det, (b2 * s11 - b1 * s12) / det)
+        };
+        AnalyticAccuracyModel { k_std, k_bias }
+    }
+
+    /// The fitted coefficients `(k_std, k_bias)`.
+    pub fn coefficients(&self) -> (f64, f64) {
+        (self.k_std, self.k_bias)
+    }
+
+    /// Estimates the accuracy drop of a multiplier from its error
+    /// profile, clamped to `[0, 1]`.
+    pub fn estimate(&self, profile: &ErrorProfile) -> f64 {
+        let (x1, x2) = Self::features(profile);
+        (self.k_std * x1 + self.k_bias * x2).clamp(0.0, 1.0)
+    }
+
+    /// Feature extraction: normalized error std and |bias|.
+    fn features(profile: &ErrorProfile) -> (f64, f64) {
+        let max_val = (1u64 << profile.width) - 1;
+        let max_product = (max_val * max_val) as f64;
+        (
+            profile.variance.sqrt() / max_product,
+            profile.bias.abs() / max_product,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accuracy::EvaluatorConfig;
+    use carma_multiplier::families::broken_array;
+    use carma_multiplier::ReductionKind;
+
+    fn evaluator() -> AccuracyEvaluator {
+        AccuracyEvaluator::new(EvaluatorConfig {
+            samples: 64,
+            ..EvaluatorConfig::default()
+        })
+    }
+
+    #[test]
+    fn fit_recovers_planted_coefficients() {
+        // Construct synthetic profiles with known features and drops
+        // from a planted model.
+        let mk = |variance: f64, bias: f64| ErrorProfile {
+            width: 8,
+            error_rate: 0.5,
+            med: bias.abs(),
+            nmed: 0.0,
+            mred: 0.0,
+            wce: 0,
+            bias,
+            variance,
+        };
+        let max_p = (255.0f64 * 255.0).powi(2); // (P_max)², for variance scale
+        let _ = max_p;
+        let planted = AnalyticAccuracyModel {
+            k_std: 3.0,
+            k_bias: 1.5,
+        };
+        let points: Vec<(ErrorProfile, f64)> = [
+            mk(1.0e6, -200.0),
+            mk(4.0e6, -100.0),
+            mk(9.0e6, -800.0),
+            mk(0.25e6, -50.0),
+        ]
+        .into_iter()
+        .map(|p| {
+            let d = planted.estimate(&p);
+            (p, d)
+        })
+        .collect();
+        let fitted = AnalyticAccuracyModel::fit(&points);
+        let (k1, k2) = fitted.coefficients();
+        assert!((k1 - 3.0).abs() < 1e-6, "k_std = {k1}");
+        assert!((k2 - 1.5).abs() < 1e-6, "k_bias = {k2}");
+    }
+
+    #[test]
+    fn calibrated_model_preserves_ladder_ordering() {
+        let eval = evaluator();
+        let lib = MultiplierLibrary::truncation_ladder(8, 3);
+        let model = AnalyticAccuracyModel::calibrate(&eval, &lib);
+        // Estimates must be monotone along symmetric truncation depth.
+        let est = |ta: u8| {
+            let e = lib
+                .entries()
+                .iter()
+                .find(|e| e.name == format!("trunc8_{ta}_{ta}"))
+                .expect("ladder entry");
+            model.estimate(&e.profile)
+        };
+        assert!(est(1) <= est(2));
+        assert!(est(2) <= est(3));
+    }
+
+    #[test]
+    fn estimates_generalize_to_unseen_family() {
+        // Calibrate on truncation, predict BAM: the prediction must at
+        // least rank a mild BAM below an aggressive one.
+        let eval = evaluator();
+        let lib = MultiplierLibrary::truncation_ladder(8, 3);
+        let model = AnalyticAccuracyModel::calibrate(&eval, &lib);
+        let mild = carma_multiplier::ErrorProfile::exhaustive(&broken_array(
+            8,
+            3,
+            ReductionKind::Dadda,
+        ));
+        let harsh = carma_multiplier::ErrorProfile::exhaustive(&broken_array(
+            8,
+            7,
+            ReductionKind::Dadda,
+        ));
+        assert!(model.estimate(&mild) < model.estimate(&harsh));
+    }
+
+    #[test]
+    fn estimate_is_clamped() {
+        let model = AnalyticAccuracyModel {
+            k_std: 1e12,
+            k_bias: 0.0,
+        };
+        let p = ErrorProfile {
+            width: 8,
+            error_rate: 1.0,
+            med: 1e4,
+            nmed: 0.1,
+            mred: 0.5,
+            wce: 60000,
+            bias: -1e4,
+            variance: 1e8,
+        };
+        assert_eq!(model.estimate(&p), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least two calibration points")]
+    fn underdetermined_fit_rejected() {
+        let _ = AnalyticAccuracyModel::fit(&[]);
+    }
+}

@@ -1,0 +1,476 @@
+//! The behavioural quantized inference engine.
+//!
+//! Every multiply in the network is served by a pluggable
+//! [`Multiplier`] — the mechanism by which approximate units change
+//! network behaviour, exactly as in ApproxTrain's LUT-based simulation.
+//!
+//! Quantization scheme: unsigned 8-bit activations (ReLU networks are
+//! non-negative), signed 8-bit weights handled in **sign-magnitude**
+//! form, so each product is an *unsigned* 8×8 multiplication — the
+//! datatype the paper's approximate multipliers implement — with the
+//! weight sign applied to the accumulator afterwards. Accumulation is
+//! exact 64-bit; each layer requantizes by a calibrated right shift.
+
+use carma_multiplier::{ExactMultiplier, Multiplier};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::tensor::Tensor;
+
+/// A quantized convolution layer (square kernel, symmetric padding).
+#[derive(Debug, Clone)]
+pub struct QConv {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    /// Weights in `[out_c][in_c][k][k]` order.
+    weights: Vec<i8>,
+    /// Right-shift applied at requantization (calibrated).
+    shift: u32,
+}
+
+/// A quantized fully connected layer.
+#[derive(Debug, Clone)]
+pub struct QLinear {
+    in_features: usize,
+    out_features: usize,
+    /// Weights in `[out][in]` order.
+    weights: Vec<i8>,
+}
+
+/// One layer of the behavioural network.
+#[derive(Debug, Clone)]
+pub enum QLayer {
+    /// Convolution + ReLU + requantize.
+    Conv(QConv),
+    /// 2×2/2 max pooling.
+    MaxPool,
+    /// Final classifier (produces logits, no requantization).
+    Linear(QLinear),
+}
+
+/// A small quantized CNN with pluggable multipliers.
+///
+/// Built via [`QuantizedNetwork::synthetic`], which creates the
+/// fixed-seed reference network used for accuracy evaluation
+/// (DESIGN.md §4: the ApproxTrain/ImageNet substitution).
+#[derive(Debug, Clone)]
+pub struct QuantizedNetwork {
+    input_channels: usize,
+    input_hw: usize,
+    classes: usize,
+    layers: Vec<QLayer>,
+}
+
+impl QuantizedNetwork {
+    /// Builds the synthetic reference network: a VGG-style stack
+    /// `conv3×3(3→8) → pool → conv3×3(8→16) → pool → fc(16·(hw/4)² →
+    /// classes)` with seeded random weights, requantization shifts
+    /// calibrated on seeded random inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_hw` is not a positive multiple of 4 or
+    /// `classes` is zero.
+    pub fn synthetic(input_hw: usize, classes: usize, seed: u64) -> Self {
+        assert!(
+            input_hw > 0 && input_hw % 4 == 0,
+            "input_hw must be a positive multiple of 4"
+        );
+        assert!(classes > 0, "classes must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut weights = |n: usize| -> Vec<i8> {
+            (0..n).map(|_| rng.random_range(-127i32..=127) as i8).collect()
+        };
+        let c1 = QConv {
+            in_channels: 3,
+            out_channels: 8,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+            weights: weights(8 * 3 * 9),
+            shift: 0,
+        };
+        let c2 = QConv {
+            in_channels: 8,
+            out_channels: 16,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+            weights: weights(16 * 8 * 9),
+            shift: 0,
+        };
+        let feat_hw = input_hw / 4;
+        let fc = QLinear {
+            in_features: 16 * feat_hw * feat_hw,
+            out_features: classes,
+            weights: weights(classes * 16 * feat_hw * feat_hw),
+        };
+        let mut net = QuantizedNetwork {
+            input_channels: 3,
+            input_hw,
+            classes,
+            layers: vec![
+                QLayer::Conv(c1),
+                QLayer::MaxPool,
+                QLayer::Conv(c2),
+                QLayer::MaxPool,
+                QLayer::Linear(fc),
+            ],
+        };
+        net.calibrate(seed ^ 0xCA11_B4A7);
+        net
+    }
+
+    /// Input channel count.
+    pub fn input_channels(&self) -> usize {
+        self.input_channels
+    }
+
+    /// Input spatial size (height = width).
+    pub fn input_hw(&self) -> usize {
+        self.input_hw
+    }
+
+    /// Number of output classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Total multiplier invocations per forward pass.
+    pub fn macs_per_inference(&self) -> u64 {
+        let mut hw = self.input_hw;
+        let mut macs = 0u64;
+        for layer in &self.layers {
+            match layer {
+                QLayer::Conv(c) => {
+                    let out_hw = (hw + 2 * c.padding - c.kernel) / c.stride + 1;
+                    macs += (c.out_channels * c.in_channels * c.kernel * c.kernel
+                        * out_hw
+                        * out_hw) as u64;
+                    hw = out_hw;
+                }
+                QLayer::MaxPool => hw /= 2,
+                QLayer::Linear(l) => macs += (l.in_features * l.out_features) as u64,
+            }
+        }
+        macs
+    }
+
+    /// Calibrates per-conv-layer requantization shifts so activations
+    /// occupy the 8-bit range without saturating, using exact
+    /// multiplication on seeded random inputs.
+    fn calibrate(&mut self, seed: u64) {
+        let exact = ExactMultiplier::new(8);
+        let mut rng = StdRng::seed_from_u64(seed);
+        // One representative random input is enough: the network is
+        // linear up to ReLU, so activation scale is input-scale driven.
+        let input = Tensor::from_vec(
+            self.input_channels,
+            self.input_hw,
+            self.input_hw,
+            (0..self.input_channels * self.input_hw * self.input_hw)
+                .map(|_| rng.random_range(0u32..=255) as u8)
+                .collect(),
+        );
+        // Forward layer by layer, setting each shift from the observed
+        // maximum accumulator value.
+        let mut act = input;
+        let n_layers = self.layers.len();
+        for i in 0..n_layers {
+            match &mut self.layers[i] {
+                QLayer::Conv(conv) => {
+                    let (acc, out_hw) = conv.accumulate(&act, &exact);
+                    let max = acc.iter().copied().max().unwrap_or(0).max(1);
+                    // Smallest shift with max>>shift ≤ 255.
+                    let mut shift = 0u32;
+                    while (max >> shift) > 255 {
+                        shift += 1;
+                    }
+                    conv.shift = shift;
+                    act = conv.requantize(&acc, out_hw);
+                }
+                QLayer::MaxPool => {
+                    act = max_pool_2x2(&act);
+                }
+                QLayer::Linear(_) => {}
+            }
+        }
+    }
+
+    /// Runs one forward pass, returning the raw class logits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input shape does not match the network, or if the
+    /// multiplier is not 8 bits wide.
+    pub fn forward(&self, input: &Tensor<u8>, mult: &dyn Multiplier) -> Vec<i64> {
+        assert_eq!(mult.width(), 8, "engine requires an 8-bit multiplier");
+        assert_eq!(input.channels(), self.input_channels, "channel mismatch");
+        assert_eq!(input.height(), self.input_hw, "height mismatch");
+        assert_eq!(input.width(), self.input_hw, "width mismatch");
+        let mut act = input.clone();
+        let mut logits = Vec::new();
+        for layer in &self.layers {
+            match layer {
+                QLayer::Conv(conv) => {
+                    let (acc, out_hw) = conv.accumulate(&act, mult);
+                    act = conv.requantize(&acc, out_hw);
+                }
+                QLayer::MaxPool => {
+                    act = max_pool_2x2(&act);
+                }
+                QLayer::Linear(lin) => {
+                    logits = lin.forward(&act, mult);
+                }
+            }
+        }
+        logits
+    }
+
+    /// Runs a forward pass and returns the predicted class (argmax of
+    /// the logits; ties break to the lower index).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Self::forward`].
+    pub fn predict(&self, input: &Tensor<u8>, mult: &dyn Multiplier) -> usize {
+        let logits = self.forward(input, mult);
+        argmax(&logits)
+    }
+}
+
+impl QConv {
+    /// Convolves `input`, returning raw ReLU-ed accumulators (flat
+    /// `[out_c][y][x]`) and the output spatial size.
+    fn accumulate(&self, input: &Tensor<u8>, mult: &dyn Multiplier) -> (Vec<i64>, usize) {
+        let in_hw = input.height();
+        let out_hw = (in_hw + 2 * self.padding - self.kernel) / self.stride + 1;
+        let mut acc = vec![0i64; self.out_channels * out_hw * out_hw];
+        for oc in 0..self.out_channels {
+            for oy in 0..out_hw {
+                for ox in 0..out_hw {
+                    let mut sum = 0i64;
+                    for ic in 0..self.in_channels {
+                        for ky in 0..self.kernel {
+                            for kx in 0..self.kernel {
+                                let iy = (oy * self.stride + ky) as isize
+                                    - self.padding as isize;
+                                let ix = (ox * self.stride + kx) as isize
+                                    - self.padding as isize;
+                                if iy < 0
+                                    || ix < 0
+                                    || iy >= in_hw as isize
+                                    || ix >= in_hw as isize
+                                {
+                                    continue;
+                                }
+                                let a = *input.get(ic, iy as usize, ix as usize);
+                                let w = self.weights[((oc * self.in_channels + ic)
+                                    * self.kernel
+                                    + ky)
+                                    * self.kernel
+                                    + kx];
+                                if a == 0 || w == 0 {
+                                    continue;
+                                }
+                                let p = mult.multiply(u32::from(a), w.unsigned_abs() as u32)
+                                    as i64;
+                                sum += if w < 0 { -p } else { p };
+                            }
+                        }
+                    }
+                    // ReLU.
+                    acc[(oc * out_hw + oy) * out_hw + ox] = sum.max(0);
+                }
+            }
+        }
+        (acc, out_hw)
+    }
+
+    /// Requantizes ReLU-ed accumulators to u8 via the calibrated shift.
+    fn requantize(&self, acc: &[i64], out_hw: usize) -> Tensor<u8> {
+        let data = acc
+            .iter()
+            .map(|&v| ((v >> self.shift).min(255)) as u8)
+            .collect();
+        Tensor::from_vec(self.out_channels, out_hw, out_hw, data)
+    }
+}
+
+impl QLinear {
+    /// Dense forward returning raw logits.
+    fn forward(&self, input: &Tensor<u8>, mult: &dyn Multiplier) -> Vec<i64> {
+        let flat = input.as_slice();
+        debug_assert_eq!(flat.len(), self.in_features, "fc input size mismatch");
+        let mut out = vec![0i64; self.out_features];
+        for (o, out_val) in out.iter_mut().enumerate() {
+            let mut sum = 0i64;
+            for (i, &a) in flat.iter().enumerate() {
+                let w = self.weights[o * self.in_features + i];
+                if a == 0 || w == 0 {
+                    continue;
+                }
+                let p = mult.multiply(u32::from(a), w.unsigned_abs() as u32) as i64;
+                sum += if w < 0 { -p } else { p };
+            }
+            *out_val = sum;
+        }
+        out
+    }
+}
+
+/// 2×2 stride-2 max pooling.
+fn max_pool_2x2(input: &Tensor<u8>) -> Tensor<u8> {
+    let c = input.channels();
+    let out_h = input.height() / 2;
+    let out_w = input.width() / 2;
+    let mut out = Tensor::zeros(c, out_h, out_w);
+    for ch in 0..c {
+        for y in 0..out_h {
+            for x in 0..out_w {
+                let m = *[
+                    input.get(ch, 2 * y, 2 * x),
+                    input.get(ch, 2 * y, 2 * x + 1),
+                    input.get(ch, 2 * y + 1, 2 * x),
+                    input.get(ch, 2 * y + 1, 2 * x + 1),
+                ]
+                .into_iter()
+                .max()
+                .expect("four elements");
+                *out.get_mut(ch, y, x) = m;
+            }
+        }
+    }
+    out
+}
+
+/// Index of the maximum element (ties break low).
+fn argmax(values: &[i64]) -> usize {
+    values
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carma_multiplier::{ApproxGenome, LutMultiplier, MultiplierCircuit, ReductionKind};
+
+    fn random_input(seed: u64, c: usize, hw: usize) -> Tensor<u8> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Tensor::from_vec(
+            c,
+            hw,
+            hw,
+            (0..c * hw * hw)
+                .map(|_| rng.random_range(0u32..=255) as u8)
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn synthetic_network_shape() {
+        let net = QuantizedNetwork::synthetic(16, 10, 1);
+        assert_eq!(net.classes(), 10);
+        assert_eq!(net.input_hw(), 16);
+        assert_eq!(net.input_channels(), 3);
+        // conv1 55 296 + conv2 73 728 + fc 2 560 MACs.
+        assert_eq!(net.macs_per_inference(), 55_296 + 73_728 + 2_560);
+    }
+
+    #[test]
+    fn forward_is_deterministic() {
+        let net = QuantizedNetwork::synthetic(16, 10, 2);
+        let input = random_input(3, 3, 16);
+        let exact = ExactMultiplier::new(8);
+        let a = net.forward(&input, &exact);
+        let b = net.forward(&input, &exact);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10);
+    }
+
+    #[test]
+    fn lut_exact_matches_reference_exact() {
+        let net = QuantizedNetwork::synthetic(16, 10, 3);
+        let input = random_input(4, 3, 16);
+        let exact = ExactMultiplier::new(8);
+        let circuit = MultiplierCircuit::generate(8, ReductionKind::Dadda);
+        let lut = LutMultiplier::compile(&circuit);
+        assert_eq!(net.forward(&input, &exact), net.forward(&input, &lut));
+    }
+
+    #[test]
+    fn approximate_multiplier_perturbs_logits() {
+        let net = QuantizedNetwork::synthetic(16, 10, 4);
+        let input = random_input(5, 3, 16);
+        let exact = ExactMultiplier::new(8);
+        let base = MultiplierCircuit::generate(8, ReductionKind::Dadda);
+        let approx = LutMultiplier::compile(&ApproxGenome::truncation(4, 4).apply(&base));
+        let l_exact = net.forward(&input, &exact);
+        let l_approx = net.forward(&input, &approx);
+        assert_ne!(l_exact, l_approx, "4-bit truncation must move logits");
+        // But not unrecognizably: logits stay correlated (same sign of
+        // ordering for the top class more often than not is checked at
+        // the accuracy level; here just check scale).
+        let max_exact = *l_exact.iter().max().unwrap() as f64;
+        let max_approx = *l_approx.iter().max().unwrap() as f64;
+        assert!((max_approx - max_exact).abs() / max_exact.abs().max(1.0) < 0.5);
+    }
+
+    #[test]
+    fn predict_returns_class_index() {
+        let net = QuantizedNetwork::synthetic(16, 7, 5);
+        let input = random_input(6, 3, 16);
+        let exact = ExactMultiplier::new(8);
+        let c = net.predict(&input, &exact);
+        assert!(c < 7);
+    }
+
+    #[test]
+    fn calibration_avoids_saturation() {
+        // After calibration, a random input must produce at least one
+        // non-zero activation and logits that are not all equal
+        // (saturation would flatten everything to 255 or 0).
+        let net = QuantizedNetwork::synthetic(16, 10, 6);
+        let input = random_input(7, 3, 16);
+        let exact = ExactMultiplier::new(8);
+        let logits = net.forward(&input, &exact);
+        let all_same = logits.windows(2).all(|w| w[0] == w[1]);
+        assert!(!all_same, "logits flat: {logits:?}");
+    }
+
+    #[test]
+    fn argmax_breaks_ties_low() {
+        assert_eq!(argmax(&[1, 3, 3]), 1);
+        assert_eq!(argmax(&[5]), 0);
+        assert_eq!(argmax(&[]), 0);
+    }
+
+    #[test]
+    fn max_pool_takes_window_maxima() {
+        let t = Tensor::from_vec(1, 2, 2, vec![1u8, 9, 4, 2]);
+        let p = max_pool_2x2(&t);
+        assert_eq!(*p.get(0, 0, 0), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "engine requires an 8-bit multiplier")]
+    fn non_8bit_multiplier_rejected() {
+        let net = QuantizedNetwork::synthetic(16, 10, 8);
+        let input = random_input(9, 3, 16);
+        let m4 = ExactMultiplier::new(4);
+        let _ = net.forward(&input, &m4);
+    }
+
+    #[test]
+    #[should_panic(expected = "input_hw must be a positive multiple of 4")]
+    fn bad_input_size_rejected() {
+        let _ = QuantizedNetwork::synthetic(10, 10, 0);
+    }
+}

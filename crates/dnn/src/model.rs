@@ -1,0 +1,321 @@
+//! The paper's model zoo: exact layer tables for VGG16, VGG19,
+//! ResNet50 and ResNet152 at ImageNet resolution (3×224×224).
+//!
+//! Batch-norm layers are folded (zero inference cost) and residual
+//! element-wise additions are ignored for MAC accounting, as is
+//! standard in accelerator evaluation; projection-shortcut convolutions
+//! *are* counted.
+
+use std::fmt;
+
+use crate::layer::Layer;
+
+/// A DNN inference workload: an ordered list of layers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DnnModel {
+    name: String,
+    layers: Vec<Layer>,
+}
+
+impl DnnModel {
+    /// Builds a model from a name and layer list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty.
+    pub fn new(name: impl Into<String>, layers: Vec<Layer>) -> Self {
+        assert!(!layers.is_empty(), "model must have at least one layer");
+        DnnModel {
+            name: name.into(),
+            layers,
+        }
+    }
+
+    /// The model name (e.g. `"vgg16"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All layers in execution order.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Only the MAC-bearing layers (what the accelerator executes).
+    pub fn compute_layers(&self) -> impl Iterator<Item = &Layer> + '_ {
+        self.layers.iter().filter(|l| l.is_compute())
+    }
+
+    /// Total multiply-accumulate count for one inference.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(Layer::macs).sum()
+    }
+
+    /// Total weight parameter count.
+    pub fn total_params(&self) -> u64 {
+        self.layers.iter().map(Layer::params).sum()
+    }
+
+    /// The four evaluation networks of the paper, in its Figure 3
+    /// order.
+    pub fn paper_zoo() -> Vec<DnnModel> {
+        vec![
+            DnnModel::vgg16(),
+            DnnModel::resnet152(),
+            DnnModel::resnet50(),
+            DnnModel::vgg19(),
+        ]
+    }
+
+    /// VGG16 (Simonyan & Zisserman) at 224×224: 13 conv + 3 FC layers,
+    /// ≈ 15.47 GMACs, ≈ 138 M parameters.
+    pub fn vgg16() -> Self {
+        DnnModel::vgg(16)
+    }
+
+    /// VGG19 at 224×224: 16 conv + 3 FC layers, ≈ 19.63 GMACs.
+    pub fn vgg19() -> Self {
+        DnnModel::vgg(19)
+    }
+
+    fn vgg(depth: u32) -> Self {
+        // Convs per stage: VGG16 = [2,2,3,3,3]; VGG19 = [2,2,4,4,4].
+        let per_stage: [u32; 5] = match depth {
+            16 => [2, 2, 3, 3, 3],
+            19 => [2, 2, 4, 4, 4],
+            _ => panic!("unsupported VGG depth {depth}"),
+        };
+        let widths = [64u32, 128, 256, 512, 512];
+        let mut layers = Vec::new();
+        let mut hw = 224u32;
+        let mut in_c = 3u32;
+        for (stage, (&convs, &width)) in per_stage.iter().zip(&widths).enumerate() {
+            for _ in 0..convs {
+                layers.push(Layer::conv(hw, in_c, width, 3, 1, 1));
+                in_c = width;
+            }
+            layers.push(Layer::max_pool(hw, 2, 2));
+            hw /= 2;
+            let _ = stage;
+        }
+        // hw is now 7; classifier operates on 512·7·7 = 25088 features.
+        layers.push(Layer::linear(512 * 7 * 7, 4096));
+        layers.push(Layer::linear(4096, 4096));
+        layers.push(Layer::linear(4096, 1000));
+        DnnModel::new(format!("vgg{depth}"), layers)
+    }
+
+    /// ResNet50 at 224×224: bottleneck blocks [3, 4, 6, 3],
+    /// ≈ 4.1 GMACs, ≈ 25.5 M parameters.
+    pub fn resnet50() -> Self {
+        DnnModel::resnet(&[3, 4, 6, 3], "resnet50")
+    }
+
+    /// ResNet152 at 224×224: bottleneck blocks [3, 8, 36, 3],
+    /// ≈ 11.5 GMACs.
+    pub fn resnet152() -> Self {
+        DnnModel::resnet(&[3, 8, 36, 3], "resnet152")
+    }
+
+    /// MobileNetV1 (1.0×, 224): depthwise-separable stack,
+    /// ≈ 0.57 GMACs, ≈ 4.2 M parameters.
+    pub fn mobilenet_v1() -> Self {
+        let mut layers = Vec::new();
+        layers.push(Layer::conv(224, 3, 32, 3, 2, 1)); // → 112
+        let mut hw = 112u32;
+        let mut c = 32u32;
+        // (out_channels, stride) per depthwise-separable block.
+        let blocks: [(u32, u32); 13] = [
+            (64, 1),
+            (128, 2),
+            (128, 1),
+            (256, 2),
+            (256, 1),
+            (512, 2),
+            (512, 1),
+            (512, 1),
+            (512, 1),
+            (512, 1),
+            (512, 1),
+            (1024, 2),
+            (1024, 1),
+        ];
+        for (out, stride) in blocks {
+            layers.push(Layer::depthwise(c, hw, 3, stride, 1));
+            if stride == 2 {
+                hw /= 2;
+            }
+            layers.push(Layer::conv(hw, c, out, 1, 1, 0)); // pointwise
+            c = out;
+        }
+        layers.push(Layer::global_avg_pool(7));
+        layers.push(Layer::linear(1024, 1000));
+        DnnModel::new("mobilenet_v1", layers)
+    }
+
+    /// AlexNet (torchvision single-stream variant at 224):
+    /// 5 conv + 3 FC layers, ≈ 0.71 GMACs, ≈ 61 M parameters.
+    pub fn alexnet() -> Self {
+        let layers = vec![
+            Layer::conv(224, 3, 64, 11, 4, 2), // → 55
+            Layer::max_pool(55, 3, 2),         // → 27
+            Layer::conv(27, 64, 192, 5, 1, 2),
+            Layer::max_pool(27, 3, 2), // → 13
+            Layer::conv(13, 192, 384, 3, 1, 1),
+            Layer::conv(13, 384, 256, 3, 1, 1),
+            Layer::conv(13, 256, 256, 3, 1, 1),
+            Layer::max_pool(13, 3, 2), // → 6
+            Layer::linear(256 * 6 * 6, 4096),
+            Layer::linear(4096, 4096),
+            Layer::linear(4096, 1000),
+        ];
+        DnnModel::new("alexnet", layers)
+    }
+
+    fn resnet(blocks: &[u32; 4], name: &str) -> Self {
+        let mut layers = Vec::new();
+        // Stem: 7×7/2 conv, 3→64, then 3×3/2 max pool.
+        layers.push(Layer::conv(224, 3, 64, 7, 2, 3));
+        layers.push(Layer::max_pool(112, 3, 2));
+
+        // Torchvision's stem pool uses padding, giving 56×56 feature
+        // maps (not the unpadded 55); adopt the canonical pipeline.
+        let mut hw = 56u32;
+
+        let mut in_c = 64u32;
+        let stage_width = [64u32, 128, 256, 512];
+        for (stage, (&n_blocks, &width)) in blocks.iter().zip(&stage_width).enumerate() {
+            let out_c = width * 4;
+            for block in 0..n_blocks {
+                let stride = if stage > 0 && block == 0 { 2 } else { 1 };
+                if stride == 2 {
+                    hw /= 2;
+                }
+                let block_input_hw = if stride == 2 { hw * 2 } else { hw };
+                // 1×1 reduce.
+                layers.push(Layer::conv(block_input_hw, in_c, width, 1, 1, 0));
+                // 3×3 spatial conv carries the stride (ResNet v1.5, the
+                // torchvision convention behind the 4.1 GMAC figure).
+                layers.push(Layer::conv(block_input_hw, width, width, 3, stride, 1));
+                // 1×1 expand.
+                layers.push(Layer::conv(hw, width, out_c, 1, 1, 0));
+                // Projection shortcut on the first block of each stage.
+                if block == 0 {
+                    layers.push(Layer::conv(block_input_hw, in_c, out_c, 1, stride, 0));
+                }
+                in_c = out_c;
+            }
+        }
+        layers.push(Layer::global_avg_pool(7));
+        layers.push(Layer::linear(2048, 1000));
+        DnnModel::new(name, layers)
+    }
+}
+
+impl fmt::Display for DnnModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} layers, {:.2} GMACs, {:.1} M params",
+            self.name,
+            self.layers.len(),
+            self.total_macs() as f64 / 1e9,
+            self.total_params() as f64 / 1e6
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vgg16_matches_literature() {
+        let m = DnnModel::vgg16();
+        let gmacs = m.total_macs() as f64 / 1e9;
+        let mparams = m.total_params() as f64 / 1e6;
+        assert!((gmacs - 15.47).abs() < 0.1, "gmacs = {gmacs}");
+        assert!((mparams - 138.3).abs() < 1.0, "mparams = {mparams}");
+        // 13 convs + 5 pools + 3 FCs = 21 layers.
+        assert_eq!(m.layers().len(), 21);
+    }
+
+    #[test]
+    fn vgg19_matches_literature() {
+        let m = DnnModel::vgg19();
+        let gmacs = m.total_macs() as f64 / 1e9;
+        assert!((gmacs - 19.63).abs() < 0.15, "gmacs = {gmacs}");
+        assert_eq!(m.layers().len(), 24);
+    }
+
+    #[test]
+    fn resnet50_matches_literature() {
+        let m = DnnModel::resnet50();
+        let gmacs = m.total_macs() as f64 / 1e9;
+        let mparams = m.total_params() as f64 / 1e6;
+        assert!((gmacs - 4.1).abs() < 0.15, "gmacs = {gmacs}");
+        // ≈ 25.5 M including BN/bias in the literature; weights-only is
+        // slightly lower.
+        assert!((23.0..26.5).contains(&mparams), "mparams = {mparams}");
+    }
+
+    #[test]
+    fn resnet152_matches_literature() {
+        let m = DnnModel::resnet152();
+        let gmacs = m.total_macs() as f64 / 1e9;
+        assert!((gmacs - 11.5).abs() < 0.4, "gmacs = {gmacs}");
+    }
+
+    #[test]
+    fn mobilenet_matches_literature() {
+        let m = DnnModel::mobilenet_v1();
+        let gmacs = m.total_macs() as f64 / 1e9;
+        let mparams = m.total_params() as f64 / 1e6;
+        assert!((gmacs - 0.568).abs() < 0.03, "gmacs = {gmacs}");
+        assert!((mparams - 4.2).abs() < 0.3, "mparams = {mparams}");
+    }
+
+    #[test]
+    fn alexnet_matches_literature() {
+        let m = DnnModel::alexnet();
+        let gmacs = m.total_macs() as f64 / 1e9;
+        let mparams = m.total_params() as f64 / 1e6;
+        assert!((gmacs - 0.71).abs() < 0.05, "gmacs = {gmacs}");
+        assert!((56.0..62.0).contains(&mparams), "mparams = {mparams}");
+    }
+
+    #[test]
+    fn paper_zoo_has_four_models() {
+        let zoo = DnnModel::paper_zoo();
+        let names: Vec<&str> = zoo.iter().map(|m| m.name()).collect();
+        assert_eq!(names, vec!["vgg16", "resnet152", "resnet50", "vgg19"]);
+    }
+
+    #[test]
+    fn compute_layers_excludes_pools() {
+        let m = DnnModel::vgg16();
+        assert_eq!(m.compute_layers().count(), 16); // 13 conv + 3 fc
+    }
+
+    #[test]
+    fn model_ordering_by_macs_matches_paper_networks() {
+        // VGG19 > VGG16 > ResNet152 > ResNet50 in MACs.
+        let vgg19 = DnnModel::vgg19().total_macs();
+        let vgg16 = DnnModel::vgg16().total_macs();
+        let r152 = DnnModel::resnet152().total_macs();
+        let r50 = DnnModel::resnet50().total_macs();
+        assert!(vgg19 > vgg16 && vgg16 > r152 && r152 > r50);
+    }
+
+    #[test]
+    #[should_panic(expected = "model must have at least one layer")]
+    fn empty_model_rejected() {
+        let _ = DnnModel::new("empty", Vec::new());
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let s = DnnModel::vgg16().to_string();
+        assert!(s.contains("vgg16") && s.contains("GMACs"), "{s}");
+    }
+}

@@ -1,0 +1,189 @@
+//! Search baselines and front-quality indicators.
+//!
+//! A genetic algorithm earns its complexity only if it beats naive
+//! search at equal evaluation budget; [`random_search`] provides that
+//! reference (used by the `ablation_search` bench). [`hypervolume_2d`]
+//! scores NSGA-II fronts so library-generation quality can be tracked
+//! quantitatively.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::ga::{Individual, Problem};
+use crate::nsga2::ParetoIndividual;
+
+/// Uniform random search: draws `budget` random genomes and returns
+/// the best by the feasibility rule — the same interface contract as
+/// [`GeneticAlgorithm::run`](crate::GeneticAlgorithm::run) at an equal
+/// evaluation budget.
+///
+/// # Panics
+///
+/// Panics if `budget` is zero.
+pub fn random_search<P: Problem>(problem: &P, budget: usize, seed: u64) -> Individual<P::Genome> {
+    assert!(budget > 0, "budget must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut best: Option<Individual<P::Genome>> = None;
+    for _ in 0..budget {
+        let genome = problem.random_genome(&mut rng);
+        let evaluation = problem.evaluate(&genome);
+        let better = match &best {
+            None => true,
+            Some(b) => evaluation.better_than(&b.evaluation),
+        };
+        if better {
+            best = Some(Individual { genome, evaluation });
+        }
+    }
+    best.expect("budget ≥ 1 guarantees a candidate")
+}
+
+/// 2-D hypervolume (area dominated by the front, bounded by
+/// `reference`), for minimization problems. Larger is better.
+///
+/// Points not dominating the reference contribute nothing.
+///
+/// # Panics
+///
+/// Panics if any objective vector is not 2-dimensional.
+///
+/// # Example
+///
+/// ```
+/// use carma_ga::baseline::hypervolume_2d;
+///
+/// let front = vec![vec![1.0, 3.0], vec![2.0, 2.0], vec![3.0, 1.0]];
+/// let hv = hypervolume_2d(&front, [4.0, 4.0]);
+/// // (4−1)·(4−3) + (4−2)·(3−2) + (4−3)·(2−1) = 3 + 2 + 1 = 6.
+/// assert!((hv - 6.0).abs() < 1e-12);
+/// ```
+pub fn hypervolume_2d(front: &[Vec<f64>], reference: [f64; 2]) -> f64 {
+    for p in front {
+        assert_eq!(p.len(), 2, "hypervolume_2d needs 2-D objectives");
+    }
+    // Keep the points strictly dominating the reference, sorted by the
+    // first objective.
+    let mut pts: Vec<(f64, f64)> = front
+        .iter()
+        .filter(|p| p[0] < reference[0] && p[1] < reference[1])
+        .map(|p| (p[0], p[1]))
+        .collect();
+    pts.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+
+    // Sweep left→right, accumulating the staircase area above each
+    // point up to the best (lowest) second objective seen so far.
+    let mut hv = 0.0;
+    let mut prev_y = reference[1];
+    for (x, y) in pts {
+        if y < prev_y {
+            hv += (reference[0] - x) * (prev_y - y);
+            prev_y = y;
+        }
+    }
+    hv
+}
+
+/// Convenience: hypervolume of a [`ParetoIndividual`] front.
+pub fn front_hypervolume<G>(front: &[ParetoIndividual<G>], reference: [f64; 2]) -> f64 {
+    let objs: Vec<Vec<f64>> = front.iter().map(|p| p.objectives.clone()).collect();
+    hypervolume_2d(&objs, reference)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ga::Evaluation;
+    use rand::{Rng, RngExt};
+
+    struct Quadratic;
+
+    impl Problem for Quadratic {
+        type Genome = f64;
+
+        fn random_genome(&self, rng: &mut dyn Rng) -> f64 {
+            rng.random_range(-10.0..10.0)
+        }
+
+        fn crossover(&self, a: &f64, b: &f64, _rng: &mut dyn Rng) -> f64 {
+            (a + b) / 2.0
+        }
+
+        fn mutate(&self, g: &mut f64, rng: &mut dyn Rng) {
+            *g += rng.random_range(-1.0..1.0);
+        }
+
+        fn evaluate(&self, g: &f64) -> Evaluation {
+            Evaluation::feasible((g - 2.0) * (g - 2.0))
+        }
+    }
+
+    #[test]
+    fn random_search_finds_decent_solutions() {
+        let best = random_search(&Quadratic, 2000, 42);
+        assert!(
+            (best.genome - 2.0).abs() < 0.3,
+            "random search too far off: {}",
+            best.genome
+        );
+    }
+
+    #[test]
+    fn random_search_is_deterministic() {
+        let a = random_search(&Quadratic, 100, 7).genome;
+        let b = random_search(&Quadratic, 100, 7).genome;
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn ga_beats_random_search_at_equal_budget() {
+        use crate::ga::{GaConfig, GeneticAlgorithm};
+        let budget = 600;
+        let cfg = GaConfig {
+            population: 20,
+            generations: budget / 20 - 1,
+            ..GaConfig::default()
+        }
+        .with_seed(3);
+        let ga_best = GeneticAlgorithm::new(Quadratic, cfg).run();
+        let rs_best = random_search(&Quadratic, budget, 3);
+        assert!(
+            ga_best.evaluation.objective <= rs_best.evaluation.objective,
+            "GA {} should beat random {}",
+            ga_best.evaluation.objective,
+            rs_best.evaluation.objective
+        );
+    }
+
+    #[test]
+    fn hypervolume_of_single_point() {
+        let hv = hypervolume_2d(&[vec![1.0, 1.0]], [3.0, 3.0]);
+        assert!((hv - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dominated_points_add_nothing() {
+        let alone = hypervolume_2d(&[vec![1.0, 1.0]], [4.0, 4.0]);
+        let with_dominated = hypervolume_2d(&[vec![1.0, 1.0], vec![2.0, 2.0]], [4.0, 4.0]);
+        assert!((alone - with_dominated).abs() < 1e-12);
+    }
+
+    #[test]
+    fn points_outside_reference_ignored() {
+        let hv = hypervolume_2d(&[vec![5.0, 5.0]], [4.0, 4.0]);
+        assert_eq!(hv, 0.0);
+    }
+
+    #[test]
+    fn better_fronts_have_larger_hypervolume() {
+        let weak = vec![vec![2.0, 2.0]];
+        let strong = vec![vec![1.0, 2.0], vec![2.0, 1.0]];
+        let r = [4.0, 4.0];
+        assert!(hypervolume_2d(&strong, r) > hypervolume_2d(&weak, r));
+    }
+
+    #[test]
+    #[should_panic(expected = "budget must be positive")]
+    fn zero_budget_rejected() {
+        let _ = random_search(&Quadratic, 0, 1);
+    }
+}

@@ -1,0 +1,326 @@
+//! The two approximation primitives of the paper — **gate-level
+//! pruning** and **precision scaling** — plus the [`ApproxGenome`] that
+//! composes them into a searchable design point.
+//!
+//! * Gate pruning replaces a gate with a constant or with a
+//!   feed-through of one of its inputs; the dead logic is then swept,
+//!   shrinking the circuit.
+//! * Precision scaling forces the lowest `k` bits of an operand to
+//!   zero, which kills the corresponding partial-product cone entirely.
+
+use carma_netlist::{Netlist, Node, NodeId};
+
+use crate::exact::MultiplierCircuit;
+
+/// The pruning action applied to one gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PruneAction {
+    /// Replace the gate with constant 0.
+    Const0,
+    /// Replace the gate with constant 1.
+    Const1,
+    /// Replace the gate with a feed-through of its first operand.
+    FeedA,
+    /// Replace the gate with a feed-through of its second operand.
+    FeedB,
+}
+
+impl PruneAction {
+    /// All actions, in a stable order (used by genome mutation).
+    pub const ALL: [PruneAction; 4] = [
+        PruneAction::Const0,
+        PruneAction::Const1,
+        PruneAction::FeedA,
+        PruneAction::FeedB,
+    ];
+}
+
+/// One gate-pruning decision: which gate (as an index into the base
+/// circuit's [`Netlist::gate_ids`] list) and what to do with it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Prune {
+    /// Index into the base circuit's gate list.
+    pub gate: u32,
+    /// The replacement action.
+    pub action: PruneAction,
+}
+
+/// A complete approximation configuration for one multiplier: operand
+/// truncation depths (precision scaling) plus a set of gate prunes.
+///
+/// The genome is interpreted against a fixed *base* exact multiplier;
+/// [`ApproxGenome::apply`] yields the approximate circuit.
+///
+/// ```
+/// use carma_multiplier::exact::{MultiplierCircuit, ReductionKind};
+/// use carma_multiplier::approx::ApproxGenome;
+///
+/// let base = MultiplierCircuit::generate(8, ReductionKind::Dadda);
+/// let genome = ApproxGenome::truncation(2, 2);
+/// let approx = genome.apply(&base);
+/// // Truncating 2 LSBs per operand shrinks the circuit…
+/// assert!(approx.transistor_count() < base.transistor_count());
+/// // …and 0xF0 × 0xF0 (no low bits set) is still exact.
+/// assert_eq!(approx.multiply_via_netlist(0xF0, 0xF0), 0xF0 * 0xF0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ApproxGenome {
+    /// Number of LSBs of operand `a` forced to zero.
+    pub truncate_a: u8,
+    /// Number of LSBs of operand `b` forced to zero.
+    pub truncate_b: u8,
+    /// Gate prunes, applied to the base circuit in order.
+    pub prunes: Vec<Prune>,
+}
+
+impl ApproxGenome {
+    /// The identity genome (no approximation).
+    pub fn exact() -> Self {
+        ApproxGenome::default()
+    }
+
+    /// A pure precision-scaling genome.
+    pub fn truncation(truncate_a: u8, truncate_b: u8) -> Self {
+        ApproxGenome {
+            truncate_a,
+            truncate_b,
+            prunes: Vec::new(),
+        }
+    }
+
+    /// Whether the genome performs no approximation at all.
+    pub fn is_exact(&self) -> bool {
+        self.truncate_a == 0 && self.truncate_b == 0 && self.prunes.is_empty()
+    }
+
+    /// Applies the genome to `base`, producing the approximate circuit
+    /// (pruned, masked, swept).
+    ///
+    /// Prune entries whose gate index is out of range for the base
+    /// circuit are ignored, which keeps genome application total under
+    /// crossover/mutation. Truncation depths are clamped to the operand
+    /// width.
+    pub fn apply(&self, base: &MultiplierCircuit) -> MultiplierCircuit {
+        let width = base.width();
+        let gate_ids = base.netlist().gate_ids();
+        let mut nl = base.netlist().clone();
+
+        // 1. Gate pruning (ids are valid on the un-swept base netlist).
+        for prune in &self.prunes {
+            let Some(&target) = gate_ids.get(prune.gate as usize) else {
+                continue;
+            };
+            let result = match prune.action {
+                PruneAction::Const0 => nl.rewrite_to_const(target, false),
+                PruneAction::Const1 => nl.rewrite_to_const(target, true),
+                PruneAction::FeedA => nl.rewrite_to_buf(target, 0),
+                PruneAction::FeedB => nl.rewrite_to_buf(target, 1),
+            };
+            debug_assert!(result.is_ok(), "gate ids come from gate_ids()");
+        }
+
+        // 2. Precision scaling: mask the truncated input bits.
+        let ta = u32::from(self.truncate_a).min(width);
+        let tb = u32::from(self.truncate_b).min(width);
+        let mut masked: Vec<NodeId> = Vec::new();
+        let inputs = nl.input_ids();
+        for bit in 0..ta {
+            masked.push(inputs[bit as usize]);
+        }
+        for bit in 0..tb {
+            masked.push(inputs[(width + bit) as usize]);
+        }
+        let nl = mask_inputs(&nl, &masked);
+
+        // 3. Sweep dead logic so area reflects the approximation.
+        let swept = nl.sweep();
+        let mut name = format!(
+            "{}_t{}x{}",
+            base.netlist().name(),
+            self.truncate_a,
+            self.truncate_b
+        );
+        if !self.prunes.is_empty() {
+            name.push_str(&format!("_p{}", self.prunes.len()));
+        }
+        let mut swept = swept;
+        swept.set_name(name);
+        MultiplierCircuit::from_netlist(swept, width)
+    }
+}
+
+/// Rebuilds `netlist` with every use of the given primary inputs
+/// replaced by constant 0, preserving the port interface.
+///
+/// This is the netlist-level mechanism behind precision scaling: the
+/// input ports remain (so LUT indexing and port naming stay stable) but
+/// their logic cones collapse at the next sweep.
+pub fn mask_inputs(netlist: &Netlist, masked: &[NodeId]) -> Netlist {
+    let mut out = Netlist::new(netlist.name().to_string());
+    let mut remap: Vec<NodeId> = Vec::with_capacity(netlist.nodes().len());
+
+    // Copy primary inputs first (they have no operands), then a shared
+    // constant-0, then the rest in order.
+    let mut zero: Option<NodeId> = None;
+    let mut pending: Vec<(usize, &Node)> = Vec::new();
+    for (idx, node) in netlist.nodes().iter().enumerate() {
+        if let Node::Input { name } = node {
+            let new = out.input(name.clone());
+            remap.push(new);
+            let _ = idx;
+        } else {
+            // Reserve a slot; fill after inputs are placed.
+            remap.push(NodeId::from_index(usize::MAX));
+            pending.push((idx, node));
+        }
+    }
+    // Redirect masked inputs to constant 0.
+    if !masked.is_empty() {
+        let z = out.constant(false);
+        zero = Some(z);
+        for &m in masked {
+            remap[m.index()] = z;
+        }
+    }
+    let _ = zero;
+    for (idx, node) in pending {
+        let new = match node {
+            Node::Input { .. } => unreachable!("inputs already copied"),
+            Node::Const { value } => out.constant(*value),
+            Node::Unary { op, a } => {
+                let a = remap[a.index()];
+                out.unary(*op, a)
+            }
+            Node::Binary { op, a, b } => {
+                let a = remap[a.index()];
+                let b = remap[b.index()];
+                out.binary(*op, a, b)
+            }
+        };
+        remap[idx] = new;
+    }
+    for (name, node) in netlist.output_ports() {
+        out.output(name.clone(), remap[node.index()]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ReductionKind;
+
+    fn base8() -> MultiplierCircuit {
+        MultiplierCircuit::generate(8, ReductionKind::Dadda)
+    }
+
+    #[test]
+    fn exact_genome_is_identity_function() {
+        let base = base8();
+        let approx = ApproxGenome::exact().apply(&base);
+        for (a, b) in [(0u32, 0u32), (255, 255), (17, 93), (128, 2)] {
+            assert_eq!(
+                approx.multiply_via_netlist(a, b),
+                u64::from(a * b),
+                "{a}×{b}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_zeroes_low_operand_bits() {
+        let base = base8();
+        let approx = ApproxGenome::truncation(3, 0).apply(&base);
+        // a = 0b0000_0111 truncated to 0 → product 0.
+        assert_eq!(approx.multiply_via_netlist(7, 200), 0);
+        // a = 0b1010_1111 → 0b1010_1000 = 168.
+        assert_eq!(approx.multiply_via_netlist(0xAF, 3), 168 * 3);
+    }
+
+    #[test]
+    fn truncation_shrinks_area_monotonically() {
+        let base = base8();
+        let mut last = base.transistor_count();
+        for t in 1..=4u8 {
+            let approx = ApproxGenome::truncation(t, t).apply(&base);
+            let now = approx.transistor_count();
+            assert!(now < last, "t={t}: {now} !< {last}");
+            last = now;
+        }
+    }
+
+    #[test]
+    fn truncation_is_clamped_to_width() {
+        let base = base8();
+        let approx = ApproxGenome::truncation(200, 200).apply(&base);
+        // Fully truncated: everything multiplies to 0.
+        assert_eq!(approx.multiply_via_netlist(255, 255), 0);
+    }
+
+    #[test]
+    fn prune_out_of_range_is_ignored() {
+        let base = base8();
+        let genome = ApproxGenome {
+            truncate_a: 0,
+            truncate_b: 0,
+            prunes: vec![Prune {
+                gate: u32::MAX,
+                action: PruneAction::Const0,
+            }],
+        };
+        let approx = genome.apply(&base);
+        assert_eq!(approx.multiply_via_netlist(12, 12), 144);
+    }
+
+    #[test]
+    fn pruning_changes_function_and_area() {
+        let base = base8();
+        let n_gates = base.netlist().gate_ids().len() as u32;
+        // Prune a batch of early gates (partial products) to const 0.
+        let genome = ApproxGenome {
+            truncate_a: 0,
+            truncate_b: 0,
+            prunes: (0..6)
+                .map(|g| Prune {
+                    gate: g % n_gates,
+                    action: PruneAction::Const0,
+                })
+                .collect(),
+        };
+        let approx = genome.apply(&base);
+        assert!(approx.transistor_count() < base.transistor_count());
+        // Some products must now be wrong (pp gates removed).
+        let mut wrong = 0;
+        for a in (0u32..256).step_by(17) {
+            for b in (0u32..256).step_by(13) {
+                if approx.multiply_via_netlist(a, b) != u64::from(a * b) {
+                    wrong += 1;
+                }
+            }
+        }
+        assert!(wrong > 0, "pruning 6 partial products must cause error");
+    }
+
+    #[test]
+    fn mask_inputs_preserves_ports() {
+        let base = base8();
+        let inputs = base.netlist().input_ids().to_vec();
+        let masked = mask_inputs(base.netlist(), &inputs[0..2]);
+        assert_eq!(masked.input_count(), 16);
+        assert_eq!(masked.output_count(), 16);
+        masked.validate().unwrap();
+    }
+
+    #[test]
+    fn genome_name_encodes_configuration() {
+        let base = base8();
+        let approx = ApproxGenome::truncation(2, 1).apply(&base);
+        assert!(approx.netlist().name().contains("t2x1"));
+    }
+
+    #[test]
+    fn is_exact_flag() {
+        assert!(ApproxGenome::exact().is_exact());
+        assert!(!ApproxGenome::truncation(1, 0).is_exact());
+    }
+}

@@ -1,0 +1,257 @@
+//! Behavioural (non-netlist) approximate multipliers from the
+//! literature, for accuracy studies and cross-family comparisons.
+//!
+//! These units implement [`Multiplier`] directly instead of carrying a
+//! gate-level netlist: their hardware realizations (leading-one
+//! detectors, barrel shifters) fall outside CARMA's two approximation
+//! primitives, so they cannot enter the carbon flow — but they are
+//! valuable reference points for the accuracy evaluator, answering
+//! "how do gate-pruned units compare to classic logarithmic ones?".
+
+use crate::lut::Multiplier;
+
+/// Mitchell's logarithmic multiplier (1962): multiplies via the
+/// piecewise-linear log₂ approximation
+/// `log2(x) ≈ k + (x / 2^k − 1)`, adds the logs, and takes the
+/// antilog. Always **underestimates** (error in `[-11.1 %, 0]`).
+///
+/// # Example
+///
+/// ```
+/// use carma_multiplier::{MitchellMultiplier, Multiplier};
+///
+/// let m = MitchellMultiplier::new(8);
+/// // Powers of two are exact in the log domain.
+/// assert_eq!(m.multiply(64, 4), 256);
+/// // Other products are underestimated.
+/// assert!(m.multiply(15, 15) <= 225);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MitchellMultiplier {
+    width: u32,
+    name: String,
+}
+
+impl MitchellMultiplier {
+    /// Creates a Mitchell multiplier for `width`-bit operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is outside `1..=16`.
+    pub fn new(width: u32) -> Self {
+        assert!((1..=16).contains(&width), "width must be in 1..=16");
+        MitchellMultiplier {
+            width,
+            name: format!("mitchell{width}"),
+        }
+    }
+}
+
+impl Multiplier for MitchellMultiplier {
+    fn width(&self) -> u32 {
+        self.width
+    }
+
+    fn multiply(&self, a: u32, b: u32) -> u64 {
+        debug_assert!(a < (1 << self.width) && b < (1 << self.width));
+        if a == 0 || b == 0 {
+            return 0;
+        }
+        // Fixed-point log approximation with `width` fractional bits.
+        let frac_bits = self.width;
+        let log = |x: u32| -> u64 {
+            let k = 31 - x.leading_zeros(); // characteristic
+            let mantissa = (u64::from(x) << frac_bits >> k) - (1u64 << frac_bits);
+            (u64::from(k) << frac_bits) + mantissa
+        };
+        let sum = log(a) + log(b);
+        let k = (sum >> frac_bits) as u32; // characteristic of product
+        let mantissa = sum & ((1u64 << frac_bits) - 1);
+        // Antilog: 2^k · (1 + mantissa).
+        ((1u64 << frac_bits) + mantissa) << k >> frac_bits
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// DRUM (Dynamic Range Unbiased Multiplier, Hashemi et al., ICCAD
+/// 2015): keeps the `k` most significant bits of each operand starting
+/// at its leading one (with an unbiasing trailing 1), multiplies those
+/// exactly, and shifts back. Unbiased by construction; error bounded
+/// by the dropped range.
+///
+/// # Example
+///
+/// ```
+/// use carma_multiplier::{DrumMultiplier, Multiplier};
+///
+/// let m = DrumMultiplier::new(8, 4);
+/// // Small operands fit entirely in the k-bit window: exact.
+/// assert_eq!(m.multiply(7, 5), 35);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DrumMultiplier {
+    width: u32,
+    k: u32,
+    name: String,
+}
+
+impl DrumMultiplier {
+    /// Creates a DRUM-k multiplier for `width`-bit operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is outside `1..=16` or `k` is outside
+    /// `2..=width`.
+    pub fn new(width: u32, k: u32) -> Self {
+        assert!((1..=16).contains(&width), "width must be in 1..=16");
+        assert!((2..=width).contains(&k), "k must be in 2..=width");
+        DrumMultiplier {
+            width,
+            k,
+            name: format!("drum{width}_{k}"),
+        }
+    }
+
+    /// Truncates `x` to its `k` leading bits (from the leading one),
+    /// setting the bit below the kept window to unbias; returns the
+    /// truncated value already shifted back into place.
+    fn approximate_operand(&self, x: u32) -> u64 {
+        if x < (1 << self.k) {
+            return u64::from(x); // fits entirely: exact
+        }
+        let msb = 31 - x.leading_zeros();
+        let shift = msb + 1 - self.k;
+        let kept = (x >> shift) << shift;
+        // Unbiasing: set the highest dropped bit.
+        u64::from(kept | (1 << (shift - 1)))
+    }
+}
+
+impl Multiplier for DrumMultiplier {
+    fn width(&self) -> u32 {
+        self.width
+    }
+
+    fn multiply(&self, a: u32, b: u32) -> u64 {
+        debug_assert!(a < (1 << self.width) && b < (1 << self.width));
+        if a == 0 || b == 0 {
+            return 0;
+        }
+        self.approximate_operand(a) * self.approximate_operand(b)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mitchell_exact_on_powers_of_two() {
+        let m = MitchellMultiplier::new(8);
+        for i in 0..8u32 {
+            for j in 0..(8 - i) {
+                assert_eq!(
+                    m.multiply(1 << i, 1 << j),
+                    1u64 << (i + j),
+                    "2^{i} × 2^{j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mitchell_underestimates_within_bound() {
+        let m = MitchellMultiplier::new(8);
+        let mut worst_rel = 0.0f64;
+        for a in 1u32..256 {
+            for b in 1u32..256 {
+                let approx = m.multiply(a, b);
+                let exact = u64::from(a * b);
+                assert!(approx <= exact, "{a}×{b}: {approx} > {exact}");
+                let rel = (exact - approx) as f64 / exact as f64;
+                worst_rel = worst_rel.max(rel);
+            }
+        }
+        // Mitchell's classical worst case is ≈ 11.1 %.
+        assert!(worst_rel < 0.115, "worst rel error {worst_rel}");
+        assert!(worst_rel > 0.08, "suspiciously accurate: {worst_rel}");
+    }
+
+    #[test]
+    fn mitchell_zero_operands() {
+        let m = MitchellMultiplier::new(8);
+        assert_eq!(m.multiply(0, 255), 0);
+        assert_eq!(m.multiply(255, 0), 0);
+    }
+
+    #[test]
+    fn drum_exact_below_window() {
+        let m = DrumMultiplier::new(8, 4);
+        for a in 0u32..16 {
+            for b in 0u32..16 {
+                assert_eq!(m.multiply(a, b), u64::from(a * b));
+            }
+        }
+    }
+
+    #[test]
+    fn drum_is_nearly_unbiased() {
+        let m = DrumMultiplier::new(8, 4);
+        let mut sum_err = 0.0f64;
+        let mut count = 0.0;
+        for a in 1u32..256 {
+            for b in 1u32..256 {
+                let approx = m.multiply(a, b) as f64;
+                let exact = f64::from(a * b);
+                sum_err += approx - exact;
+                count += 1.0;
+            }
+        }
+        let mean_bias = sum_err / count;
+        // |bias| under 1 % of the mean product (≈ 16 500) — versus the
+        // several-percent systematic underestimation of plain
+        // truncation at the same window.
+        assert!(
+            mean_bias.abs() < 165.0,
+            "DRUM should be nearly unbiased, bias = {mean_bias}"
+        );
+    }
+
+    #[test]
+    fn drum_error_shrinks_with_k() {
+        let mre = |k: u32| {
+            let m = DrumMultiplier::new(8, k);
+            let mut sum = 0.0;
+            for a in (1u32..256).step_by(3) {
+                for b in (1u32..256).step_by(5) {
+                    let approx = m.multiply(a, b) as f64;
+                    let exact = f64::from(a * b);
+                    sum += (approx - exact).abs() / exact;
+                }
+            }
+            sum
+        };
+        assert!(mre(6) < mre(4));
+        assert!(mre(4) < mre(3));
+    }
+
+    #[test]
+    fn names_and_widths() {
+        assert_eq!(MitchellMultiplier::new(8).name(), "mitchell8");
+        assert_eq!(DrumMultiplier::new(8, 4).name(), "drum8_4");
+        assert_eq!(DrumMultiplier::new(8, 4).width(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be in 2..=width")]
+    fn drum_k_too_large_rejected() {
+        let _ = DrumMultiplier::new(8, 9);
+    }
+}

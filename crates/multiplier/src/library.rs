@@ -1,0 +1,562 @@
+//! The approximate-multiplier library: deterministic truncation
+//! ladders and the NSGA-II Pareto search (the paper's step one).
+//!
+//! The search explores [`ApproxGenome`]s over a fixed exact base
+//! circuit, minimizing `(area, MRED)` — producing an EvoApprox-style
+//! family of named units from which the accelerator-level GA later
+//! picks.
+
+use std::fmt;
+use std::sync::OnceLock;
+
+use carma_ga::{MultiObjectiveProblem, Nsga2, Nsga2Config};
+use rand::{Rng, RngExt};
+
+use crate::approx::{ApproxGenome, Prune, PruneAction};
+use crate::error::ErrorProfile;
+use crate::exact::{MultiplierCircuit, ReductionKind};
+
+/// One library member: an approximate (or exact) multiplier circuit
+/// with its characterized error profile.
+#[derive(Debug, Clone)]
+pub struct MultiplierEntry {
+    /// Unique name within the library.
+    pub name: String,
+    /// The circuit (already swept).
+    pub circuit: MultiplierCircuit,
+    /// The genome that produced the circuit (identity for exact).
+    pub genome: ApproxGenome,
+    /// Characterized error statistics.
+    pub profile: ErrorProfile,
+}
+
+impl MultiplierEntry {
+    /// Transistor count of the circuit (the area proxy).
+    pub fn transistors(&self) -> u64 {
+        self.circuit.transistor_count()
+    }
+
+    /// Area saving relative to `exact`, in `[0, 1)`.
+    pub fn area_saving_vs(&self, exact: &MultiplierEntry) -> f64 {
+        1.0 - self.transistors() as f64 / exact.transistors() as f64
+    }
+}
+
+impl fmt::Display for MultiplierEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} transistors, MRED {:.5}, ER {:.3}",
+            self.name,
+            self.transistors(),
+            self.profile.mred,
+            self.profile.error_rate
+        )
+    }
+}
+
+/// Configuration of the evolved library search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LibraryConfig {
+    /// Operand width of the multipliers.
+    pub width: u32,
+    /// Reduction schedule of the exact base circuit.
+    pub kind: ReductionKind,
+    /// Maximum operand-truncation depth the search may apply.
+    pub max_truncation: u8,
+    /// Maximum number of simultaneous gate prunes per genome.
+    pub max_prunes: usize,
+    /// NSGA-II hyper-parameters.
+    pub nsga: Nsga2Config,
+}
+
+impl Default for LibraryConfig {
+    fn default() -> Self {
+        LibraryConfig {
+            width: 8,
+            kind: ReductionKind::Dadda,
+            max_truncation: 4,
+            max_prunes: 24,
+            nsga: Nsga2Config::default(),
+        }
+    }
+}
+
+/// A family of approximate multipliers sharing one operand width,
+/// sorted by increasing error (the exact unit first).
+///
+/// ```
+/// use carma_multiplier::library::MultiplierLibrary;
+///
+/// let lib = MultiplierLibrary::truncation_ladder(8, 3);
+/// assert_eq!(lib.exact().profile.mred, 0.0);
+/// // Every entry trades area for error.
+/// for e in lib.entries().iter().skip(1) {
+///     assert!(e.transistors() < lib.exact().transistors());
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiplierLibrary {
+    width: u32,
+    entries: Vec<MultiplierEntry>,
+}
+
+impl MultiplierLibrary {
+    /// Builds a deterministic library from pure precision scaling:
+    /// all `(ta, tb)` with `ta + tb ≤ 2·max_depth`, `ta, tb ≤
+    /// max_depth`, characterized exhaustively. Fast and reproducible —
+    /// the seed library for tests and for the GA-CDP flow's default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is outside `1..=10` (exhaustive
+    /// characterization domain).
+    pub fn truncation_ladder(width: u32, max_depth: u8) -> Self {
+        assert!(
+            (1..=10).contains(&width),
+            "ladder library needs width in 1..=10"
+        );
+        let base = MultiplierCircuit::generate(width, ReductionKind::Dadda);
+        let mut entries = Vec::new();
+        for ta in 0..=max_depth {
+            for tb in ta..=max_depth {
+                let genome = ApproxGenome::truncation(ta, tb);
+                let circuit = genome.apply(&base);
+                let profile = if genome.is_exact() {
+                    ErrorProfile::zero(width)
+                } else {
+                    ErrorProfile::exhaustive(&circuit)
+                };
+                entries.push(MultiplierEntry {
+                    name: format!("trunc{width}_{ta}_{tb}"),
+                    circuit,
+                    genome,
+                    profile,
+                });
+            }
+        }
+        Self::from_entries(width, entries)
+    }
+
+    /// Builds a mixed library of the classic approximate families:
+    /// the truncation ladder (symmetric entries up to `max_depth`),
+    /// Broken-Array multipliers, and truncated-with-correction units
+    /// at matching break lines — a broader design space than
+    /// truncation alone, at the same exhaustive characterization cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is outside `1..=10`.
+    pub fn classic_families(width: u32, max_depth: u8) -> Self {
+        assert!(
+            (1..=10).contains(&width),
+            "classic library needs width in 1..=10"
+        );
+        let base = MultiplierCircuit::generate(width, ReductionKind::Dadda);
+        let mut entries = vec![exact_entry(&base, width)];
+        for t in 1..=max_depth {
+            let genome = ApproxGenome::truncation(t, t);
+            let circuit = genome.apply(&base);
+            let profile = ErrorProfile::exhaustive(&circuit);
+            entries.push(MultiplierEntry {
+                name: format!("trunc{width}_{t}_{t}"),
+                circuit,
+                genome,
+                profile,
+            });
+        }
+        for omit in 1..=(2 * u32::from(max_depth)).min(2 * width - 1) {
+            let bam = crate::families::broken_array(width, omit, ReductionKind::Dadda);
+            let profile = ErrorProfile::exhaustive(&bam);
+            if profile.error_rate > 0.0 {
+                entries.push(MultiplierEntry {
+                    name: format!("bam{width}_{omit}"),
+                    circuit: bam,
+                    genome: ApproxGenome::exact(), // not genome-derived
+                    profile,
+                });
+            }
+            let tcc =
+                crate::families::truncated_with_correction(width, omit, ReductionKind::Dadda);
+            let profile = ErrorProfile::exhaustive(&tcc);
+            if profile.error_rate > 0.0 {
+                entries.push(MultiplierEntry {
+                    name: format!("tcc{width}_{omit}"),
+                    circuit: tcc,
+                    genome: ApproxGenome::exact(),
+                    profile,
+                });
+            }
+        }
+        Self::from_entries(width, entries)
+    }
+
+    /// Runs the NSGA-II search over gate pruning + precision scaling
+    /// and returns the resulting Pareto library (exact unit included).
+    pub fn evolve(config: LibraryConfig) -> Self {
+        let base = MultiplierCircuit::generate(config.width, config.kind);
+        let problem = ApproxSearch {
+            base: base.clone(),
+            config,
+        };
+        let front = Nsga2::new(problem, config.nsga).run();
+
+        let mut entries = vec![exact_entry(&base, config.width)];
+        for (i, p) in front.into_iter().enumerate() {
+            let circuit = p.genome.apply(&base);
+            let profile = ErrorProfile::exhaustive(&circuit);
+            if profile.mred == 0.0 && !p.genome.is_exact() {
+                // Functionally exact rediscovery of the base: skip.
+                continue;
+            }
+            if profile.mred == 0.0 {
+                continue;
+            }
+            entries.push(MultiplierEntry {
+                name: format!("carma{}_{i:03}", config.width),
+                circuit,
+                genome: p.genome,
+                profile,
+            });
+        }
+        Self::from_entries(config.width, entries)
+    }
+
+    /// Builds a library from pre-characterized entries, deduplicating
+    /// by `(transistors, MRED)` and sorting by increasing MRED.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is empty or contains a width mismatch.
+    pub fn from_entries(width: u32, mut entries: Vec<MultiplierEntry>) -> Self {
+        assert!(!entries.is_empty(), "library cannot be empty");
+        for e in &entries {
+            assert_eq!(e.circuit.width(), width, "width mismatch in `{}`", e.name);
+        }
+        entries.sort_by(|a, b| {
+            a.profile
+                .mred
+                .partial_cmp(&b.profile.mred)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.transistors().cmp(&b.transistors()))
+        });
+        entries.dedup_by(|a, b| {
+            a.transistors() == b.transistors() && a.profile.mred == b.profile.mred
+        });
+        MultiplierLibrary { width, entries }
+    }
+
+    /// Operand width of every member.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// All entries, sorted by increasing MRED (exact first).
+    pub fn entries(&self) -> &[MultiplierEntry] {
+        &self.entries
+    }
+
+    /// The exact (zero-error) entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the library was built without an exact member (the
+    /// provided constructors always include one).
+    pub fn exact(&self) -> &MultiplierEntry {
+        self.entries
+            .iter()
+            .find(|e| e.profile.mred == 0.0 && e.profile.error_rate == 0.0)
+            .expect("library must contain an exact entry")
+    }
+
+    /// The smallest-area entry whose MRED does not exceed `max_mred`.
+    /// Falls back to the exact entry if nothing qualifies.
+    pub fn best_within_mred(&self, max_mred: f64) -> &MultiplierEntry {
+        self.entries
+            .iter()
+            .filter(|e| e.profile.mred <= max_mred)
+            .min_by_key(|e| e.transistors())
+            .unwrap_or_else(|| self.exact())
+    }
+
+    /// The (area, MRED)-non-dominated subset of the library.
+    pub fn pareto(&self) -> Vec<&MultiplierEntry> {
+        let mut front: Vec<&MultiplierEntry> = Vec::new();
+        for e in &self.entries {
+            let dominated = self.entries.iter().any(|o| {
+                (o.transistors() <= e.transistors() && o.profile.mred < e.profile.mred)
+                    || (o.transistors() < e.transistors() && o.profile.mred <= e.profile.mred)
+            });
+            if !dominated {
+                front.push(e);
+            }
+        }
+        front
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the library is empty (never true for the provided
+    /// constructors).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl std::ops::Index<usize> for MultiplierLibrary {
+    type Output = MultiplierEntry;
+
+    fn index(&self, index: usize) -> &MultiplierEntry {
+        &self.entries[index]
+    }
+}
+
+/// Returns a process-wide cached standard 8-bit library (truncation
+/// ladder, depth 4) — the default pool the GA-CDP flow draws from when
+/// no evolved library is supplied.
+pub fn standard_8bit() -> &'static MultiplierLibrary {
+    static LIB: OnceLock<MultiplierLibrary> = OnceLock::new();
+    LIB.get_or_init(|| MultiplierLibrary::truncation_ladder(8, 4))
+}
+
+fn exact_entry(base: &MultiplierCircuit, width: u32) -> MultiplierEntry {
+    MultiplierEntry {
+        name: format!("exact{width}"),
+        circuit: base.clone(),
+        genome: ApproxGenome::exact(),
+        profile: ErrorProfile::zero(width),
+    }
+}
+
+/// The NSGA-II problem: minimize (transistors, MRED) over
+/// [`ApproxGenome`]s.
+#[derive(Debug)]
+struct ApproxSearch {
+    base: MultiplierCircuit,
+    config: LibraryConfig,
+}
+
+impl ApproxSearch {
+    fn gate_count(&self) -> u32 {
+        self.base.netlist().gate_ids().len() as u32
+    }
+
+    fn random_prune(&self, rng: &mut dyn Rng) -> Prune {
+        Prune {
+            gate: rng.random_range(0..self.gate_count()),
+            action: PruneAction::ALL[rng.random_range(0..PruneAction::ALL.len())],
+        }
+    }
+}
+
+impl MultiObjectiveProblem for ApproxSearch {
+    type Genome = ApproxGenome;
+
+    fn objectives(&self) -> usize {
+        2
+    }
+
+    fn random_genome(&self, rng: &mut dyn Rng) -> ApproxGenome {
+        let max_t = u32::from(self.config.max_truncation);
+        let n_prunes = rng.random_range(0..=self.config.max_prunes.min(8));
+        ApproxGenome {
+            truncate_a: rng.random_range(0..=max_t) as u8,
+            truncate_b: rng.random_range(0..=max_t) as u8,
+            prunes: (0..n_prunes).map(|_| self.random_prune(rng)).collect(),
+        }
+    }
+
+    fn crossover(
+        &self,
+        a: &ApproxGenome,
+        b: &ApproxGenome,
+        rng: &mut dyn Rng,
+    ) -> ApproxGenome {
+        let mut prunes: Vec<Prune> = Vec::new();
+        for p in a.prunes.iter().chain(&b.prunes) {
+            if rng.random_bool(0.5) && prunes.len() < self.config.max_prunes {
+                if !prunes.iter().any(|q| q.gate == p.gate) {
+                    prunes.push(*p);
+                }
+            }
+        }
+        ApproxGenome {
+            truncate_a: if rng.random_bool(0.5) {
+                a.truncate_a
+            } else {
+                b.truncate_a
+            },
+            truncate_b: if rng.random_bool(0.5) {
+                a.truncate_b
+            } else {
+                b.truncate_b
+            },
+            prunes,
+        }
+    }
+
+    fn mutate(&self, g: &mut ApproxGenome, rng: &mut dyn Rng) {
+        match rng.random_range(0..4u32) {
+            0 => {
+                // Nudge a truncation depth.
+                let t = if rng.random_bool(0.5) {
+                    &mut g.truncate_a
+                } else {
+                    &mut g.truncate_b
+                };
+                if rng.random_bool(0.5) {
+                    *t = (*t + 1).min(self.config.max_truncation);
+                } else {
+                    *t = t.saturating_sub(1);
+                }
+            }
+            1 => {
+                // Add a prune.
+                if g.prunes.len() < self.config.max_prunes {
+                    g.prunes.push(self.random_prune(rng));
+                }
+            }
+            2 => {
+                // Remove a prune.
+                if !g.prunes.is_empty() {
+                    let i = rng.random_range(0..g.prunes.len());
+                    g.prunes.remove(i);
+                }
+            }
+            _ => {
+                // Retarget a prune.
+                if g.prunes.is_empty() {
+                    g.prunes.push(self.random_prune(rng));
+                } else {
+                    let i = rng.random_range(0..g.prunes.len());
+                    g.prunes[i] = self.random_prune(rng);
+                }
+            }
+        }
+    }
+
+    fn evaluate(&self, g: &ApproxGenome) -> Vec<f64> {
+        let circuit = g.apply(&self.base);
+        let profile = ErrorProfile::exhaustive(&circuit);
+        vec![circuit.transistor_count() as f64, profile.mred]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_contains_exact_and_is_sorted() {
+        let lib = MultiplierLibrary::truncation_ladder(8, 2);
+        assert_eq!(lib.width(), 8);
+        assert_eq!(lib.exact().profile.mred, 0.0);
+        for w in lib.entries().windows(2) {
+            assert!(w[0].profile.mred <= w[1].profile.mred);
+        }
+        // (ta, tb) with ta ≤ tb ≤ 2: 6 combinations.
+        assert_eq!(lib.len(), 6);
+    }
+
+    #[test]
+    fn best_within_mred_trades_area_for_error() {
+        let lib = MultiplierLibrary::truncation_ladder(8, 3);
+        let strict = lib.best_within_mred(0.0);
+        let loose = lib.best_within_mred(0.05);
+        assert_eq!(strict.name, lib.exact().name);
+        assert!(loose.transistors() < strict.transistors());
+        assert!(loose.profile.mred <= 0.05);
+    }
+
+    #[test]
+    fn best_within_mred_falls_back_to_exact() {
+        let lib = MultiplierLibrary::truncation_ladder(4, 1);
+        // Impossible bound below any entry's error but above zero →
+        // exact still qualifies (mred 0 ≤ bound).
+        let e = lib.best_within_mred(1e-12);
+        assert_eq!(e.profile.mred, 0.0);
+    }
+
+    #[test]
+    fn pareto_front_is_non_dominated() {
+        let lib = MultiplierLibrary::truncation_ladder(8, 3);
+        let front = lib.pareto();
+        assert!(!front.is_empty());
+        for a in &front {
+            for b in &front {
+                let dominates = b.transistors() < a.transistors()
+                    && b.profile.mred < a.profile.mred;
+                assert!(!dominates, "{} dominated by {}", a.name, b.name);
+            }
+        }
+    }
+
+    #[test]
+    fn classic_families_mix_ladder_bam_tcc() {
+        let lib = MultiplierLibrary::classic_families(8, 2);
+        let names: Vec<&str> = lib.entries().iter().map(|e| e.name.as_str()).collect();
+        assert!(names.iter().any(|n| n.starts_with("trunc8")), "{names:?}");
+        assert!(names.iter().any(|n| n.starts_with("bam8")), "{names:?}");
+        assert!(names.iter().any(|n| n.starts_with("tcc8")), "{names:?}");
+        assert_eq!(lib.exact().profile.mred, 0.0);
+        // BAM offers points the ladder doesn't: the Pareto front of
+        // the mixed library is at least as large as the ladder's.
+        let ladder = MultiplierLibrary::truncation_ladder(8, 2);
+        assert!(lib.pareto().len() >= ladder.pareto().len());
+    }
+
+    #[test]
+    fn evolve_small_finds_cheaper_units() {
+        let config = LibraryConfig {
+            width: 4,
+            max_truncation: 2,
+            max_prunes: 6,
+            nsga: Nsga2Config::default()
+                .with_population(12)
+                .with_generations(6)
+                .with_seed(21),
+            ..LibraryConfig::default()
+        };
+        let lib = MultiplierLibrary::evolve(config);
+        assert!(lib.len() >= 2, "search found nothing: {}", lib.len());
+        let exact = lib.exact();
+        let cheaper = lib
+            .entries()
+            .iter()
+            .any(|e| e.transistors() < exact.transistors());
+        assert!(cheaper, "no entry cheaper than exact");
+    }
+
+    #[test]
+    fn area_saving_vs_exact() {
+        let lib = MultiplierLibrary::truncation_ladder(8, 2);
+        let exact = lib.exact();
+        let worst = lib.entries().last().unwrap();
+        let saving = worst.area_saving_vs(exact);
+        assert!(saving > 0.0 && saving < 1.0, "saving = {saving}");
+    }
+
+    #[test]
+    fn standard_8bit_is_cached() {
+        let a = standard_8bit() as *const _;
+        let b = standard_8bit() as *const _;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn index_and_display() {
+        let lib = MultiplierLibrary::truncation_ladder(4, 1);
+        let s = lib[0].to_string();
+        assert!(s.contains("transistors"), "{s}");
+        assert!(!lib.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "library cannot be empty")]
+    fn empty_library_rejected() {
+        let _ = MultiplierLibrary::from_entries(8, Vec::new());
+    }
+}

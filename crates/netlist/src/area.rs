@@ -1,0 +1,171 @@
+//! Silicon area model.
+//!
+//! The paper's carbon model consumes *area*; this module converts gate
+//! counts into physical area via NAND2-equivalents. The substitution
+//! for the authors' proprietary synthesis flow is documented in
+//! DESIGN.md §4: relative areas between exact and pruned netlists are
+//! governed by transistor counts, which we track exactly.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul};
+
+use crate::tech::TechNode;
+
+/// Transistors per NAND2-equivalent gate, the conventional unit of
+/// logic complexity.
+pub const NAND2_TRANSISTORS: f64 = 4.0;
+
+/// A silicon area, stored in µm².
+///
+/// `Area` is a newtype so that areas, energies and carbon masses can
+/// never be mixed up in the long formula chains of the carbon model.
+///
+/// # Example
+///
+/// ```
+/// use carma_netlist::{Area, TechNode};
+///
+/// let a = Area::from_transistors(4_000, TechNode::N7);
+/// assert!(a.as_mm2() < Area::from_transistors(4_000, TechNode::N28).as_mm2());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Area(f64);
+
+impl Area {
+    /// Zero area.
+    pub const ZERO: Area = Area(0.0);
+
+    /// Creates an area from a value in µm².
+    ///
+    /// # Panics
+    ///
+    /// Panics if `um2` is negative or not finite.
+    pub fn from_um2(um2: f64) -> Self {
+        assert!(um2.is_finite() && um2 >= 0.0, "area must be ≥ 0, got {um2}");
+        Area(um2)
+    }
+
+    /// Creates an area from a value in mm².
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mm2` is negative or not finite.
+    pub fn from_mm2(mm2: f64) -> Self {
+        Self::from_um2(mm2 * 1e6)
+    }
+
+    /// Area of `transistors` transistors of random logic at `node`,
+    /// through the NAND2-equivalent conversion.
+    pub fn from_transistors(transistors: u64, node: TechNode) -> Self {
+        let nand2_equiv = transistors as f64 / NAND2_TRANSISTORS;
+        Area(nand2_equiv * node.params().nand2_area_um2)
+    }
+
+    /// The area in µm².
+    pub fn as_um2(self) -> f64 {
+        self.0
+    }
+
+    /// The area in mm².
+    pub fn as_mm2(self) -> f64 {
+        self.0 / 1e6
+    }
+
+    /// The area in cm² (the unit of the ACT fab parameters).
+    pub fn as_cm2(self) -> f64 {
+        self.0 / 1e8
+    }
+}
+
+impl Add for Area {
+    type Output = Area;
+
+    fn add(self, rhs: Area) -> Area {
+        Area(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Area {
+    fn add_assign(&mut self, rhs: Area) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Mul<f64> for Area {
+    type Output = Area;
+
+    /// Scales the area by a dimensionless factor (e.g. a PE count).
+    fn mul(self, rhs: f64) -> Area {
+        Area(self.0 * rhs)
+    }
+}
+
+impl Sum for Area {
+    fn sum<I: Iterator<Item = Area>>(iter: I) -> Area {
+        iter.fold(Area::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Area {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1e5 {
+            write!(f, "{:.4} mm²", self.as_mm2())
+        } else {
+            write!(f, "{:.2} µm²", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transistor_conversion_uses_nand2_equivalents() {
+        // 4 transistors = exactly one NAND2.
+        let a = Area::from_transistors(4, TechNode::N28);
+        assert!((a.as_um2() - TechNode::N28.params().nand2_area_um2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unit_conversions_are_consistent() {
+        let a = Area::from_mm2(2.5);
+        assert!((a.as_um2() - 2.5e6).abs() < 1e-6);
+        assert!((a.as_cm2() - 0.025).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic_behaves() {
+        let a = Area::from_um2(10.0);
+        let b = Area::from_um2(5.0);
+        assert!(((a + b).as_um2() - 15.0).abs() < 1e-12);
+        let mut c = a;
+        c += b;
+        assert!((c.as_um2() - 15.0).abs() < 1e-12);
+        assert!(((a * 3.0).as_um2() - 30.0).abs() < 1e-12);
+        let total: Area = [a, b, b].into_iter().sum();
+        assert!((total.as_um2() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "area must be ≥ 0")]
+    fn negative_area_rejected() {
+        let _ = Area::from_um2(-1.0);
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert!(Area::from_um2(12.0).to_string().contains("µm²"));
+        assert!(Area::from_mm2(3.0).to_string().contains("mm²"));
+    }
+
+    #[test]
+    fn same_transistors_smaller_at_denser_node() {
+        let n7 = Area::from_transistors(1_000_000, TechNode::N7);
+        let n14 = Area::from_transistors(1_000_000, TechNode::N14);
+        let n28 = Area::from_transistors(1_000_000, TechNode::N28);
+        assert!(n7.as_um2() < n14.as_um2());
+        assert!(n14.as_um2() < n28.as_um2());
+    }
+}

@@ -1,0 +1,288 @@
+//! Primitive gate types of the netlist IR.
+//!
+//! The IR is deliberately small: primary inputs, constants, one unary
+//! family ([`UnOp`]) and one binary family ([`BinOp`]). Every standard
+//! cell the approximation flow needs (AND/OR/XOR plus their inverted
+//! forms) is representable, and each carries a static-CMOS transistor
+//! count used by the area model.
+
+use std::fmt;
+
+/// Index of a node inside a [`crate::Netlist`].
+///
+/// Nodes are stored in topological order by construction: a node may
+/// only reference nodes with a strictly smaller id. `NodeId` is a
+/// newtype so that genome indices, LUT indices and node indices cannot
+/// be confused ([C-NEWTYPE]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Returns the raw index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates a `NodeId` from a raw index.
+    ///
+    /// Intended for (de)serialization of approximation genomes; the id
+    /// is validated the next time the owning netlist is validated.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        NodeId(index as u32)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Unary gate operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Logical inverter.
+    Not,
+    /// Non-inverting buffer (identity; used by pruning transforms that
+    /// replace a gate with a feed-through of one of its inputs).
+    Buf,
+}
+
+impl UnOp {
+    /// Static-CMOS transistor count of the cell.
+    #[inline]
+    pub fn transistors(self) -> u32 {
+        match self {
+            UnOp::Not => 2,
+            UnOp::Buf => 4,
+        }
+    }
+
+    /// Applies the operation to a 64-lane word.
+    #[inline]
+    pub fn apply(self, a: u64) -> u64 {
+        match self {
+            UnOp::Not => !a,
+            UnOp::Buf => a,
+        }
+    }
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            UnOp::Not => "not",
+            UnOp::Buf => "buf",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Binary gate operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Logical conjunction.
+    And,
+    /// Logical disjunction.
+    Or,
+    /// Exclusive or.
+    Xor,
+    /// Inverted conjunction.
+    Nand,
+    /// Inverted disjunction.
+    Nor,
+    /// Inverted exclusive or (equivalence).
+    Xnor,
+}
+
+impl BinOp {
+    /// All binary operations, in a stable order (useful for property
+    /// tests and genome encodings).
+    pub const ALL: [BinOp; 6] = [
+        BinOp::And,
+        BinOp::Or,
+        BinOp::Xor,
+        BinOp::Nand,
+        BinOp::Nor,
+        BinOp::Xnor,
+    ];
+
+    /// Static-CMOS transistor count of the cell.
+    ///
+    /// NAND2/NOR2 are the 4-transistor primitives; AND2/OR2 carry the
+    /// extra output inverter; XOR2/XNOR2 use the common 10-transistor
+    /// static realization.
+    #[inline]
+    pub fn transistors(self) -> u32 {
+        match self {
+            BinOp::Nand | BinOp::Nor => 4,
+            BinOp::And | BinOp::Or => 6,
+            BinOp::Xor | BinOp::Xnor => 10,
+        }
+    }
+
+    /// Applies the operation to two 64-lane words.
+    #[inline]
+    pub fn apply(self, a: u64, b: u64) -> u64 {
+        match self {
+            BinOp::And => a & b,
+            BinOp::Or => a | b,
+            BinOp::Xor => a ^ b,
+            BinOp::Nand => !(a & b),
+            BinOp::Nor => !(a | b),
+            BinOp::Xnor => !(a ^ b),
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Nand => "nand",
+            BinOp::Nor => "nor",
+            BinOp::Xnor => "xnor",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single node of the netlist graph.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Node {
+    /// Primary input with a human-readable name.
+    Input {
+        /// Port name, unique within the netlist.
+        name: String,
+    },
+    /// Constant logic level.
+    Const {
+        /// The constant value driven onto the net.
+        value: bool,
+    },
+    /// Unary gate.
+    Unary {
+        /// Operation performed by the gate.
+        op: UnOp,
+        /// Input operand.
+        a: NodeId,
+    },
+    /// Binary gate.
+    Binary {
+        /// Operation performed by the gate.
+        op: BinOp,
+        /// First operand.
+        a: NodeId,
+        /// Second operand.
+        b: NodeId,
+    },
+}
+
+impl Node {
+    /// Static-CMOS transistor count contributed by this node.
+    ///
+    /// Inputs and constants are free: constants are tie-high/tie-low
+    /// cells whose cost is absorbed into routing, and inputs are ports.
+    #[inline]
+    pub fn transistors(&self) -> u32 {
+        match self {
+            Node::Input { .. } | Node::Const { .. } => 0,
+            Node::Unary { op, .. } => op.transistors(),
+            Node::Binary { op, .. } => op.transistors(),
+        }
+    }
+
+    /// Returns `true` for logic gates (anything that is neither an
+    /// input nor a constant).
+    #[inline]
+    pub fn is_gate(&self) -> bool {
+        matches!(self, Node::Unary { .. } | Node::Binary { .. })
+    }
+
+    /// Iterates over the operand ids of this node (0, 1 or 2 items).
+    pub fn operands(&self) -> impl Iterator<Item = NodeId> + '_ {
+        let (a, b) = match self {
+            Node::Input { .. } | Node::Const { .. } => (None, None),
+            Node::Unary { a, .. } => (Some(*a), None),
+            Node::Binary { a, b, .. } => (Some(*a), Some(*b)),
+        };
+        a.into_iter().chain(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_truth_tables() {
+        // Exhaustive over the four (a, b) bit combinations, encoded in
+        // the low 4 lanes: a = 0b0101, b = 0b0011.
+        let a = 0b0101u64;
+        let b = 0b0011u64;
+        assert_eq!(BinOp::And.apply(a, b) & 0xF, 0b0001);
+        assert_eq!(BinOp::Or.apply(a, b) & 0xF, 0b0111);
+        assert_eq!(BinOp::Xor.apply(a, b) & 0xF, 0b0110);
+        assert_eq!(BinOp::Nand.apply(a, b) & 0xF, 0b1110);
+        assert_eq!(BinOp::Nor.apply(a, b) & 0xF, 0b1000);
+        assert_eq!(BinOp::Xnor.apply(a, b) & 0xF, 0b1001);
+    }
+
+    #[test]
+    fn unop_truth_tables() {
+        assert_eq!(UnOp::Not.apply(0b01) & 0b11, 0b10);
+        assert_eq!(UnOp::Buf.apply(0b01) & 0b11, 0b01);
+    }
+
+    #[test]
+    fn inverted_forms_are_cheaper_or_equal() {
+        assert!(BinOp::Nand.transistors() <= BinOp::And.transistors());
+        assert!(BinOp::Nor.transistors() <= BinOp::Or.transistors());
+        assert_eq!(BinOp::Xor.transistors(), BinOp::Xnor.transistors());
+    }
+
+    #[test]
+    fn node_operand_iteration() {
+        let n = Node::Binary {
+            op: BinOp::And,
+            a: NodeId(0),
+            b: NodeId(1),
+        };
+        let ops: Vec<_> = n.operands().collect();
+        assert_eq!(ops, vec![NodeId(0), NodeId(1)]);
+
+        let u = Node::Unary {
+            op: UnOp::Not,
+            a: NodeId(7),
+        };
+        assert_eq!(u.operands().collect::<Vec<_>>(), vec![NodeId(7)]);
+
+        let i = Node::Input {
+            name: "a".to_string(),
+        };
+        assert_eq!(i.operands().count(), 0);
+    }
+
+    #[test]
+    fn inputs_and_consts_are_free() {
+        assert_eq!(
+            Node::Input {
+                name: "x".to_string()
+            }
+            .transistors(),
+            0
+        );
+        assert_eq!(Node::Const { value: true }.transistors(), 0);
+    }
+
+    #[test]
+    fn node_id_display_and_roundtrip() {
+        let id = NodeId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.to_string(), "n42");
+    }
+}

@@ -1,0 +1,49 @@
+//! # carma-netlist
+//!
+//! Gate-level netlist infrastructure for the CARMA project: a compact
+//! combinational-circuit IR, a 64-way bit-parallel simulator, a
+//! transistor-count area model, and the technology-node library shared
+//! by the carbon and dataflow crates.
+//!
+//! The paper's approximate multipliers are produced by *gate-level
+//! pruning* and *precision scaling* of exact multiplier netlists; this
+//! crate supplies the netlist substrate those transforms operate on.
+//!
+//! ## Example
+//!
+//! Build a half adder, simulate it exhaustively, and measure its area:
+//!
+//! ```
+//! use carma_netlist::{Netlist, BinOp, TechNode};
+//!
+//! # fn main() -> Result<(), carma_netlist::NetlistError> {
+//! let mut n = Netlist::new("half_adder");
+//! let a = n.input("a");
+//! let b = n.input("b");
+//! let sum = n.binary(BinOp::Xor, a, b);
+//! let carry = n.binary(BinOp::And, a, b);
+//! n.output("sum", sum);
+//! n.output("carry", carry);
+//! n.validate()?;
+//!
+//! assert_eq!(n.eval_bits(&[false, true]), vec![true, false]);
+//! assert!(n.area(TechNode::N7).as_um2() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod area;
+pub mod equiv;
+pub mod gate;
+pub mod netlist;
+pub mod sim;
+pub mod tech;
+pub mod verilog;
+
+pub use area::{Area, NAND2_TRANSISTORS};
+pub use gate::{BinOp, Node, NodeId, UnOp};
+pub use netlist::{Netlist, NetlistError, NetlistStats};
+pub use equiv::{check_equivalence, Equivalence};
+pub use sim::{LaneSim, WORD_LANES};
+pub use tech::{TechNode, TechParams};
+pub use verilog::to_verilog;

@@ -1,0 +1,97 @@
+//! Embodied-carbon audit of an accelerator design: prints every
+//! intermediate term of the paper's Eq. 1/2 across technology nodes,
+//! grid mixes and yield models — a worked example of the ACT-style
+//! model in `carma-carbon`.
+//!
+//! ```text
+//! cargo run --release -p carma-core --example carbon_audit
+//! ```
+
+use carma_carbon::{CarbonModel, GridMix, OperationalCarbon, YieldModel};
+use carma_dataflow::{Accelerator, AreaModel, EnergyModel, PerfModel};
+use carma_dnn::DnnModel;
+use carma_netlist::TechNode;
+
+fn main() {
+    println!("CARMA embodied-carbon audit — 512-MAC NVDLA-style accelerator\n");
+    let area_model = AreaModel::new(3000); // exact 8×8 Dadda-class PE
+
+    for node in TechNode::ALL {
+        let accel = Accelerator::nvdla_preset(512, node);
+        let die = area_model.die_area(&accel);
+        let model = CarbonModel::for_node(node);
+        let b = model.embodied_breakdown(die);
+        println!("— {node} —");
+        println!("  die area          : {:.4} mm²", die.as_mm2());
+        println!("  fab yield         : {:.4}", b.fab_yield);
+        println!("  CFPA (Eq. 2)      : {:.0} gCO₂/cm²", b.cfpa_g_per_cm2);
+        println!("  die term          : {}", b.die_carbon);
+        println!(
+            "  wasted-Si term    : {} ({:.3} mm² of wafer)",
+            b.wasted_carbon,
+            b.wasted_area.as_mm2()
+        );
+        println!("  total embodied    : {}\n", b.total);
+    }
+
+    // Grid-mix sensitivity at 7 nm.
+    let accel = Accelerator::nvdla_preset(512, TechNode::N7);
+    let die = area_model.die_area(&accel);
+    println!("grid-mix sensitivity (7 nm, same die):");
+    for grid in [
+        GridMix::Coal,
+        GridMix::TaiwanGrid,
+        GridMix::WorldAverage,
+        GridMix::Renewable,
+    ] {
+        let c = CarbonModel::for_node(TechNode::N7)
+            .with_grid(grid)
+            .embodied_carbon(die);
+        println!("  {grid:<14} {c}");
+    }
+
+    // Yield-model sensitivity at 7 nm.
+    println!("\nyield-model sensitivity (7 nm, same die):");
+    for (name, ym) in [
+        ("poisson", YieldModel::Poisson),
+        ("murphy", YieldModel::Murphy),
+        ("neg-binomial", YieldModel::NegativeBinomial { alpha: 3.0 }),
+    ] {
+        let c = CarbonModel::for_node(TechNode::N7)
+            .with_yield_model(ym)
+            .embodied_carbon(die);
+        println!("  {name:<14} {c}");
+    }
+
+    // Embodied vs operational: the paper's motivating comparison.
+    // The balance depends entirely on the duty cycle — an always-on
+    // camera is operational-dominated, an occasionally-woken sensor is
+    // embodied-dominated. Show the spectrum and the crossover.
+    println!("\nembodied vs operational (ResNet50 @ 30 FPS when active, 3-year life):");
+    let perf = PerfModel::new().evaluate(&accel, &DnnModel::resnet50());
+    let energy = EnergyModel::exact(TechNode::N7);
+    let active_power = energy.average_power_w(&perf) * (perf.latency_s * 30.0).min(1.0);
+    let embodied = CarbonModel::for_node(TechNode::N7).embodied_carbon(die);
+    println!("  active power      : {active_power:.3} W");
+    println!("  die embodied      : {embodied}");
+    for (label, active_hours_per_day) in [
+        ("always-on (24 h/day)", 24.0f64),
+        ("work-hours (8 h/day)", 8.0),
+        ("assistant (30 min/day)", 0.5),
+        ("sensor wake-ups (1 min/day)", 1.0 / 60.0),
+    ] {
+        let hours = active_hours_per_day * 3.0 * 365.0;
+        let op = OperationalCarbon::new(GridMix::WorldAverage, active_power, hours);
+        let share = 100.0 * embodied.as_grams()
+            / (embodied.as_grams() + op.total().as_grams());
+        println!(
+            "  {label:<28} operational {:>12}  die-embodied share {share:>5.1} %",
+            op.total().to_string()
+        );
+    }
+    println!(
+        "\n  (the paper's \"embodied now dominates\" claim concerns full\n\
+         \x20  modules — add package + DRAM from the system model — and\n\
+         \x20  duty-cycled edge deployments, where the last rows apply)"
+    );
+}

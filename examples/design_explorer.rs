@@ -1,0 +1,104 @@
+//! Design-space explorer: run the GA-CDP flow for any paper workload,
+//! node and constraint set, and print the exact/approximate/GA
+//! comparison the paper's Figure 3 makes.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p carma-core --example design_explorer -- \
+//!     [model] [node] [min_fps] [max_drop_pct]
+//! # e.g.
+//! cargo run --release -p carma-core --example design_explorer -- resnet50 14nm 40 1.0
+//! ```
+//!
+//! Defaults: vgg16 7nm 30 2.0.
+
+use carma_core::flow::{approx_only_sweep, ga_cdp, smallest_exact_meeting, Constraints};
+use carma_core::report::design_report;
+use carma_core::{CarmaContext, DesignPoint};
+use carma_dnn::DnnModel;
+use carma_ga::GaConfig;
+use carma_netlist::TechNode;
+
+fn parse_model(name: &str) -> DnnModel {
+    match name {
+        "vgg16" => DnnModel::vgg16(),
+        "vgg19" => DnnModel::vgg19(),
+        "resnet50" => DnnModel::resnet50(),
+        "resnet152" => DnnModel::resnet152(),
+        other => {
+            eprintln!("unknown model `{other}` (vgg16|vgg19|resnet50|resnet152)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let model = parse_model(args.first().map_or("vgg16", String::as_str));
+    let node: TechNode = args
+        .get(1)
+        .map_or("7nm", String::as_str)
+        .parse()
+        .unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
+    let min_fps: f64 = args.get(2).map_or("30", String::as_str).parse().unwrap_or(30.0);
+    let max_drop: f64 =
+        args.get(3).map_or("2.0", String::as_str).parse().unwrap_or(2.0) / 100.0;
+
+    println!("CARMA design explorer");
+    println!("workload    : {model}");
+    println!("node        : {node}");
+    println!("constraints : ≥ {min_fps} FPS, ≤ {:.1} % accuracy drop\n", max_drop * 100.0);
+
+    println!("building context…");
+    let ctx = CarmaContext::reduced(node);
+
+    println!("\nmultiplier library (area vs accuracy drop):");
+    for (i, entry) in ctx.library().entries().iter().enumerate() {
+        println!(
+            "  [{i}] {:<14} {:>5} transistors  MRED {:.4}  Δacc {:.2} %",
+            entry.name,
+            entry.transistors(),
+            entry.profile.mred,
+            ctx.accuracy_drop(i) * 100.0
+        );
+    }
+
+    let baseline = smallest_exact_meeting(&ctx, &model, min_fps);
+    println!("\nexact baseline      : {}", baseline.eval);
+
+    // Approximate-only at the baseline architecture.
+    let mut approx_dp = DesignPoint::nvdla_like(baseline.macs);
+    approx_dp.mult_idx = ctx.best_mult_within_drop(max_drop) as u16;
+    let approx = ctx.evaluate(&approx_dp, &model);
+    println!("approximate only    : {approx}");
+
+    let best = ga_cdp(
+        &ctx,
+        &model,
+        Constraints::new(min_fps, max_drop),
+        GaConfig::default().with_population(40).with_generations(40),
+    );
+    println!("GA-CDP (proposed)   : {best}");
+
+    let base_g = baseline.eval.embodied.as_grams();
+    println!("\nnormalized embodied carbon (exact = 1.00):");
+    println!("  exact        1.000");
+    println!("  approx-only  {:.3}", approx.embodied.as_grams() / base_g);
+    println!("  ga-cdp       {:.3}", best.embodied.as_grams() / base_g);
+
+    // Context: the whole approximate sweep, as in Fig. 2.
+    println!("\nNVDLA sweep with the chosen approximate unit:");
+    for p in approx_only_sweep(&ctx, &model, max_drop) {
+        println!(
+            "  {:>4} MACs: {:>6.1} FPS, {}",
+            p.macs, p.eval.fps, p.eval.embodied
+        );
+    }
+
+    println!("\n----- full design report (markdown) -----\n");
+    println!("{}", design_report(&ctx, &model, &best));
+}

@@ -1,0 +1,50 @@
+//! Quickstart: evaluate an NVDLA-style baseline and let GA-CDP design
+//! a carbon-aware replacement for the same workload.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p carma-core --example quickstart
+//! ```
+
+use carma_core::flow::{ga_cdp, smallest_exact_meeting, Constraints};
+use carma_core::CarmaContext;
+use carma_dnn::DnnModel;
+use carma_ga::GaConfig;
+use carma_netlist::TechNode;
+
+fn main() {
+    println!("CARMA quickstart — VGG16 at 7 nm, 30 FPS requirement\n");
+
+    // 1. Build the evaluation context: approximate-multiplier library,
+    //    per-multiplier DNN accuracy drops, ACT carbon model.
+    println!("building context (multiplier characterization + accuracy runs)…");
+    let ctx = CarmaContext::reduced(TechNode::N7);
+    println!(
+        "library: {} multipliers, exact unit = {} transistors\n",
+        ctx.library().len(),
+        ctx.library().exact().transistors()
+    );
+
+    // 2. The conventional design: the smallest NVDLA preset that meets
+    //    the performance requirement, with exact arithmetic.
+    let model = DnnModel::vgg16();
+    let baseline = smallest_exact_meeting(&ctx, &model, 30.0);
+    println!("exact baseline : {}", baseline.eval);
+
+    // 3. The paper's flow: GA over (PE array, buffers, multiplier)
+    //    minimizing the Carbon Delay Product under the constraints.
+    let best = ga_cdp(
+        &ctx,
+        &model,
+        Constraints::new(30.0, 0.02),
+        GaConfig::default().with_population(32).with_generations(25),
+    );
+    println!("GA-CDP design  : {best}");
+
+    let saving = 1.0 - best.embodied.as_grams() / baseline.eval.embodied.as_grams();
+    println!(
+        "\nembodied-carbon saving vs baseline: {:.1} %",
+        saving * 100.0
+    );
+}

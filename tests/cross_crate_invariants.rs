@@ -1,0 +1,114 @@
+//! Cross-crate integration invariants: the full chain
+//! multiplier → LUT → DNN accuracy → accelerator area → embodied
+//! carbon behaves monotonically end to end.
+
+use carma_carbon::CarbonModel;
+use carma_dataflow::{Accelerator, AreaModel, PerfModel};
+use carma_dnn::{AccuracyEvaluator, DnnModel, EvaluatorConfig};
+use carma_multiplier::{
+    ApproxGenome, ErrorProfile, LutMultiplier, MultiplierCircuit, MultiplierLibrary,
+    ReductionKind,
+};
+use carma_netlist::TechNode;
+
+#[test]
+fn truncation_chain_is_monotone_end_to_end() {
+    // Deeper truncation ⇒ fewer transistors ⇒ smaller die ⇒ less
+    // embodied carbon, and ⇒ more multiplier error.
+    let base = MultiplierCircuit::generate(8, ReductionKind::Dadda);
+    let accel = Accelerator::nvdla_preset(512, TechNode::N7);
+    let carbon = CarbonModel::for_node(TechNode::N7);
+
+    let mut last_transistors = u64::MAX;
+    let mut last_carbon = f64::INFINITY;
+    let mut last_mred = -1.0;
+    for t in 0..=4u8 {
+        let circuit = ApproxGenome::truncation(t, t).apply(&base);
+        let transistors = circuit.transistor_count();
+        let die = AreaModel::new(transistors).die_area(&accel);
+        let grams = carbon.embodied_carbon(die).as_grams();
+        let mred = if t == 0 {
+            0.0
+        } else {
+            ErrorProfile::exhaustive(&circuit).mred
+        };
+        assert!(transistors < last_transistors, "area must shrink at t={t}");
+        assert!(grams < last_carbon, "carbon must shrink at t={t}");
+        assert!(mred > last_mred || t == 0, "error must grow at t={t}");
+        last_transistors = transistors;
+        last_carbon = grams;
+        last_mred = mred;
+    }
+}
+
+#[test]
+fn library_buckets_agree_with_behavioural_engine() {
+    // Every library entry's measured accuracy drop must be consistent
+    // with its MRED ordering at the extremes: the exact unit has zero
+    // drop; the worst unit has the largest (or tied) drop.
+    let lib = MultiplierLibrary::truncation_ladder(8, 2);
+    let eval = AccuracyEvaluator::new(EvaluatorConfig {
+        samples: 48,
+        ..EvaluatorConfig::default()
+    });
+    let results = eval.evaluate_library(&lib);
+    assert_eq!(results[0].1, 0.0, "exact entry must have zero drop");
+    let max_drop = results.iter().map(|(_, d)| *d).fold(0.0, f64::max);
+    let worst = results.last().expect("non-empty");
+    assert!(
+        worst.1 >= max_drop * 0.5,
+        "highest-MRED entry should be near the worst drop"
+    );
+}
+
+#[test]
+fn lut_and_netlist_agree_after_approximation() {
+    let base = MultiplierCircuit::generate(8, ReductionKind::Wallace);
+    let approx = ApproxGenome::truncation(2, 3).apply(&base);
+    let lut = LutMultiplier::compile(&approx);
+    for a in (0u32..256).step_by(31) {
+        for b in (0u32..256).step_by(29) {
+            assert_eq!(
+                carma_multiplier::Multiplier::multiply(&lut, a, b),
+                approx.multiply_via_netlist(a, b)
+            );
+        }
+    }
+}
+
+#[test]
+fn perf_is_independent_of_multiplier_but_carbon_is_not() {
+    let model = DnnModel::resnet50();
+    let accel = Accelerator::nvdla_preset(256, TechNode::N14);
+    let perf = PerfModel::new().evaluate(&accel, &model);
+    let carbon = CarbonModel::for_node(TechNode::N14);
+
+    let exact_area = AreaModel::new(3000).die_area(&accel);
+    let approx_area = AreaModel::new(2200).die_area(&accel);
+    // Same cycles regardless of multiplier…
+    assert!(perf.fps > 0.0);
+    // …but different carbon.
+    assert!(
+        carbon.embodied_carbon(approx_area).as_grams()
+            < carbon.embodied_carbon(exact_area).as_grams()
+    );
+}
+
+#[test]
+fn node_ordering_holds_for_whole_accelerators() {
+    // For a fixed architecture, older nodes give bigger dies, and the
+    // per-area carbon is cheaper — but the paper's evaluation shows
+    // total embodied carbon is *higher* at older nodes (area wins).
+    let m = AreaModel::new(3000);
+    let a7 = m.die_area(&Accelerator::nvdla_preset(512, TechNode::N7));
+    let a14 = m.die_area(&Accelerator::nvdla_preset(512, TechNode::N14));
+    let a28 = m.die_area(&Accelerator::nvdla_preset(512, TechNode::N28));
+    assert!(a7 < a14 && a14 < a28);
+
+    let c7 = CarbonModel::for_node(TechNode::N7).embodied_carbon(a7);
+    let c28 = CarbonModel::for_node(TechNode::N28).embodied_carbon(a28);
+    assert!(
+        c28 > c7,
+        "28nm implementation should carry more total carbon: {c28} vs {c7}"
+    );
+}

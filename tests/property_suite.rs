@@ -1,0 +1,168 @@
+//! Cross-crate property tests: randomized invariants spanning the
+//! whole stack (netlist → multiplier → area → carbon → design
+//! evaluation).
+
+use carma_carbon::CarbonModel;
+use carma_core::{CarmaContext, DesignPoint};
+use carma_dataflow::{Accelerator, AreaModel, PerfModel};
+use carma_dnn::DnnModel;
+use carma_multiplier::{
+    ApproxGenome, ErrorProfile, LutMultiplier, MultiplierCircuit, Multiplier, Prune, PruneAction,
+    ReductionKind,
+};
+use carma_netlist::equiv::check_equivalence;
+use carma_netlist::TechNode;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn base4() -> &'static MultiplierCircuit {
+    static M: OnceLock<MultiplierCircuit> = OnceLock::new();
+    M.get_or_init(|| MultiplierCircuit::generate(4, ReductionKind::Dadda))
+}
+
+fn base8() -> &'static MultiplierCircuit {
+    static M: OnceLock<MultiplierCircuit> = OnceLock::new();
+    M.get_or_init(|| MultiplierCircuit::generate(8, ReductionKind::Dadda))
+}
+
+fn ctx7() -> &'static CarmaContext {
+    static CTX: OnceLock<CarmaContext> = OnceLock::new();
+    CTX.get_or_init(|| CarmaContext::reduced(TechNode::N7))
+}
+
+prop_compose! {
+    /// An arbitrary approximation genome over the 4-bit base circuit.
+    fn arb_genome4()(
+        ta in 0u8..3,
+        tb in 0u8..3,
+        prunes in proptest::collection::vec((0u32..96, 0usize..4), 0..5),
+    ) -> ApproxGenome {
+        ApproxGenome {
+            truncate_a: ta,
+            truncate_b: tb,
+            prunes: prunes
+                .into_iter()
+                .map(|(gate, action)| Prune {
+                    gate,
+                    action: PruneAction::ALL[action],
+                })
+                .collect(),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any genome applied to the base circuit yields a structurally
+    /// valid netlist no larger than the base, whose LUT agrees with
+    /// netlist simulation everywhere.
+    #[test]
+    fn genome_application_is_safe_and_consistent(genome in arb_genome4()) {
+        let approx = genome.apply(base4());
+        prop_assert!(approx.netlist().validate().is_ok());
+        prop_assert!(approx.transistor_count() <= base4().transistor_count());
+        let lut = LutMultiplier::compile(&approx);
+        for a in 0u32..16 {
+            for b in 0u32..16 {
+                prop_assert_eq!(lut.multiply(a, b), approx.multiply_via_netlist(a, b));
+            }
+        }
+    }
+
+    /// The swept circuit is functionally equivalent to itself after a
+    /// second sweep (sweeping is idempotent up to function).
+    #[test]
+    fn sweep_is_functionally_idempotent(genome in arb_genome4()) {
+        let approx = genome.apply(base4());
+        let once = approx.netlist().clone();
+        let twice = once.sweep();
+        let verdict = check_equivalence(&once, &twice).unwrap();
+        prop_assert!(verdict.is_equivalent());
+    }
+
+    /// Zero error profile ⇔ the circuit multiplies exactly.
+    #[test]
+    fn error_profile_zero_iff_exact(genome in arb_genome4()) {
+        let approx = genome.apply(base4());
+        let profile = ErrorProfile::exhaustive(&approx);
+        let mut any_wrong = false;
+        for a in 0u32..16 {
+            for b in 0u32..16 {
+                if approx.multiply_via_netlist(a, b) != u64::from(a * b) {
+                    any_wrong = true;
+                }
+            }
+        }
+        prop_assert_eq!(profile.error_rate > 0.0, any_wrong);
+        if !any_wrong {
+            prop_assert_eq!(profile.med, 0.0);
+            prop_assert_eq!(profile.wce, 0);
+        }
+    }
+
+    /// Truncation-induced error statistics obey their definitional
+    /// relations: |bias| ≤ MED, MED ≤ WCE, NMED ∈ [0, 1].
+    #[test]
+    fn error_metric_relations(ta in 0u8..5, tb in 0u8..5) {
+        let approx = ApproxGenome::truncation(ta, tb).apply(base8());
+        let p = ErrorProfile::exhaustive(&approx);
+        prop_assert!(p.bias.abs() <= p.med + 1e-9);
+        prop_assert!(p.med <= p.wce as f64 + 1e-9);
+        prop_assert!((0.0..=1.0).contains(&p.nmed));
+        prop_assert!(p.variance >= 0.0);
+    }
+
+    /// Design-point evaluation is internally consistent for random
+    /// points: CDP = carbon × latency, FPS = 1/latency, and the die
+    /// area prices into positive carbon.
+    #[test]
+    fn design_evaluation_invariants(
+        w in 2u8..=6, h in 2u8..=6, rf in 0u8..4, gb in 0u8..7, m in 0u16..6,
+    ) {
+        let dp = DesignPoint {
+            pe_width_log2: w,
+            pe_height_log2: h,
+            rf_code: rf,
+            gb_code: gb,
+            mult_idx: m,
+        };
+        let model = DnnModel::resnet50();
+        let eval = ctx7().evaluate(&dp, &model);
+        prop_assert!(eval.fps > 0.0);
+        prop_assert!((eval.fps * eval.latency_s - 1.0).abs() < 1e-9);
+        prop_assert!((eval.cdp - eval.embodied.as_grams() * eval.latency_s).abs() < 1e-9);
+        prop_assert!(eval.embodied.as_grams() > 0.0);
+        prop_assert!(eval.energy_j > 0.0);
+    }
+
+    /// The area→carbon chain is monotone for random accelerators: a
+    /// strictly larger multiplier never yields less embodied carbon.
+    #[test]
+    fn carbon_chain_monotone_in_multiplier(
+        macs_log2 in 6u32..=11,
+        t1 in 1500u64..3000,
+        extra in 1u64..1500,
+    ) {
+        let accel = Accelerator::nvdla_preset(1 << macs_log2, TechNode::N14);
+        let carbon = CarbonModel::for_node(TechNode::N14);
+        let small = carbon.embodied_carbon(AreaModel::new(t1).die_area(&accel));
+        let large = carbon.embodied_carbon(AreaModel::new(t1 + extra).die_area(&accel));
+        prop_assert!(large > small);
+    }
+
+    /// FPS is invariant to the multiplier choice but monotone in clock:
+    /// the same architecture at a faster node runs faster.
+    #[test]
+    fn perf_node_ordering(macs_log2 in 6u32..=11) {
+        let model = DnnModel::resnet50();
+        let perf = PerfModel::new();
+        let f7 = perf
+            .evaluate(&Accelerator::nvdla_preset(1 << macs_log2, TechNode::N7), &model)
+            .fps;
+        let f28 = perf
+            .evaluate(&Accelerator::nvdla_preset(1 << macs_log2, TechNode::N28), &model)
+            .fps;
+        prop_assert!(f7 > f28);
+    }
+}
