@@ -11,7 +11,7 @@ use carma_bench::{banner, Scale};
 use carma_core::experiments::format_table;
 use carma_core::flow::{ga_cdp, smallest_exact_meeting, Constraints};
 use carma_core::CarmaContext;
-use carma_dnn::{DnnModel, EvaluatorConfig};
+use carma_dnn::DnnModel;
 use carma_ga::Nsga2Config;
 use carma_multiplier::{LibraryConfig, MultiplierLibrary};
 use carma_netlist::TechNode;
@@ -22,17 +22,22 @@ fn main() {
 
     let model = DnnModel::vgg16();
     let constraints = Constraints::new(30.0, 0.02);
-    let evaluator = EvaluatorConfig::default();
+    let evaluator = scale.evaluator();
+    let depth = scale.library_depth();
+    let (nsga_pop, nsga_gens) = match scale {
+        Scale::Quick => (16, 6),
+        Scale::Full => (24, 12),
+    };
 
     let libraries: Vec<(&str, MultiplierLibrary)> = vec![
-        ("ladder", MultiplierLibrary::truncation_ladder(8, 4)),
-        ("classic", MultiplierLibrary::classic_families(8, 4)),
+        ("ladder", MultiplierLibrary::truncation_ladder(8, depth)),
+        ("classic", MultiplierLibrary::classic_families(8, depth)),
         (
             "evolved",
             MultiplierLibrary::evolve(LibraryConfig {
                 nsga: Nsga2Config::default()
-                    .with_population(24)
-                    .with_generations(12)
+                    .with_population(nsga_pop)
+                    .with_generations(nsga_gens)
                     .with_seed(0xFA31),
                 ..LibraryConfig::default()
             }),

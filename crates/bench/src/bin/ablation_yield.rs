@@ -21,12 +21,15 @@ fn main() {
     let model = DnnModel::vgg16();
     let mut rows = Vec::new();
     for node in TechNode::ALL {
+        // One context per node: the library characterization, accuracy
+        // reference run and perf cache are yield-model independent, so
+        // the three ablation arms share them.
+        let mut ctx = scale.context(node);
         for (name, ym) in [
             ("poisson", YieldModel::Poisson),
             ("murphy", YieldModel::Murphy),
             ("neg-binomial(3)", YieldModel::NegativeBinomial { alpha: 3.0 }),
         ] {
-            let mut ctx = scale.context(node);
             ctx.set_carbon_model(CarbonModel::for_node(node).with_yield_model(ym));
             let baseline = smallest_exact_meeting(&ctx, &model, 30.0);
             let best = ga_cdp(&ctx, &model, Constraints::new(30.0, 0.02), scale.ga());

@@ -17,17 +17,16 @@ fn main() {
 
     // Context construction (library characterization + accuracy runs)
     // is embarrassingly parallel across nodes.
-    let contexts: Vec<_> = crossbeam::thread::scope(|s| {
+    let contexts: Vec<_> = std::thread::scope(|s| {
         let handles: Vec<_> = TechNode::ALL
             .iter()
-            .map(|&node| s.spawn(move |_| scale.context(node)))
+            .map(|&node| s.spawn(move || scale.context(node)))
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("context thread panicked"))
             .collect::<Vec<_>>()
-    })
-    .expect("scope");
+    });
     let rows = fig3(&contexts, scale.ga());
 
     let table: Vec<Vec<String>> = rows

@@ -44,13 +44,29 @@ impl Scale {
         match self {
             Scale::Quick => CarmaContext::with_parts(
                 node,
-                MultiplierLibrary::truncation_ladder(8, 3),
-                EvaluatorConfig {
-                    samples: 192,
-                    ..EvaluatorConfig::default()
-                },
+                MultiplierLibrary::truncation_ladder(8, self.library_depth()),
+                self.evaluator(),
             ),
             Scale::Full => CarmaContext::standard(node),
+        }
+    }
+
+    /// The behavioural accuracy-evaluation budget at this scale.
+    pub fn evaluator(self) -> EvaluatorConfig {
+        match self {
+            Scale::Quick => EvaluatorConfig {
+                samples: 128,
+                ..EvaluatorConfig::default()
+            },
+            Scale::Full => EvaluatorConfig::default(),
+        }
+    }
+
+    /// Multiplier-library truncation depth at this scale.
+    pub fn library_depth(self) -> u8 {
+        match self {
+            Scale::Quick => 3,
+            Scale::Full => 4,
         }
     }
 
@@ -58,8 +74,8 @@ impl Scale {
     pub fn ga(self) -> GaConfig {
         match self {
             Scale::Quick => GaConfig::default()
-                .with_population(32)
-                .with_generations(30),
+                .with_population(24)
+                .with_generations(18),
             Scale::Full => GaConfig::default(),
         }
     }

@@ -1,0 +1,75 @@
+//! Smoke tests: every figure/table/ablation binary must run to
+//! completion at `CARMA_SCALE=quick` and produce output.
+//!
+//! Each binary runs in its own scratch directory so CSV artifacts
+//! (`fig2.csv`, …) never land in the repository.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn run_bin(exe: &str, name: &str) {
+    let dir = scratch_dir(name);
+    let output = Command::new(exe)
+        .current_dir(&dir)
+        .env("CARMA_SCALE", "quick")
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn {name}: {e}"));
+    assert!(
+        output.status.success(),
+        "{name} exited with {:?}\nstderr:\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("CARMA experiment"),
+        "{name} printed no experiment banner:\n{stdout}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("carma_bin_smoke_{name}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+#[test]
+fn fig2_runs_to_completion() {
+    run_bin(env!("CARGO_BIN_EXE_fig2"), "fig2");
+}
+
+#[test]
+fn fig3_runs_to_completion() {
+    run_bin(env!("CARGO_BIN_EXE_fig3"), "fig3");
+}
+
+#[test]
+fn table1_runs_to_completion() {
+    run_bin(env!("CARGO_BIN_EXE_table1"), "table1");
+}
+
+#[test]
+fn ablation_family_runs_to_completion() {
+    run_bin(env!("CARGO_BIN_EXE_ablation_family"), "ablation_family");
+}
+
+#[test]
+fn ablation_grid_runs_to_completion() {
+    run_bin(env!("CARGO_BIN_EXE_ablation_grid"), "ablation_grid");
+}
+
+#[test]
+fn ablation_metric_runs_to_completion() {
+    run_bin(env!("CARGO_BIN_EXE_ablation_metric"), "ablation_metric");
+}
+
+#[test]
+fn ablation_search_runs_to_completion() {
+    run_bin(env!("CARGO_BIN_EXE_ablation_search"), "ablation_search");
+}
+
+#[test]
+fn ablation_yield_runs_to_completion() {
+    run_bin(env!("CARGO_BIN_EXE_ablation_yield"), "ablation_yield");
+}

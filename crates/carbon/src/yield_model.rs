@@ -10,11 +10,13 @@ use carma_netlist::Area;
 
 /// A die-yield model `Y(A, D₀) ∈ (0, 1]`.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Default)]
 pub enum YieldModel {
     /// Poisson model: `Y = exp(−A·D₀)`. Pessimistic for large dies.
     Poisson,
     /// Murphy's model: `Y = ((1 − exp(−A·D₀)) / (A·D₀))²`. The ACT
     /// default.
+    #[default]
     Murphy,
     /// Negative-binomial (Stapper) model with clustering parameter
     /// `alpha`: `Y = (1 + A·D₀/α)^(−α)`.
@@ -24,11 +26,6 @@ pub enum YieldModel {
     },
 }
 
-impl Default for YieldModel {
-    fn default() -> Self {
-        YieldModel::Murphy
-    }
-}
 
 impl YieldModel {
     /// Computes the yield for a die of `area` at defect density

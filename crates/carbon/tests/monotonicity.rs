@@ -1,0 +1,106 @@
+//! Metric-monotonicity contract for `carma_carbon`: the embodied
+//! carbon model must never reward a *larger* die with *less* carbon —
+//! the ordering the whole CDP optimization relies on.
+
+use carma_carbon::{CarbonModel, Cdp, GridMix, YieldModel};
+use carma_netlist::{Area, TechNode};
+
+/// Dense sweep of die areas spanning edge dies to reticle-limit dies.
+fn area_ladder() -> Vec<Area> {
+    let mut mm2 = 0.05f64;
+    let mut areas = Vec::new();
+    while mm2 < 700.0 {
+        areas.push(Area::from_mm2(mm2));
+        mm2 *= 1.35;
+    }
+    areas
+}
+
+#[test]
+fn embodied_carbon_is_monotone_in_die_area_at_every_node() {
+    for node in TechNode::ALL {
+        let model = CarbonModel::for_node(node);
+        let mut last = 0.0;
+        for area in area_ladder() {
+            let c = model.embodied_carbon(area).as_grams();
+            assert!(
+                c >= last,
+                "{node}: area {} mm² gives {c} g, below smaller die's {last} g",
+                area.as_mm2()
+            );
+            last = c;
+        }
+    }
+}
+
+#[test]
+fn monotonicity_survives_yield_model_choice() {
+    // Yield drops superlinearly with area; the per-die carbon must
+    // still increase under every yield model (the yield divisor can
+    // never overcompensate).
+    for ym in [
+        YieldModel::Poisson,
+        YieldModel::Murphy,
+        YieldModel::NegativeBinomial { alpha: 3.0 },
+    ] {
+        let model = CarbonModel::for_node(TechNode::N7).with_yield_model(ym);
+        let mut last = 0.0;
+        for area in area_ladder() {
+            let c = model.embodied_carbon(area).as_grams();
+            assert!(c >= last, "{ym:?}: non-monotone at {} mm²", area.as_mm2());
+            last = c;
+        }
+    }
+}
+
+#[test]
+fn monotonicity_survives_grid_mix() {
+    for grid in [GridMix::TaiwanGrid, GridMix::Renewable] {
+        let model = CarbonModel::for_node(TechNode::N7).with_grid(grid);
+        let mut last = 0.0;
+        for area in area_ladder() {
+            let c = model.embodied_carbon(area).as_grams();
+            assert!(c >= last, "{grid:?}: non-monotone at {} mm²", area.as_mm2());
+            last = c;
+        }
+    }
+}
+
+#[test]
+fn strictly_larger_die_never_cheaper_pairwise() {
+    // Pairwise variant over a coarse grid: every strictly larger die
+    // must cost at least as much as every smaller one.
+    let model = CarbonModel::for_node(TechNode::N14);
+    let areas = area_ladder();
+    let carbons: Vec<f64> = areas
+        .iter()
+        .map(|&a| model.embodied_carbon(a).as_grams())
+        .collect();
+    for i in 0..areas.len() {
+        for j in (i + 1)..areas.len() {
+            assert!(
+                carbons[j] >= carbons[i],
+                "{} mm² ({today} g) cheaper than {} mm² ({prev} g)",
+                areas[j].as_mm2(),
+                areas[i].as_mm2(),
+                today = carbons[j],
+                prev = carbons[i],
+            );
+        }
+    }
+}
+
+#[test]
+fn cdp_is_monotone_in_both_factors() {
+    let model = CarbonModel::for_node(TechNode::N7);
+    let small = model.embodied_carbon(Area::from_mm2(1.0));
+    let large = model.embodied_carbon(Area::from_mm2(4.0));
+    // More carbon at equal delay → worse CDP.
+    assert!(Cdp::new(large, 0.025).value() > Cdp::new(small, 0.025).value());
+    // More delay at equal carbon → worse CDP.
+    assert!(Cdp::new(small, 0.050).value() > Cdp::new(small, 0.025).value());
+    // FPS constructor matches the delay constructor.
+    let a = Cdp::from_fps(small, 40.0);
+    let b = Cdp::new(small, 1.0 / 40.0);
+    assert!((a.value() - b.value()).abs() < 1e-12);
+}

@@ -96,7 +96,7 @@ pub fn design_report(ctx: &CarmaContext, model: &DnnModel, eval: &DesignEval) ->
 
     let _ = writeln!(w, "## Versus the exact NVDLA baseline");
     let _ = writeln!(w);
-    let baseline = smallest_exact_meeting(ctx, model, eval.fps.min(30.0).max(1.0));
+    let baseline = smallest_exact_meeting(ctx, model, eval.fps.clamp(1.0, 30.0));
     let saving = 1.0 - eval.embodied.as_grams() / baseline.eval.embodied.as_grams();
     let verdict = if saving >= 0.0 {
         format!("**reduces** embodied carbon by **{:.1} %**", saving * 100.0)

@@ -124,7 +124,7 @@ impl AccuracyEvaluator {
     /// Class-conditional Gaussian-mixture dataset: each class has a
     /// seeded random mean image; samples add per-pixel noise.
     fn gaussian_mixture(config: &EvaluatorConfig) -> Vec<Tensor<u8>> {
-        let mut rng = StdRng::seed_from_u64(config.seed ^ 0xDA7A_5E7);
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0xDA7A5E7);
         let c = 3usize;
         let hw = config.input_hw;
         let n_px = c * hw * hw;

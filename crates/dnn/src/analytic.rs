@@ -190,9 +190,12 @@ mod tests {
     #[test]
     fn estimates_generalize_to_unseen_family() {
         // Calibrate on truncation, predict BAM: the prediction must at
-        // least rank a mild BAM below an aggressive one.
+        // least rank a mild BAM below an aggressive one. Calibration
+        // needs the deep ladder — up to 3 truncated bits this workload
+        // measures a uniformly zero drop, which would fit a
+        // uniformly-zero (untrained) surrogate.
         let eval = evaluator();
-        let lib = MultiplierLibrary::truncation_ladder(8, 3);
+        let lib = MultiplierLibrary::truncation_ladder(8, 6);
         let model = AnalyticAccuracyModel::calibrate(&eval, &lib);
         let mild = carma_multiplier::ErrorProfile::exhaustive(&broken_array(
             8,

@@ -76,7 +76,7 @@ impl QuantizedNetwork {
     /// `classes` is zero.
     pub fn synthetic(input_hw: usize, classes: usize, seed: u64) -> Self {
         assert!(
-            input_hw > 0 && input_hw % 4 == 0,
+            input_hw > 0 && input_hw.is_multiple_of(4),
             "input_hw must be a positive multiple of 4"
         );
         assert!(classes > 0, "classes must be positive");

@@ -94,7 +94,7 @@ impl Nsga2Config {
 
     fn validate(&self) {
         assert!(self.population >= 4, "population must be ≥ 4");
-        assert!(self.population % 2 == 0, "population must be even");
+        assert!(self.population.is_multiple_of(2), "population must be even");
         assert!(
             (0.0..=1.0).contains(&self.crossover_rate)
                 && (0.0..=1.0).contains(&self.mutation_rate),
@@ -171,6 +171,10 @@ pub fn crowding_distance(objs: &[Vec<f64>], front: &[usize]) -> Vec<f64> {
         objs[front[0]].len()
     };
     let mut distance = vec![0.0f64; front.len()];
+    // `obj` selects the objective *column* inside doubly-indexed
+    // lookups; an iterator over `objs` rows (clippy's suggestion) would
+    // be wrong.
+    #[allow(clippy::needless_range_loop)]
     for obj in 0..m {
         let mut order: Vec<usize> = (0..front.len()).collect();
         order.sort_by(|&a, &b| {
@@ -433,9 +437,10 @@ mod tests {
         for a in &front {
             for b in &front {
                 assert!(
-                    !dominates(&a.objectives, &b.objectives)
-                        || a.objectives == b.objectives
-                        || true,
+                    !dominates(&a.objectives, &b.objectives) || a.objectives == b.objectives,
+                    "front member {:?} dominates {:?}",
+                    a.objectives,
+                    b.objectives
                 );
             }
         }

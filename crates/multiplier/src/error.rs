@@ -23,7 +23,7 @@ const EXHAUSTIVE_WIDTH_LIMIT: u32 = 10;
 /// Sample count used beyond the exhaustive limit.
 const SAMPLE_COUNT: usize = 1 << 18;
 /// Seed for sampled characterization (deterministic).
-const SAMPLE_SEED: u64 = 0x5EED_E44;
+const SAMPLE_SEED: u64 = 0x5EEDE44;
 
 /// Statistical error profile of a multiplier against exact
 /// multiplication.

@@ -246,11 +246,7 @@ fn reduce_wallace(nl: &mut Netlist, columns: &mut [Vec<NodeId>]) {
         for k in 0..columns.len() {
             let bits = std::mem::take(&mut columns[k]);
             let mut iter = bits.into_iter().peekable();
-            loop {
-                let x = match iter.next() {
-                    Some(x) => x,
-                    None => break,
-                };
+            while let Some(x) = iter.next() {
                 match (iter.next(), iter.peek().copied()) {
                     (Some(y), Some(_)) => {
                         let z = iter.next().expect("peeked");

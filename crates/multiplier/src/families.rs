@@ -167,10 +167,10 @@ pub fn truncated_with_correction(
     }
     // Inject the rounded expected value as constant-1 bits.
     let correction = dropped_expectation.round() as u64;
-    for c in 0..2 * n {
+    for (c, column) in columns.iter_mut().enumerate().take(2 * n) {
         if (correction >> c) & 1 == 1 {
             let one = nl.constant(true);
-            columns[c].push(one);
+            column.push(one);
         }
     }
 

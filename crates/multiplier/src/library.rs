@@ -377,11 +377,10 @@ impl MultiObjectiveProblem for ApproxSearch {
     ) -> ApproxGenome {
         let mut prunes: Vec<Prune> = Vec::new();
         for p in a.prunes.iter().chain(&b.prunes) {
-            if rng.random_bool(0.5) && prunes.len() < self.config.max_prunes {
-                if !prunes.iter().any(|q| q.gate == p.gate) {
+            if rng.random_bool(0.5) && prunes.len() < self.config.max_prunes
+                && !prunes.iter().any(|q| q.gate == p.gate) {
                     prunes.push(*p);
                 }
-            }
         }
         ApproxGenome {
             truncate_a: if rng.random_bool(0.5) {

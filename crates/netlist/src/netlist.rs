@@ -331,7 +331,7 @@ impl Netlist {
             Node::Const { .. } => return Ok(()),
             Node::Unary { a, .. } => Node::Unary { op: UnOp::Buf, a: *a },
             Node::Binary { a, b, .. } => {
-                let src = if which % 2 == 0 { *a } else { *b };
+                let src = if which.is_multiple_of(2) { *a } else { *b };
                 Node::Unary {
                     op: UnOp::Buf,
                     a: src,

@@ -37,6 +37,12 @@ fn print_library(title: &str, lib: &MultiplierLibrary) {
 fn main() {
     println!("CARMA approximate-multiplier library report");
 
+    // Honour the workspace-wide scale convention (see carma-bench):
+    // `quick` (default) trims the NSGA-II budget so the example doubles
+    // as a smoke test; `CARMA_SCALE=full` runs the paper-scale search.
+    let full_scale = matches!(std::env::var("CARMA_SCALE").as_deref(), Ok("full"));
+    let (population, generations) = if full_scale { (32, 20) } else { (16, 6) };
+
     // Exact reference circuits: the three reduction schedules.
     println!("\nexact 8×8 multipliers:");
     for kind in ReductionKind::ALL {
@@ -60,8 +66,8 @@ fn main() {
         max_truncation: 4,
         max_prunes: 16,
         nsga: Nsga2Config::default()
-            .with_population(32)
-            .with_generations(20)
+            .with_population(population)
+            .with_generations(generations)
             .with_seed(0xE70),
     });
     print_library("evolved library (NSGA-II)", &evolved);

@@ -1,0 +1,72 @@
+//! Smoke tests: every `examples/` program must run to completion at
+//! `CARMA_SCALE=quick`.
+//!
+//! `cargo test` builds example targets into `target/<profile>/examples`
+//! next to the test binary's `deps` directory; each one is executed in
+//! a scratch directory so any artifacts stay out of the repository.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn example_path(name: &str) -> PathBuf {
+    // target/<profile>/deps/example_smoke-<hash> → target/<profile>/examples/<name>
+    let mut dir = std::env::current_exe().expect("test executable path");
+    dir.pop(); // strip the test binary file name
+    if dir.ends_with("deps") {
+        dir.pop();
+    }
+    let path = dir.join("examples").join(name);
+    assert!(
+        path.exists(),
+        "example binary {name} not found at {} — was it compiled?",
+        path.display()
+    );
+    path
+}
+
+fn run_example(name: &str) {
+    let dir =
+        std::env::temp_dir().join(format!("carma_example_smoke_{name}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let output = Command::new(example_path(name))
+        .current_dir(&dir)
+        .env("CARMA_SCALE", "quick")
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn example {name}: {e}"));
+    assert!(
+        output.status.success(),
+        "example {name} exited with {:?}\nstderr:\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(
+        !output.stdout.is_empty(),
+        "example {name} produced no output"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn quickstart_runs_to_completion() {
+    run_example("quickstart");
+}
+
+#[test]
+fn carbon_audit_runs_to_completion() {
+    run_example("carbon_audit");
+}
+
+#[test]
+fn design_explorer_runs_to_completion() {
+    run_example("design_explorer");
+}
+
+#[test]
+fn multiplier_report_runs_to_completion() {
+    run_example("multiplier_report");
+}
+
+#[test]
+fn system_carbon_runs_to_completion() {
+    run_example("system_carbon");
+}

@@ -1,0 +1,200 @@
+//! Vendored, dependency-free property-testing shim exposing the
+//! `proptest`-shaped surface the CARMA workspace uses: the
+//! [`proptest!`] / [`prop_compose!`] macros, range/tuple/vec
+//! strategies, `prop_assert*`, and [`test_runner::Config`].
+//!
+//! Unlike upstream proptest it is **deterministic by construction**:
+//! every test derives its RNG seed from its own name (FNV-1a hash), so
+//! CI runs are reproducible with no `proptest-regressions` files. Set
+//! `PROPTEST_CASES` to scale the per-test case count (e.g. `=8` for a
+//! quick smoke run); explicit `ProptestConfig::with_cases` values are
+//! still honoured as upper bounds of work, capped by the env override.
+//! There is no shrinking — failures print the offending inputs via the
+//! panic message instead.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// `use proptest::prelude::*;` — everything a property test needs.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, proptest};
+}
+
+/// Defines property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(24))]
+///
+///     #[test]
+///     fn holds(x in 0u32..100, y in 0u32..100) {
+///         prop_assert!(x + y < 200);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (@impl $cfg:expr;
+        $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::Config = $cfg;
+                let __cases = __config.effective_cases();
+                let mut __rng =
+                    $crate::test_runner::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..__cases {
+                    $( let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng); )+
+                    let __case_info = format!(
+                        concat!("[", stringify!($name), " case {}/{}: ",
+                            $(stringify!($arg), " = {:?} "),+ , "]"),
+                        __case + 1, __cases, $(&$arg),+
+                    );
+                    let __run = || -> ::std::result::Result<(), String> { $body Ok(()) };
+                    if let Err(__msg) = __run() {
+                        panic!("property failed {}: {}", __case_info, __msg);
+                    }
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl $cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl $crate::test_runner::Config::default(); $($rest)*);
+    };
+}
+
+/// Defines a named composite strategy as a function returning
+/// `impl Strategy`.
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $v:vis fn $name:ident ()
+        ( $($arg:ident in $strat:expr),+ $(,)? ) -> $out:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $v fn $name() -> impl $crate::strategy::Strategy<Value = $out> {
+            $crate::strategy::FnStrategy::new(move |__rng: &mut $crate::test_runner::TestRng| {
+                $( let $arg = $crate::strategy::Strategy::sample(&($strat), __rng); )+
+                $body
+            })
+        }
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, reporting the
+/// sampled inputs on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}` ({} == {})",
+            l, r, stringify!($left), stringify!($right)
+        );
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{:?}` != `{:?}` ({} != {})",
+            l, r, stringify!($left), stringify!($right)
+        );
+    }};
+}
+
+/// Skips the current case when an assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    prop_compose! {
+        /// A pair whose second element is at least the first.
+        fn ordered_pair()(a in 0u32..100, b in 0u32..100) -> (u32, u32) {
+            if a <= b { (a, b) } else { (b, a) }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u8..9, y in -4i32..=4, f in 0.0f64..1.0) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-4..=4).contains(&y));
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn tuples_and_vecs(v in crate::collection::vec((0u32..10, 0usize..3), 0..6)) {
+            prop_assert!(v.len() < 6);
+            for (a, b) in &v {
+                prop_assert!(*a < 10 && *b < 3);
+            }
+        }
+
+        #[test]
+        fn composed(p in ordered_pair()) {
+            prop_assert!(p.0 <= p.1);
+        }
+
+        #[test]
+        fn assume_skips(x in 0u32..10) {
+            prop_assume!(x != 5);
+            prop_assert_ne!(x, 5);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_runner::TestRng::for_test("t");
+        let mut b = crate::test_runner::TestRng::for_test("t");
+        let s = 0u64..1_000_000;
+        assert_eq!(s.clone().sample(&mut a), s.sample(&mut b));
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failure_reports_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

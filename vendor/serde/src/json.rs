@@ -1,0 +1,176 @@
+//! A concrete JSON serializer for exporting experiment rows
+//! (`serde_json::to_string`-shaped entry point).
+
+use crate::ser::{Serialize, SerializeSeq, SerializeStruct, Serializer};
+
+/// Serializes `value` to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> String {
+    let mut out = String::new();
+    match value.serialize(JsonSerializer { out: &mut out }) {
+        Ok(()) => {}
+        Err(e) => match e {},
+    }
+    out
+}
+
+/// The never-failing JSON error type (writes to an in-memory string).
+#[derive(Debug)]
+pub enum Never {}
+
+struct JsonSerializer<'a> {
+    out: &'a mut String,
+}
+
+fn push_json_str(out: &mut String, v: &str) {
+    out.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl<'a> Serializer for JsonSerializer<'a> {
+    type Ok = ();
+    type Error = Never;
+    type SerializeStruct = JsonStruct<'a>;
+    type SerializeSeq = JsonSeq<'a>;
+
+    fn serialize_bool(self, v: bool) -> Result<(), Never> {
+        self.out.push_str(if v { "true" } else { "false" });
+        Ok(())
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<(), Never> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<(), Never> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<(), Never> {
+        if v.is_finite() {
+            self.out.push_str(&format!("{v}"));
+        } else {
+            self.out.push_str("null");
+        }
+        Ok(())
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), Never> {
+        push_json_str(self.out, v);
+        Ok(())
+    }
+
+    fn serialize_unit(self) -> Result<(), Never> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<JsonStruct<'a>, Never> {
+        self.out.push('{');
+        Ok(JsonStruct {
+            out: self.out,
+            first: true,
+        })
+    }
+
+    fn serialize_seq(self, _len: Option<usize>) -> Result<JsonSeq<'a>, Never> {
+        self.out.push('[');
+        Ok(JsonSeq {
+            out: self.out,
+            first: true,
+        })
+    }
+}
+
+/// In-progress JSON object.
+pub struct JsonStruct<'a> {
+    out: &'a mut String,
+    first: bool,
+}
+
+impl SerializeStruct for JsonStruct<'_> {
+    type Ok = ();
+    type Error = Never;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Never> {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        push_json_str(self.out, key);
+        self.out.push(':');
+        value.serialize(JsonSerializer { out: self.out })
+    }
+
+    fn end(self) -> Result<(), Never> {
+        self.out.push('}');
+        Ok(())
+    }
+}
+
+/// In-progress JSON array.
+pub struct JsonSeq<'a> {
+    out: &'a mut String,
+    first: bool,
+}
+
+impl SerializeSeq for JsonSeq<'_> {
+    type Ok = ();
+    type Error = Never;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Never> {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        value.serialize(JsonSerializer { out: self.out })
+    }
+
+    fn end(self) -> Result<(), Never> {
+        self.out.push(']');
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::to_string;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(to_string(&1u32), "1");
+        assert_eq!(to_string(&-3i64), "-3");
+        assert_eq!(to_string(&true), "true");
+        assert_eq!(to_string(&2.5f64), "2.5");
+        assert_eq!(to_string("a\"b"), "\"a\\\"b\"");
+    }
+
+    #[test]
+    fn sequences() {
+        assert_eq!(to_string(&vec![1u8, 2, 3]), "[1,2,3]");
+        assert_eq!(to_string(&Vec::<u8>::new()), "[]");
+        assert_eq!(to_string(&[0.5f64, 1.5]), "[0.5,1.5]");
+    }
+
+    #[test]
+    fn options() {
+        assert_eq!(to_string(&Some(4u8)), "4");
+        assert_eq!(to_string(&Option::<u8>::None), "null");
+    }
+}

@@ -1,0 +1,13 @@
+//! Vendored, dependency-free serialization shim exposing the
+//! `serde`-shaped API surface the CARMA workspace uses: the
+//! [`Serialize`] / [`Serializer`] traits, a `#[derive(Serialize)]`
+//! proc-macro (re-exported from `serde_derive`), and a concrete JSON
+//! writer in [`json`] so experiment rows can be exported.
+
+pub use serde_derive::Serialize;
+
+pub mod ser;
+
+pub use ser::{Serialize, Serializer};
+
+pub mod json;

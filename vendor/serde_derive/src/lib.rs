@@ -1,0 +1,234 @@
+//! Vendored `#[derive(Serialize)]` implemented directly on
+//! `proc_macro` token streams (no `syn`/`quote` — the build is
+//! offline).
+//!
+//! Supported shape: non-generic structs with named fields. Field
+//! attribute `#[serde(serialize_with = "path")]` routes one field
+//! through a custom `fn(&T, S) -> Result<S::Ok, S::Error>`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    ty: String,
+    serialize_with: Option<String>,
+}
+
+/// Derives `serde::Serialize` for a named-field struct.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match expand(input) {
+        Ok(ts) => ts,
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn expand(input: TokenStream) -> Result<TokenStream, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#[...]`) and visibility / qualifiers
+    // until the `struct` keyword.
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // '#' + [group]
+            TokenTree::Ident(id) if id.to_string() == "struct" => break,
+            TokenTree::Ident(id) if id.to_string() == "enum" || id.to_string() == "union" => {
+                return Err("derive(Serialize) shim supports structs with named fields only"
+                    .to_string())
+            }
+            _ => i += 1,
+        }
+    }
+    if i >= tokens.len() {
+        return Err("derive(Serialize): no `struct` keyword found".to_string());
+    }
+    i += 1; // past `struct`
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("derive(Serialize): missing struct name".to_string()),
+    };
+    i += 1;
+
+    // Find the brace-delimited field group (rejecting generics for
+    // simplicity — nothing in the workspace derives on generic rows).
+    let fields_group = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err("derive(Serialize) shim does not support generic structs".to_string())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err("derive(Serialize) shim does not support tuple structs".to_string())
+            }
+            Some(_) => i += 1,
+            None => {
+                return Err("derive(Serialize): struct body not found".to_string());
+            }
+        }
+    };
+
+    let fields = parse_fields(fields_group)?;
+    Ok(render(&name, &fields))
+}
+
+fn parse_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+
+    while i < tokens.len() {
+        let mut serialize_with = None;
+
+        // Attributes before the field (doc comments and serde attrs).
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                if let Some(sw) = extract_serialize_with(&g.stream()) {
+                    serialize_with = Some(sw);
+                }
+            }
+            i += 2;
+        }
+
+        // Optional visibility: `pub` or `pub(...)`.
+        if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break, // trailing comma
+            Some(other) => return Err(format!("derive(Serialize): expected field name, found {other}")),
+        };
+        i += 1;
+
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("derive(Serialize): expected `:` after field `{name}`")),
+        }
+
+        // Type: everything until a top-level comma. `<` / `>` do not
+        // appear as groups, so track angle-bracket depth manually.
+        let mut ty = String::new();
+        let mut depth = 0i32;
+        while let Some(tt) = tokens.get(i) {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                TokenTree::Punct(p) => {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => depth -= 1,
+                        _ => {}
+                    }
+                    ty.push(p.as_char());
+                }
+                other => {
+                    if !ty.is_empty() && !ty.ends_with('<') && !ty.ends_with(':') {
+                        ty.push(' ');
+                    }
+                    ty.push_str(&other.to_string());
+                }
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or the end)
+
+        fields.push(Field {
+            name,
+            ty,
+            serialize_with,
+        });
+    }
+
+    Ok(fields)
+}
+
+/// Looks for `serde(serialize_with = "path")` inside one attribute's
+/// bracket group.
+fn extract_serialize_with(stream: &TokenStream) -> Option<String> {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => {
+            let inner: Vec<TokenTree> = args.stream().into_iter().collect();
+            let mut j = 0;
+            while j < inner.len() {
+                if let TokenTree::Ident(key) = &inner[j] {
+                    if key.to_string() == "serialize_with" {
+                        if let (
+                            Some(TokenTree::Punct(eq)),
+                            Some(TokenTree::Literal(lit)),
+                        ) = (inner.get(j + 1), inner.get(j + 2))
+                        {
+                            if eq.as_char() == '=' {
+                                let s = lit.to_string();
+                                return Some(s.trim_matches('"').to_string());
+                            }
+                        }
+                    }
+                }
+                j += 1;
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+fn render(name: &str, fields: &[Field]) -> TokenStream {
+    let mut body = String::new();
+    let mut wrappers = String::new();
+
+    for (idx, f) in fields.iter().enumerate() {
+        match &f.serialize_with {
+            None => {
+                body.push_str(&format!(
+                    "::serde::ser::SerializeStruct::serialize_field(&mut __state, \"{0}\", &self.{0})?;\n",
+                    f.name
+                ));
+            }
+            Some(path) => {
+                let wrapper = format!("__SerializeWith{idx}");
+                wrappers.push_str(&format!(
+                    "struct {wrapper}<'a>(&'a {ty});\n\
+                     impl<'a> ::serde::Serialize for {wrapper}<'a> {{\n\
+                         fn serialize<S: ::serde::Serializer>(&self, __s: S) -> ::core::result::Result<S::Ok, S::Error> {{\n\
+                             {path}(self.0, __s)\n\
+                         }}\n\
+                     }}\n",
+                    ty = f.ty,
+                ));
+                body.push_str(&format!(
+                    "::serde::ser::SerializeStruct::serialize_field(&mut __state, \"{0}\", &{wrapper}(&self.{0}))?;\n",
+                    f.name
+                ));
+            }
+        }
+    }
+
+    let out = format!(
+        "const _: () = {{\n\
+             {wrappers}\n\
+             impl ::serde::Serialize for {name} {{\n\
+                 fn serialize<S: ::serde::Serializer>(&self, __serializer: S) -> ::core::result::Result<S::Ok, S::Error> {{\n\
+                     let mut __state = ::serde::Serializer::serialize_struct(__serializer, \"{name}\", {len})?;\n\
+                     {body}\n\
+                     ::serde::ser::SerializeStruct::end(__state)\n\
+                 }}\n\
+             }}\n\
+         }};",
+        len = fields.len(),
+    );
+
+    out.parse().expect("derive(Serialize) shim produced invalid Rust")
+}
