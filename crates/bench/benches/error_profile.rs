@@ -4,19 +4,33 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
-use carma_multiplier::{ApproxGenome, ErrorProfile, LutMultiplier, MultiplierCircuit, ReductionKind};
+use carma_bench::Scale;
+use carma_multiplier::{
+    ApproxGenome, ErrorProfile, LutMultiplier, MultiplierCircuit, ReductionKind,
+};
+
+/// Sampled-characterization budget: trimmed at `CARMA_SCALE=quick`
+/// (the CI smoke default) so the bench suite stays inside the smoke
+/// budget.
+fn sample_budget() -> usize {
+    match Scale::from_env() {
+        Scale::Quick => 1 << 12,
+        Scale::Full => 1 << 14,
+    }
+}
 
 fn bench_exhaustive_profile(c: &mut Criterion) {
     let base = MultiplierCircuit::generate(8, ReductionKind::Dadda);
     let approx = ApproxGenome::truncation(2, 2).apply(&base);
+    let samples = sample_budget();
     let mut group = c.benchmark_group("error_profile");
     group.throughput(Throughput::Elements(65_536));
     group.sample_size(20);
     group.bench_function("exhaustive_8x8", |b| {
         b.iter(|| black_box(ErrorProfile::exhaustive(&approx)));
     });
-    group.bench_function("sampled_8x8_16k", |b| {
-        b.iter(|| black_box(ErrorProfile::sampled(&approx, 1 << 14, 7)));
+    group.bench_function(format!("sampled_8x8_{samples}"), |b| {
+        b.iter(|| black_box(ErrorProfile::sampled(&approx, samples, 7)));
     });
     group.finish();
 }

@@ -6,6 +6,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::sync::OnceLock;
 
+use carma_bench::Scale;
 use carma_core::{CarmaContext, DesignPoint};
 use carma_dnn::DnnModel;
 use carma_ga::fast_non_dominated_sort;
@@ -15,7 +16,12 @@ use rand::{RngExt, SeedableRng};
 
 fn ctx() -> &'static CarmaContext {
     static CTX: OnceLock<CarmaContext> = OnceLock::new();
-    CTX.get_or_init(|| CarmaContext::reduced(TechNode::N7))
+    // `CARMA_SCALE=quick` (the default) keeps the context cheap enough
+    // for CI smoke runs; `full` benches the paper-scale configuration.
+    CTX.get_or_init(|| match Scale::from_env() {
+        Scale::Quick => CarmaContext::reduced(TechNode::N7),
+        Scale::Full => CarmaContext::standard(TechNode::N7),
+    })
 }
 
 fn bench_design_eval(c: &mut Criterion) {

@@ -5,19 +5,29 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use carma_bench::Scale;
 use carma_dataflow::{Accelerator, PerfModel};
 use carma_dnn::DnnModel;
 use carma_netlist::TechNode;
+
+/// Model zoo for the mapping benches: trimmed at `CARMA_SCALE=quick`
+/// (the CI smoke default), full paper zoo otherwise.
+fn models() -> Vec<(&'static str, DnnModel)> {
+    match Scale::from_env() {
+        Scale::Quick => vec![("vgg16", DnnModel::vgg16())],
+        Scale::Full => vec![
+            ("vgg16", DnnModel::vgg16()),
+            ("resnet50", DnnModel::resnet50()),
+            ("resnet152", DnnModel::resnet152()),
+        ],
+    }
+}
 
 fn bench_network_mapping(c: &mut Criterion) {
     let perf = PerfModel::new();
     let mut group = c.benchmark_group("mapping_search");
     group.sample_size(30);
-    for (name, model) in [
-        ("vgg16", DnnModel::vgg16()),
-        ("resnet50", DnnModel::resnet50()),
-        ("resnet152", DnnModel::resnet152()),
-    ] {
+    for (name, model) in models() {
         let accel = Accelerator::nvdla_preset(512, TechNode::N7);
         group.bench_function(format!("{name}_512mac"), |b| {
             b.iter(|| black_box(perf.evaluate(black_box(&accel), &model)));
@@ -29,9 +39,13 @@ fn bench_network_mapping(c: &mut Criterion) {
 fn bench_array_size_scaling(c: &mut Criterion) {
     let perf = PerfModel::new();
     let model = DnnModel::vgg16();
+    let sizes: &[u32] = match Scale::from_env() {
+        Scale::Quick => &[64, 512],
+        Scale::Full => &[64, 512, 2048],
+    };
     let mut group = c.benchmark_group("mapping_vs_array_size");
     group.sample_size(30);
-    for macs in [64u32, 512, 2048] {
+    for &macs in sizes {
         let accel = Accelerator::nvdla_preset(macs, TechNode::N7);
         group.bench_function(format!("vgg16_{macs}mac"), |b| {
             b.iter(|| black_box(perf.evaluate(black_box(&accel), &model)));

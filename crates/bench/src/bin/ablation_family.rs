@@ -6,6 +6,10 @@
 //! ```text
 //! cargo run --release -p carma-bench --bin ablation_family
 //! ```
+//!
+//! All three library constructions and every GA generation evaluate on
+//! the shared `carma-exec` engine (`CARMA_THREADS` controls width;
+//! results are thread-count invariant).
 
 use carma_bench::{banner, Scale};
 use carma_core::experiments::format_table;
@@ -18,7 +22,10 @@ use carma_netlist::TechNode;
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Ablation — multiplier library family (VGG16 @ 7 nm, ≥30 FPS, ≤2%)", scale);
+    banner(
+        "Ablation — multiplier library family (VGG16 @ 7 nm, ≥30 FPS, ≤2%)",
+        scale,
+    );
 
     let model = DnnModel::vgg16();
     let constraints = Constraints::new(30.0, 0.02);
@@ -50,8 +57,7 @@ fn main() {
         let ctx = CarmaContext::with_parts(TechNode::N7, library, evaluator);
         let baseline = smallest_exact_meeting(&ctx, &model, 30.0);
         let best = ga_cdp(&ctx, &model, constraints, scale.ga());
-        let saving =
-            100.0 * (1.0 - best.embodied.as_grams() / baseline.eval.embodied.as_grams());
+        let saving = 100.0 * (1.0 - best.embodied.as_grams() / baseline.eval.embodied.as_grams());
         rows.push(vec![
             name.to_string(),
             len.to_string(),

@@ -15,7 +15,10 @@ use carma_netlist::TechNode;
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Ablation — fab grid mix vs embodied carbon (VGG16 @ 7 nm)", scale);
+    banner(
+        "Ablation — fab grid mix vs embodied carbon (VGG16 @ 7 nm)",
+        scale,
+    );
 
     let model = DnnModel::vgg16();
     let mut rows = Vec::new();
@@ -29,8 +32,7 @@ fn main() {
         ctx.set_carbon_model(CarbonModel::for_node(TechNode::N7).with_grid(grid));
         let baseline = smallest_exact_meeting(&ctx, &model, 30.0);
         let best = ga_cdp(&ctx, &model, Constraints::new(30.0, 0.02), scale.ga());
-        let saving =
-            100.0 * (1.0 - best.embodied.as_grams() / baseline.eval.embodied.as_grams());
+        let saving = 100.0 * (1.0 - best.embodied.as_grams() / baseline.eval.embodied.as_grams());
         rows.push(vec![
             grid.to_string(),
             format!("{:.0}", grid.grams_per_kwh()),
@@ -42,13 +44,7 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &[
-                "grid",
-                "CI [g/kWh]",
-                "exact [g]",
-                "ga-cdp [g]",
-                "saving %"
-            ],
+            &["grid", "CI [g/kWh]", "exact [g]", "ga-cdp [g]", "saving %"],
             &rows
         )
     );

@@ -16,7 +16,10 @@ use carma_netlist::TechNode;
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Ablation — GA fitness metric (VGG16 @ 7 nm, ≥30 FPS, ≤2%)", scale);
+    banner(
+        "Ablation — GA fitness metric (VGG16 @ 7 nm, ≥30 FPS, ≤2%)",
+        scale,
+    );
 
     let ctx = scale.context(TechNode::N7);
     let model = DnnModel::vgg16();
@@ -31,8 +34,7 @@ fn main() {
         ("EDP", FitnessMetric::Edp),
     ] {
         let best = ga_cdp_with_metric(&ctx, &model, constraints, scale.ga(), metric);
-        let saving =
-            100.0 * (1.0 - best.embodied.as_grams() / baseline.eval.embodied.as_grams());
+        let saving = 100.0 * (1.0 - best.embodied.as_grams() / baseline.eval.embodied.as_grams());
         rows.push(vec![
             name.to_string(),
             best.accelerator.macs().to_string(),

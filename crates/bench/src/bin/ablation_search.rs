@@ -17,7 +17,10 @@ use rand::SeedableRng;
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Ablation — GA vs random search (VGG16 @ 7 nm, ≥30 FPS, ≤2%)", scale);
+    banner(
+        "Ablation — GA vs random search (VGG16 @ 7 nm, ≥30 FPS, ≤2%)",
+        scale,
+    );
 
     let ctx = scale.context(TechNode::N7);
     let model = DnnModel::vgg16();
@@ -74,10 +77,7 @@ fn main() {
 
     println!(
         "{}",
-        format_table(
-            &["search", "evals", "FPS", "carbon [g]", "saving %"],
-            &rows
-        )
+        format_table(&["search", "evals", "FPS", "carbon [g]", "saving %"], &rows)
     );
     println!("expected: GA matches or beats random search at equal budget");
 }

@@ -20,21 +20,25 @@ fn main() {
 
     let model = DnnModel::vgg16();
     let mut rows = Vec::new();
-    for node in TechNode::ALL {
-        // One context per node: the library characterization, accuracy
-        // reference run and perf cache are yield-model independent, so
-        // the three ablation arms share them.
-        let mut ctx = scale.context(node);
+    // One context per node, built in parallel on the shared engine:
+    // the library characterization, accuracy reference run and perf
+    // cache are yield-model independent, so the three ablation arms
+    // below share them.
+    let contexts = carma_exec::par_map(&TechNode::ALL, |&node| scale.context(node));
+    for (node, mut ctx) in TechNode::ALL.into_iter().zip(contexts) {
         for (name, ym) in [
             ("poisson", YieldModel::Poisson),
             ("murphy", YieldModel::Murphy),
-            ("neg-binomial(3)", YieldModel::NegativeBinomial { alpha: 3.0 }),
+            (
+                "neg-binomial(3)",
+                YieldModel::NegativeBinomial { alpha: 3.0 },
+            ),
         ] {
             ctx.set_carbon_model(CarbonModel::for_node(node).with_yield_model(ym));
             let baseline = smallest_exact_meeting(&ctx, &model, 30.0);
             let best = ga_cdp(&ctx, &model, Constraints::new(30.0, 0.02), scale.ga());
-            let saving = 100.0
-                * (1.0 - best.embodied.as_grams() / baseline.eval.embodied.as_grams());
+            let saving =
+                100.0 * (1.0 - best.embodied.as_grams() / baseline.eval.embodied.as_grams());
             rows.push(vec![
                 node.to_string(),
                 name.to_string(),

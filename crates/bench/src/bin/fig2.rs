@@ -5,6 +5,10 @@
 //! ```text
 //! cargo run --release -p carma-bench --bin fig2
 //! ```
+//!
+//! Context construction, both baseline sweeps and every GA generation
+//! evaluate on the shared `carma-exec` engine (`CARMA_THREADS`
+//! controls width; results are thread-count invariant).
 
 use carma_bench::{banner, Scale};
 use carma_core::experiments::{fig2_scatter, format_table};

@@ -13,20 +13,15 @@ use carma_netlist::TechNode;
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Figure 3 — normalized embodied carbon across DNNs and nodes", scale);
+    banner(
+        "Figure 3 — normalized embodied carbon across DNNs and nodes",
+        scale,
+    );
 
     // Context construction (library characterization + accuracy runs)
-    // is embarrassingly parallel across nodes.
-    let contexts: Vec<_> = std::thread::scope(|s| {
-        let handles: Vec<_> = TechNode::ALL
-            .iter()
-            .map(|&node| s.spawn(move || scale.context(node)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("context thread panicked"))
-            .collect::<Vec<_>>()
-    });
+    // is embarrassingly parallel across nodes; the GA runs inside
+    // `fig3` then fan each generation out through the same engine.
+    let contexts = carma_exec::par_map(&TechNode::ALL, |&node| scale.context(node));
     let rows = fig3(&contexts, scale.ga());
 
     let table: Vec<Vec<String>> = rows
@@ -58,7 +53,14 @@ fn main() {
     );
 
     let csv = to_csv(
-        &["model", "node", "exact", "approx_only", "ga_cdp", "exact_carbon_g"],
+        &[
+            "model",
+            "node",
+            "exact",
+            "approx_only",
+            "ga_cdp",
+            "exact_carbon_g",
+        ],
         &table,
     );
     if std::fs::write("fig3.csv", &csv).is_ok() {

@@ -25,13 +25,17 @@ use carma_netlist::TechNode;
 
 fn main() {
     let scale = Scale::from_env();
-    banner("Figure 2 table — carbon reduction from approximation only", scale);
+    banner(
+        "Figure 2 table — carbon reduction from approximation only",
+        scale,
+    );
 
     let model = DnnModel::vgg16();
+    // One context per node, built in parallel on the shared engine.
+    let contexts = carma_exec::par_map(&TechNode::ALL, |&node| scale.context(node));
     let mut rows: Vec<Vec<String>> = Vec::new();
-    for node in TechNode::ALL {
-        let ctx = scale.context(node);
-        let table = reduction_table(&ctx, &model);
+    for (node, ctx) in TechNode::ALL.into_iter().zip(&contexts) {
+        let table = reduction_table(ctx, &model);
         let avg: Vec<String> = table.iter().map(|r| format!("{:.2}", r.avg_pct)).collect();
         let peak: Vec<String> = table.iter().map(|r| format!("{:.2}", r.peak_pct)).collect();
         rows.push(vec![
@@ -51,10 +55,7 @@ fn main() {
     }
     println!(
         "{}",
-        format_table(
-            &["node", "type", "0.5%", "1.0%", "2.0%"],
-            &rows
-        )
+        format_table(&["node", "type", "0.5%", "1.0%", "2.0%"], &rows)
     );
     println!("(paper peak maximum: 12.75% at 14 nm / 2.0%)");
 }

@@ -73,9 +73,7 @@ impl Scale {
     /// The GA budget at this scale.
     pub fn ga(self) -> GaConfig {
         match self {
-            Scale::Quick => GaConfig::default()
-                .with_population(24)
-                .with_generations(18),
+            Scale::Quick => GaConfig::default().with_population(24).with_generations(18),
             Scale::Full => GaConfig::default(),
         }
     }

@@ -73,3 +73,10 @@ fn ablation_search_runs_to_completion() {
 fn ablation_yield_runs_to_completion() {
     run_bin(env!("CARGO_BIN_EXE_ablation_yield"), "ablation_yield");
 }
+
+#[test]
+fn bench_parallel_runs_to_completion() {
+    // Also covers the binary's internal cross-width determinism
+    // assertions; BENCH_parallel.json lands in the scratch dir.
+    run_bin(env!("CARGO_BIN_EXE_bench_parallel"), "bench_parallel");
+}

@@ -192,8 +192,7 @@ impl CarbonModel {
         let cfpa = self.cfpa_g_per_cm2(area);
         let die_carbon = CarbonMass::from_grams(cfpa * area.as_cm2());
         let wasted_area = self.wafer.wasted_area_per_die(area);
-        let wasted_carbon =
-            CarbonMass::from_grams(SILICON_CFPA_G_PER_CM2 * wasted_area.as_cm2());
+        let wasted_carbon = CarbonMass::from_grams(SILICON_CFPA_G_PER_CM2 * wasted_area.as_cm2());
         CarbonBreakdown {
             fab_yield,
             cfpa_g_per_cm2: cfpa,

@@ -45,7 +45,7 @@ pub mod yield_model;
 
 pub use embodied::{CarbonBreakdown, CarbonMass, CarbonModel};
 pub use metrics::{Cdp, Cep, Edp, OperationalCarbon};
-pub use system::{Die, Package, SystemCarbon};
 pub use params::{FabParams, GridMix, SILICON_CFPA_G_PER_CM2};
+pub use system::{Die, Package, SystemCarbon};
 pub use wafer::Wafer;
 pub use yield_model::YieldModel;

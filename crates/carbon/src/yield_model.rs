@@ -9,8 +9,7 @@
 use carma_netlist::Area;
 
 /// A die-yield model `Y(A, D₀) ∈ (0, 1]`.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum YieldModel {
     /// Poisson model: `Y = exp(−A·D₀)`. Pessimistic for large dies.
     Poisson,
@@ -25,7 +24,6 @@ pub enum YieldModel {
         alpha: f64,
     },
 }
-
 
 impl YieldModel {
     /// Computes the yield for a die of `area` at defect density

@@ -3,6 +3,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 use carma_carbon::{CarbonMass, CarbonModel};
 use carma_dataflow::{Accelerator, AreaModel, PerfModel};
@@ -66,6 +67,61 @@ struct PerfSummary {
     macs: u64,
 }
 
+/// Number of lock shards in the perf cache. A gen-size GA batch keeps
+/// every pool worker hitting the cache at once; 16 shards make lock
+/// collisions rare without meaningful memory cost.
+const PERF_CACHE_SHARDS: usize = 16;
+
+/// Sharded, concurrent perf memo: accelerator → per-model summaries.
+///
+/// The key proper is the [`Accelerator`] alone — the multiplier choice
+/// never affects cycle counts, so no multiplier state belongs in the
+/// key, and hashing allocates nothing. The DNN *does* affect cycle
+/// counts (one context is reused across the paper's four models, e.g.
+/// by `fig3`), so summaries for one accelerator are distinguished by
+/// model name in a short inner vector — compared by `&str`, cloned
+/// only once per (accelerator, model) on the insert path, never per
+/// lookup.
+struct PerfCache {
+    shards: [Mutex<PerfShard>; PERF_CACHE_SHARDS],
+}
+
+/// One lock's worth of the perf memo.
+type PerfShard = HashMap<Accelerator, Vec<(String, PerfSummary)>>;
+
+impl PerfCache {
+    fn new() -> Self {
+        PerfCache {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+        }
+    }
+
+    fn shard(&self, accel: &Accelerator) -> &Mutex<PerfShard> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        accel.hash(&mut h);
+        &self.shards[h.finish() as usize % PERF_CACHE_SHARDS]
+    }
+
+    fn get(&self, accel: &Accelerator, model_name: &str) -> Option<PerfSummary> {
+        self.shard(accel).lock().get(accel).and_then(|per_model| {
+            per_model
+                .iter()
+                .find(|(name, _)| name == model_name)
+                .map(|&(_, summary)| summary)
+        })
+    }
+
+    fn insert(&self, accel: Accelerator, model_name: &str, summary: PerfSummary) {
+        let mut shard = self.shard(&accel).lock();
+        let per_model = shard.entry(accel).or_default();
+        // A racing worker may have inserted the same (deterministic)
+        // summary between our miss and this lock; keep the first.
+        if !per_model.iter().any(|(name, _)| name == model_name) {
+            per_model.push((model_name.to_string(), summary));
+        }
+    }
+}
+
 /// The CARMA evaluation context for one technology node.
 ///
 /// Holds the (pre-characterized) multiplier library with its DNN
@@ -73,14 +129,26 @@ struct PerfSummary {
 /// oracle. Construction is the expensive part (library
 /// characterization + behavioural accuracy runs); evaluation of design
 /// points is then cheap enough to sit inside the GA loop.
+/// `CarmaContext` is fully [`Sync`]: design points evaluate through
+/// `&self` with all shared mutability confined to the sharded
+/// [`PerfCache`], so one context can serve a whole pool of GA workers
+/// concurrently (see [`evaluate_batch`](CarmaContext::evaluate_batch)).
 pub struct CarmaContext {
     node: TechNode,
     library: MultiplierLibrary,
     accuracy_drops: Vec<f64>,
     carbon: CarbonModel,
     perf: PerfModel,
-    perf_cache: Mutex<HashMap<(Accelerator, String), PerfSummary>>,
+    perf_cache: PerfCache,
 }
+
+// Compile-time guarantee: evaluation layers may share a context across
+// pool workers. Losing Sync (e.g. via an un-sharded cache type) is a
+// build error, not a runtime surprise.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CarmaContext>();
+};
 
 impl fmt::Debug for CarmaContext {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -141,7 +209,7 @@ impl CarmaContext {
             accuracy_drops,
             carbon: CarbonModel::for_node(node),
             perf: PerfModel::new(),
-            perf_cache: Mutex::new(HashMap::new()),
+            perf_cache: PerfCache::new(),
         }
     }
 
@@ -196,9 +264,8 @@ impl CarmaContext {
 
     /// Memoized FPS/latency of `accel` on `model`.
     fn perf_summary(&self, accel: &Accelerator, model: &DnnModel) -> PerfSummary {
-        let key = (*accel, model.name().to_string());
-        if let Some(s) = self.perf_cache.lock().get(&key) {
-            return *s;
+        if let Some(s) = self.perf_cache.get(accel, model.name()) {
+            return s;
         }
         let report = self.perf.evaluate(accel, model);
         let s = PerfSummary {
@@ -208,7 +275,7 @@ impl CarmaContext {
             sram_bytes: report.sram_bytes,
             macs: report.macs,
         };
-        self.perf_cache.lock().insert(key, s);
+        self.perf_cache.insert(*accel, model.name(), s);
         s
     }
 
@@ -250,6 +317,15 @@ impl CarmaContext {
             energy_j,
             accuracy_drop: self.accuracy_drops[mult_idx],
         }
+    }
+
+    /// Evaluates a batch of design points on `model` across the
+    /// `carma-exec` pool, in input order. Each point's evaluation is a
+    /// pure function of `(self, point, model)`, so the batch is
+    /// bit-identical to mapping [`evaluate`](Self::evaluate) serially,
+    /// at any `CARMA_THREADS` setting.
+    pub fn evaluate_batch(&self, points: &[DesignPoint], model: &DnnModel) -> Vec<DesignEval> {
+        carma_exec::par_map(points, |point| self.evaluate(point, model))
     }
 }
 
@@ -329,6 +405,35 @@ mod tests {
         let a = ctx.evaluate(&dp, &model);
         let b = ctx.evaluate(&dp, &model);
         assert_eq!(a.fps, b.fps);
+    }
+
+    #[test]
+    fn perf_cache_distinguishes_models_per_accelerator() {
+        // One context serves several DNNs (fig3's protocol); the cache
+        // keys on the accelerator but must never cross-serve models.
+        let ctx = ctx7();
+        let dp = DesignPoint::nvdla_like(256);
+        let r50 = ctx.evaluate(&dp, &DnnModel::resnet50());
+        let vgg = ctx.evaluate(&dp, &DnnModel::vgg16());
+        assert_ne!(r50.fps, vgg.fps, "distinct models share one cache slot");
+        // Warm-cache round trips still agree per model.
+        assert_eq!(r50.fps, ctx.evaluate(&dp, &DnnModel::resnet50()).fps);
+        assert_eq!(vgg.fps, ctx.evaluate(&dp, &DnnModel::vgg16()).fps);
+    }
+
+    #[test]
+    fn evaluate_batch_matches_serial_and_is_thread_invariant() {
+        let ctx = ctx7();
+        let model = DnnModel::resnet50();
+        let points: Vec<DesignPoint> = carma_dataflow::NVDLA_MAC_SIZES
+            .iter()
+            .map(|&m| DesignPoint::nvdla_like(m))
+            .collect();
+        let serial: Vec<DesignEval> = points.iter().map(|p| ctx.evaluate(p, &model)).collect();
+        for threads in [1, 8] {
+            let batch = carma_exec::with_threads(threads, || ctx.evaluate_batch(&points, &model));
+            assert_eq!(serial, batch, "threads = {threads}");
+        }
     }
 
     #[test]

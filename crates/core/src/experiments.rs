@@ -9,9 +9,7 @@ use carma_netlist::TechNode;
 use serde::Serialize;
 
 use crate::context::CarmaContext;
-use crate::flow::{
-    approx_only_sweep, exact_sweep, ga_cdp, smallest_exact_meeting, Constraints,
-};
+use crate::flow::{approx_only_sweep, exact_sweep, ga_cdp, smallest_exact_meeting, Constraints};
 
 /// The paper's accuracy-drop classes: up to 0.5 %, 1.0 % and 2.0 %.
 pub const ACCURACY_CLASSES: [f64; 3] = [0.005, 0.010, 0.020];
@@ -97,9 +95,7 @@ pub fn reduction_table(ctx: &CarmaContext, model: &DnnModel) -> Vec<ReductionRow
                 .iter()
                 .zip(&approx)
                 .map(|(e, a)| {
-                    100.0
-                        * (1.0
-                            - a.eval.embodied.as_grams() / e.eval.embodied.as_grams())
+                    100.0 * (1.0 - a.eval.embodied.as_grams() / e.eval.embodied.as_grams())
                 })
                 .collect();
             ReductionRow {

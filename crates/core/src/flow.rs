@@ -106,15 +106,24 @@ pub struct SweepPoint {
 /// Evaluates the paper's exact baseline: every NVDLA preset from 64 to
 /// 2048 MACs with the exact multiplier.
 pub fn exact_sweep(ctx: &CarmaContext, model: &DnnModel) -> Vec<SweepPoint> {
+    sweep(ctx, model, DesignPoint::nvdla_like)
+}
+
+/// Evaluates one design point per NVDLA preset in parallel over the
+/// `carma-exec` pool (the common shape of both baseline sweeps).
+fn sweep(
+    ctx: &CarmaContext,
+    model: &DnnModel,
+    point_for: impl Fn(u32) -> DesignPoint,
+) -> Vec<SweepPoint> {
+    let points: Vec<DesignPoint> = carma_dataflow::NVDLA_MAC_SIZES
+        .iter()
+        .map(|&macs| point_for(macs))
+        .collect();
     carma_dataflow::NVDLA_MAC_SIZES
         .iter()
-        .map(|&macs| {
-            let dp = DesignPoint::nvdla_like(macs);
-            SweepPoint {
-                macs,
-                eval: ctx.evaluate(&dp, model),
-            }
-        })
+        .zip(ctx.evaluate_batch(&points, model))
+        .map(|(&macs, eval)| SweepPoint { macs, eval })
         .collect()
 }
 
@@ -122,17 +131,11 @@ pub fn exact_sweep(ctx: &CarmaContext, model: &DnnModel) -> Vec<SweepPoint> {
 /// with the smallest multiplier whose accuracy drop fits `max_drop`.
 pub fn approx_only_sweep(ctx: &CarmaContext, model: &DnnModel, max_drop: f64) -> Vec<SweepPoint> {
     let mult_idx = ctx.best_mult_within_drop(max_drop) as u16;
-    carma_dataflow::NVDLA_MAC_SIZES
-        .iter()
-        .map(|&macs| {
-            let mut dp = DesignPoint::nvdla_like(macs);
-            dp.mult_idx = mult_idx;
-            SweepPoint {
-                macs,
-                eval: ctx.evaluate(&dp, model),
-            }
-        })
-        .collect()
+    sweep(ctx, model, |macs| {
+        let mut dp = DesignPoint::nvdla_like(macs);
+        dp.mult_idx = mult_idx;
+        dp
+    })
 }
 
 /// The smallest exact NVDLA preset meeting `min_fps` (the paper's
@@ -170,6 +173,14 @@ impl Problem for GaCdpProblem<'_> {
 
     fn mutate(&self, genome: &mut DesignPoint, rng: &mut dyn Rng) {
         genome.mutate(rng, self.ctx.library().len());
+    }
+
+    fn evaluate_batch(&self, genomes: &[DesignPoint]) -> Vec<Evaluation> {
+        // Whole-generation fan-out over the carma-exec pool: the GA's
+        // runtime is almost entirely fitness evaluation, and each
+        // evaluation is pure given (context, model), so parallel
+        // batches reproduce the serial path bit-for-bit.
+        carma_ga::par_evaluate(self, genomes)
     }
 
     fn evaluate(&self, genome: &DesignPoint) -> Evaluation {

@@ -33,7 +33,12 @@ pub fn design_report(ctx: &CarmaContext, model: &DnnModel, eval: &DesignEval) ->
     let mut out = String::new();
     let w = &mut out;
 
-    let _ = writeln!(w, "# CARMA design report — {} @ {}", model.name(), ctx.node());
+    let _ = writeln!(
+        w,
+        "# CARMA design report — {} @ {}",
+        model.name(),
+        ctx.node()
+    );
     let _ = writeln!(w);
 
     let _ = writeln!(w, "## Configuration");
@@ -41,7 +46,13 @@ pub fn design_report(ctx: &CarmaContext, model: &DnnModel, eval: &DesignEval) ->
     let a = &eval.accelerator;
     let _ = writeln!(w, "| parameter | value |");
     let _ = writeln!(w, "|---|---|");
-    let _ = writeln!(w, "| PE array | {}×{} ({} MACs) |", a.pe_width, a.pe_height, a.macs());
+    let _ = writeln!(
+        w,
+        "| PE array | {}×{} ({} MACs) |",
+        a.pe_width,
+        a.pe_height,
+        a.macs()
+    );
     let _ = writeln!(w, "| local RF / PE | {} B |", a.local_rf_bytes);
     let _ = writeln!(w, "| global buffer | {} KiB |", a.global_buffer_kib);
     let _ = writeln!(w, "| multiplier | `{}` |", eval.multiplier);
@@ -101,15 +112,16 @@ pub fn design_report(ctx: &CarmaContext, model: &DnnModel, eval: &DesignEval) ->
     let verdict = if saving >= 0.0 {
         format!("**reduces** embodied carbon by **{:.1} %**", saving * 100.0)
     } else {
-        format!("**increases** embodied carbon by **{:.1} %**", -saving * 100.0)
+        format!(
+            "**increases** embodied carbon by **{:.1} %**",
+            -saving * 100.0
+        )
     };
     let _ = writeln!(
         w,
         "Smallest exact preset at comparable service level: {} MACs, {} \
          ({:.1} FPS). This design {verdict}.",
-        baseline.macs,
-        baseline.eval.embodied,
-        baseline.eval.fps,
+        baseline.macs, baseline.eval.embodied, baseline.eval.fps,
     );
     out
 }

@@ -93,8 +93,7 @@ mod tests {
     fn approximate_multiplier_saves_energy() {
         let p = perf(TechNode::N7);
         let exact = EnergyModel::exact(TechNode::N7).inference_energy_j(&p);
-        let approx =
-            EnergyModel::with_multiplier(TechNode::N7, 2100, 3000).inference_energy_j(&p);
+        let approx = EnergyModel::with_multiplier(TechNode::N7, 2100, 3000).inference_energy_j(&p);
         assert!(approx < exact);
         // Bounded by the multiplier share of MAC energy.
         assert!(approx > exact * 0.5);

@@ -124,8 +124,7 @@ impl MappingSearch {
                     None => true,
                     Some(b) => {
                         let cost = m.compute_cycles.max(self.dram_cycles(accel, m.dram_bytes));
-                        let best_cost =
-                            b.compute_cycles.max(self.dram_cycles(accel, b.dram_bytes));
+                        let best_cost = b.compute_cycles.max(self.dram_cycles(accel, b.dram_bytes));
                         cost < best_cost
                     }
                 };
@@ -150,7 +149,8 @@ impl MappingSearch {
     ) -> Option<LayerMapping> {
         // Global buffer must hold the tile working set: weight tile +
         // input rows needed for tile_h output rows + output tile.
-        let weight_tile = u64::from(tile_k) * u64::from(dims.c) * u64::from(dims.r) * u64::from(dims.r);
+        let weight_tile =
+            u64::from(tile_k) * u64::from(dims.c) * u64::from(dims.r) * u64::from(dims.r);
         let in_rows = (tile_h + dims.r - 1).min(dims.ih);
         let input_tile = u64::from(dims.c) * u64::from(in_rows) * u64::from(dims.ih);
         let output_tile = u64::from(tile_k) * u64::from(tile_h) * u64::from(dims.oh);
@@ -315,7 +315,12 @@ mod tests {
         let ideal = layer.macs() / u64::from(accel.macs());
         assert!(m.compute_cycles >= ideal);
         // And within 4× of ideal for a well-matched layer.
-        assert!(m.compute_cycles <= ideal * 4, "{} vs {}", m.compute_cycles, ideal);
+        assert!(
+            m.compute_cycles <= ideal * 4,
+            "{} vs {}",
+            m.compute_cycles,
+            ideal
+        );
     }
 
     #[test]

@@ -174,14 +174,8 @@ mod tests {
     #[test]
     fn bigger_arrays_are_harder_to_keep_busy() {
         let model = DnnModel::resnet50();
-        let small = RooflineReport::analyze(
-            &Accelerator::nvdla_preset(64, TechNode::N7),
-            &model,
-        );
-        let large = RooflineReport::analyze(
-            &Accelerator::nvdla_preset(2048, TechNode::N7),
-            &model,
-        );
+        let small = RooflineReport::analyze(&Accelerator::nvdla_preset(64, TechNode::N7), &model);
+        let large = RooflineReport::analyze(&Accelerator::nvdla_preset(2048, TechNode::N7), &model);
         assert!(
             large.average_utilization < small.average_utilization,
             "{} !< {}",

@@ -99,10 +99,9 @@ impl AccuracyEvaluator {
         let network = QuantizedNetwork::synthetic(config.input_hw, config.classes, config.seed);
         let inputs = Self::gaussian_mixture(&config);
         let exact = ExactMultiplier::new(8);
-        let exact_predictions = inputs
-            .iter()
-            .map(|x| network.predict(x, &exact))
-            .collect();
+        // The reference run is one forward pass per sample — all
+        // independent, so fan them out over the execution pool.
+        let exact_predictions = carma_exec::par_map(&inputs, |x| network.predict(x, &exact));
         AccuracyEvaluator {
             config,
             network,
@@ -154,10 +153,8 @@ impl AccuracyEvaluator {
                         // Approximate Gaussian noise: sum of uniforms
                         // (Irwin–Hall).
                         let amp = config.noise.max(1);
-                        let noise: i32 = (0..3)
-                            .map(|_| rng.random_range(-amp..=amp))
-                            .sum::<i32>()
-                            / 2;
+                        let noise: i32 =
+                            (0..3).map(|_| rng.random_range(-amp..=amp)).sum::<i32>() / 2;
                         (m + noise).clamp(0, 255) as u8
                     })
                     .collect();
@@ -173,12 +170,11 @@ impl AccuracyEvaluator {
     ///
     /// Panics if `mult` is not 8 bits wide.
     pub fn accuracy_drop(&self, mult: &dyn Multiplier) -> f64 {
-        let mut flips = 0usize;
-        for (input, &expect) in self.inputs.iter().zip(&self.exact_predictions) {
-            if self.network.predict(input, mult) != expect {
-                flips += 1;
-            }
-        }
+        let flips = carma_exec::par_map_indexed(&self.inputs, |i, input| {
+            usize::from(self.network.predict(input, mult) != self.exact_predictions[i])
+        })
+        .into_iter()
+        .sum::<usize>();
         flips as f64 / self.inputs.len() as f64
     }
 
@@ -202,23 +198,25 @@ impl AccuracyEvaluator {
     ///
     /// This is the bridge the GA-CDP flow uses to bucket the Pareto
     /// multipliers into the paper's 0.5 % / 1.0 % / 2.0 % classes.
+    ///
+    /// Library members are scored in parallel on the `carma-exec`
+    /// pool (each member's LUT compilation + behavioural run is
+    /// independent); results stay in library order.
     pub fn evaluate_library<'lib>(
         &self,
         library: &'lib MultiplierLibrary,
     ) -> Vec<(&'lib MultiplierEntry, f64)> {
-        library
-            .entries()
-            .iter()
-            .map(|entry| {
-                let drop = if entry.profile.error_rate == 0.0 {
-                    0.0
-                } else {
-                    let lut = carma_multiplier::LutMultiplier::compile(&entry.circuit);
-                    self.accuracy_drop(&lut)
-                };
-                (entry, drop)
-            })
-            .collect()
+        let entries = library.entries();
+        carma_exec::par_gen(entries.len(), |i| {
+            let entry = &entries[i];
+            let drop = if entry.profile.error_rate == 0.0 {
+                0.0
+            } else {
+                let lut = carma_multiplier::LutMultiplier::compile(&entry.circuit);
+                self.accuracy_drop(&lut)
+            };
+            (entry, drop)
+        })
     }
 }
 

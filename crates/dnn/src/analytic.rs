@@ -197,16 +197,10 @@ mod tests {
         let eval = evaluator();
         let lib = MultiplierLibrary::truncation_ladder(8, 6);
         let model = AnalyticAccuracyModel::calibrate(&eval, &lib);
-        let mild = carma_multiplier::ErrorProfile::exhaustive(&broken_array(
-            8,
-            3,
-            ReductionKind::Dadda,
-        ));
-        let harsh = carma_multiplier::ErrorProfile::exhaustive(&broken_array(
-            8,
-            7,
-            ReductionKind::Dadda,
-        ));
+        let mild =
+            carma_multiplier::ErrorProfile::exhaustive(&broken_array(8, 3, ReductionKind::Dadda));
+        let harsh =
+            carma_multiplier::ErrorProfile::exhaustive(&broken_array(8, 7, ReductionKind::Dadda));
         assert!(model.estimate(&mild) < model.estimate(&harsh));
     }
 

@@ -82,7 +82,9 @@ impl QuantizedNetwork {
         assert!(classes > 0, "classes must be positive");
         let mut rng = StdRng::seed_from_u64(seed);
         let mut weights = |n: usize| -> Vec<i8> {
-            (0..n).map(|_| rng.random_range(-127i32..=127) as i8).collect()
+            (0..n)
+                .map(|_| rng.random_range(-127i32..=127) as i8)
+                .collect()
         };
         let c1 = QConv {
             in_channels: 3,
@@ -147,9 +149,8 @@ impl QuantizedNetwork {
             match layer {
                 QLayer::Conv(c) => {
                     let out_hw = (hw + 2 * c.padding - c.kernel) / c.stride + 1;
-                    macs += (c.out_channels * c.in_channels * c.kernel * c.kernel
-                        * out_hw
-                        * out_hw) as u64;
+                    macs += (c.out_channels * c.in_channels * c.kernel * c.kernel * out_hw * out_hw)
+                        as u64;
                     hw = out_hw;
                 }
                 QLayer::MaxPool => hw /= 2,
@@ -256,28 +257,21 @@ impl QConv {
                     for ic in 0..self.in_channels {
                         for ky in 0..self.kernel {
                             for kx in 0..self.kernel {
-                                let iy = (oy * self.stride + ky) as isize
-                                    - self.padding as isize;
-                                let ix = (ox * self.stride + kx) as isize
-                                    - self.padding as isize;
-                                if iy < 0
-                                    || ix < 0
-                                    || iy >= in_hw as isize
-                                    || ix >= in_hw as isize
+                                let iy = (oy * self.stride + ky) as isize - self.padding as isize;
+                                let ix = (ox * self.stride + kx) as isize - self.padding as isize;
+                                if iy < 0 || ix < 0 || iy >= in_hw as isize || ix >= in_hw as isize
                                 {
                                     continue;
                                 }
                                 let a = *input.get(ic, iy as usize, ix as usize);
-                                let w = self.weights[((oc * self.in_channels + ic)
-                                    * self.kernel
+                                let w = self.weights[((oc * self.in_channels + ic) * self.kernel
                                     + ky)
                                     * self.kernel
                                     + kx];
                                 if a == 0 || w == 0 {
                                     continue;
                                 }
-                                let p = mult.multiply(u32::from(a), w.unsigned_abs() as u32)
-                                    as i64;
+                                let p = mult.multiply(u32::from(a), w.unsigned_abs() as u32) as i64;
                                 sum += if w < 0 { -p } else { p };
                             }
                         }

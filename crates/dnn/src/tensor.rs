@@ -134,7 +134,11 @@ impl<T> Tensor<T> {
 
 impl<T> fmt::Display for Tensor<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Tensor[{}×{}×{}]", self.channels, self.height, self.width)
+        write!(
+            f,
+            "Tensor[{}×{}×{}]",
+            self.channels, self.height, self.width
+        )
     }
 }
 

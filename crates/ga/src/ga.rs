@@ -69,18 +69,48 @@ pub trait Problem {
     fn random_genome(&self, rng: &mut dyn Rng) -> Self::Genome;
 
     /// Recombines two parents into one offspring.
-    fn crossover(
-        &self,
-        a: &Self::Genome,
-        b: &Self::Genome,
-        rng: &mut dyn Rng,
-    ) -> Self::Genome;
+    fn crossover(&self, a: &Self::Genome, b: &Self::Genome, rng: &mut dyn Rng) -> Self::Genome;
 
     /// Mutates a genome in place.
     fn mutate(&self, genome: &mut Self::Genome, rng: &mut dyn Rng);
 
     /// Evaluates a genome (objective is minimized).
     fn evaluate(&self, genome: &Self::Genome) -> Evaluation;
+
+    /// Evaluates a whole batch of genomes (one generation's offspring
+    /// or the initial population). The engine routes **all** fitness
+    /// evaluation through this method, so overriding it is the single
+    /// hook for parallel evaluation — e.g. via
+    /// [`par_evaluate`](crate::par_evaluate), which fans the batch out
+    /// over the `carma-exec` pool.
+    ///
+    /// The default implementation is the serial loop; overrides must
+    /// return results in input order and be pure per genome, so that
+    /// batch evaluation is bit-identical to the serial path.
+    fn evaluate_batch(&self, genomes: &[Self::Genome]) -> Vec<Evaluation> {
+        genomes.iter().map(|g| self.evaluate(g)).collect()
+    }
+}
+
+/// Parallel [`Problem::evaluate_batch`] building block: evaluates the
+/// batch on the `carma-exec` pool, preserving input order. Problems
+/// whose `evaluate` is pure and `Sync` implement batch parallelism as
+///
+/// ```ignore
+/// fn evaluate_batch(&self, genomes: &[Self::Genome]) -> Vec<Evaluation> {
+///     carma_ga::par_evaluate(self, genomes)
+/// }
+/// ```
+///
+/// Results are bit-identical to the serial default at any
+/// `CARMA_THREADS` setting (see the `carma-exec` determinism
+/// contract).
+pub fn par_evaluate<P>(problem: &P, genomes: &[P::Genome]) -> Vec<Evaluation>
+where
+    P: Problem + Sync + ?Sized,
+    P::Genome: Sync,
+{
+    carma_exec::par_map(genomes, |g| problem.evaluate(g))
 }
 
 /// Hyper-parameters of the GA.
@@ -147,10 +177,7 @@ impl GaConfig {
             (0.0..=1.0).contains(&self.mutation_rate),
             "mutation_rate must be in [0, 1]"
         );
-        assert!(
-            self.elites < self.population,
-            "elites must be < population"
-        );
+        assert!(self.elites < self.population, "elites must be < population");
     }
 }
 
@@ -221,10 +248,35 @@ impl<P: Problem> GeneticAlgorithm<P> {
         self.evolve(&[])
     }
 
+    /// Zips genomes with their batch evaluation into individuals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the problem's `evaluate_batch` override broke the
+    /// one-result-per-genome contract.
+    fn evaluate_all(&self, genomes: Vec<P::Genome>) -> Vec<Individual<P::Genome>> {
+        let evaluations = self.problem.evaluate_batch(&genomes);
+        assert_eq!(
+            evaluations.len(),
+            genomes.len(),
+            "evaluate_batch must return one Evaluation per genome"
+        );
+        genomes
+            .into_iter()
+            .zip(evaluations)
+            .map(|(genome, evaluation)| Individual { genome, evaluation })
+            .collect()
+    }
+
     fn evolve(&self, seeds: &[P::Genome]) -> (Individual<P::Genome>, Vec<GaStats>) {
         let cfg = &self.config;
         let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let mut pop: Vec<Individual<P::Genome>> = seeds
+        // Variation (RNG-sequential) is split from evaluation so each
+        // generation goes through `evaluate_batch` as one unit — the
+        // hook batch-parallel problems override. The RNG never feeds
+        // evaluation, so this phase split is bit-identical to
+        // evaluating each genome as it is produced.
+        let genomes: Vec<P::Genome> = seeds
             .iter()
             .take(cfg.population)
             .cloned()
@@ -232,11 +284,8 @@ impl<P: Problem> GeneticAlgorithm<P> {
                 Some(self.problem.random_genome(&mut rng))
             }))
             .take(cfg.population)
-            .map(|genome| {
-                let evaluation = self.problem.evaluate(&genome);
-                Individual { genome, evaluation }
-            })
             .collect();
+        let mut pop = self.evaluate_all(genomes);
 
         let mut best = Self::best_of(&pop).clone();
         let mut history = Vec::with_capacity(cfg.generations);
@@ -244,25 +293,24 @@ impl<P: Problem> GeneticAlgorithm<P> {
 
         for generation in 1..=cfg.generations {
             Self::sort_by_rule(&mut pop);
-            let mut next: Vec<Individual<P::Genome>> =
-                pop.iter().take(cfg.elites).cloned().collect();
-            while next.len() < cfg.population {
+            let elites: Vec<Individual<P::Genome>> = pop.iter().take(cfg.elites).cloned().collect();
+            let mut children = Vec::with_capacity(cfg.population - elites.len());
+            while elites.len() + children.len() < cfg.population {
                 let p1 = self.tournament(&pop, &mut rng);
                 let p2 = self.tournament(&pop, &mut rng);
                 let mut child = if rng.random_bool(cfg.crossover_rate) {
-                    self.problem.crossover(&pop[p1].genome, &pop[p2].genome, &mut rng)
+                    self.problem
+                        .crossover(&pop[p1].genome, &pop[p2].genome, &mut rng)
                 } else {
                     pop[p1].genome.clone()
                 };
                 if rng.random_bool(cfg.mutation_rate) {
                     self.problem.mutate(&mut child, &mut rng);
                 }
-                let evaluation = self.problem.evaluate(&child);
-                next.push(Individual {
-                    genome: child,
-                    evaluation,
-                });
+                children.push(child);
             }
+            let mut next = elites;
+            next.extend(self.evaluate_all(children));
             pop = next;
             let gen_best = Self::best_of(&pop);
             if gen_best.evaluation.better_than(&best.evaluation) {
@@ -277,7 +325,10 @@ impl<P: Problem> GeneticAlgorithm<P> {
         let mut winner = rng.random_range(0..pop.len());
         for _ in 1..self.config.tournament {
             let challenger = rng.random_range(0..pop.len());
-            if pop[challenger].evaluation.better_than(&pop[winner].evaluation) {
+            if pop[challenger]
+                .evaluation
+                .better_than(&pop[winner].evaluation)
+            {
                 winner = challenger;
             }
         }
@@ -334,7 +385,9 @@ mod tests {
         type Genome = Vec<f64>;
 
         fn random_genome(&self, rng: &mut dyn Rng) -> Vec<f64> {
-            (0..self.dims).map(|_| rng.random_range(-5.0..5.0)).collect()
+            (0..self.dims)
+                .map(|_| rng.random_range(-5.0..5.0))
+                .collect()
         }
 
         fn crossover(&self, a: &Vec<f64>, b: &Vec<f64>, rng: &mut dyn Rng) -> Vec<f64> {
@@ -446,6 +499,97 @@ mod tests {
         let first = history.first().unwrap().best_objective;
         let last = history.last().unwrap().best_objective;
         assert!(last <= first);
+    }
+
+    /// `Sphere` with `evaluate_batch` overridden to the parallel
+    /// helper — the GA must produce bit-identical runs either way.
+    struct ParSphere {
+        dims: usize,
+    }
+
+    impl Problem for ParSphere {
+        type Genome = Vec<f64>;
+
+        fn random_genome(&self, rng: &mut dyn Rng) -> Vec<f64> {
+            Sphere { dims: self.dims }.random_genome(rng)
+        }
+
+        fn crossover(&self, a: &Vec<f64>, b: &Vec<f64>, rng: &mut dyn Rng) -> Vec<f64> {
+            Sphere { dims: self.dims }.crossover(a, b, rng)
+        }
+
+        fn mutate(&self, g: &mut Vec<f64>, rng: &mut dyn Rng) {
+            Sphere { dims: self.dims }.mutate(g, rng)
+        }
+
+        fn evaluate(&self, g: &Vec<f64>) -> Evaluation {
+            Sphere { dims: self.dims }.evaluate(g)
+        }
+
+        fn evaluate_batch(&self, genomes: &[Vec<f64>]) -> Vec<Evaluation> {
+            crate::par_evaluate(self, genomes)
+        }
+    }
+
+    #[test]
+    fn default_evaluate_batch_matches_serial_loop() {
+        let p = Sphere { dims: 3 };
+        let genomes = vec![
+            vec![1.0, 2.0, 3.0],
+            vec![0.0, 0.0, 0.0],
+            vec![-1.5, 0.5, 2.0],
+        ];
+        let batch = p.evaluate_batch(&genomes);
+        for (g, e) in genomes.iter().zip(&batch) {
+            assert_eq!(p.evaluate(g), *e);
+        }
+    }
+
+    #[test]
+    fn parallel_batch_override_is_bit_identical() {
+        let serial = GeneticAlgorithm::new(
+            Sphere { dims: 4 },
+            GaConfig::default().with_seed(33).with_generations(12),
+        )
+        .run();
+        for threads in [1, 4] {
+            let parallel = carma_exec::with_threads(threads, || {
+                GeneticAlgorithm::new(
+                    ParSphere { dims: 4 },
+                    GaConfig::default().with_seed(33).with_generations(12),
+                )
+                .run()
+            });
+            assert_eq!(
+                serial.evaluation.objective.to_bits(),
+                parallel.evaluation.objective.to_bits(),
+                "threads = {threads}"
+            );
+            assert_eq!(serial.genome, parallel.genome, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one Evaluation per genome")]
+    fn short_batch_result_rejected() {
+        struct Broken;
+        impl Problem for Broken {
+            type Genome = f64;
+            fn random_genome(&self, rng: &mut dyn Rng) -> f64 {
+                rng.random_range(-1.0..1.0)
+            }
+            fn crossover(&self, a: &f64, _b: &f64, _rng: &mut dyn Rng) -> f64 {
+                *a
+            }
+            fn mutate(&self, _g: &mut f64, _rng: &mut dyn Rng) {}
+            fn evaluate(&self, g: &f64) -> Evaluation {
+                Evaluation::feasible(*g)
+            }
+            fn evaluate_batch(&self, _genomes: &[f64]) -> Vec<Evaluation> {
+                Vec::new() // violates the contract
+            }
+        }
+        let _ = GeneticAlgorithm::new(Broken, GaConfig::default()).run();
     }
 
     #[test]

@@ -49,8 +49,8 @@ pub mod ga;
 pub mod nsga2;
 
 pub use baseline::{front_hypervolume, hypervolume_2d, random_search};
-pub use ga::{Evaluation, GaConfig, GaStats, GeneticAlgorithm, Individual, Problem};
+pub use ga::{par_evaluate, Evaluation, GaConfig, GaStats, GeneticAlgorithm, Individual, Problem};
 pub use nsga2::{
-    crowding_distance, fast_non_dominated_sort, MultiObjectiveProblem, Nsga2, Nsga2Config,
-    ParetoIndividual,
+    crowding_distance, fast_non_dominated_sort, par_evaluate_multi, MultiObjectiveProblem, Nsga2,
+    Nsga2Config, ParetoIndividual,
 };

@@ -23,18 +23,35 @@ pub trait MultiObjectiveProblem {
     fn random_genome(&self, rng: &mut dyn Rng) -> Self::Genome;
 
     /// Recombines two parents into one offspring.
-    fn crossover(
-        &self,
-        a: &Self::Genome,
-        b: &Self::Genome,
-        rng: &mut dyn Rng,
-    ) -> Self::Genome;
+    fn crossover(&self, a: &Self::Genome, b: &Self::Genome, rng: &mut dyn Rng) -> Self::Genome;
 
     /// Mutates a genome in place.
     fn mutate(&self, genome: &mut Self::Genome, rng: &mut dyn Rng);
 
     /// Evaluates a genome into one value per objective (minimized).
     fn evaluate(&self, genome: &Self::Genome) -> Vec<f64>;
+
+    /// Evaluates a whole batch of genomes. The engine routes all
+    /// fitness evaluation through this method; override it (e.g. with
+    /// [`par_evaluate_multi`](crate::par_evaluate_multi)) to evaluate
+    /// a generation in parallel. Overrides must return results in
+    /// input order and be pure per genome, keeping batch evaluation
+    /// bit-identical to the serial default.
+    fn evaluate_batch(&self, genomes: &[Self::Genome]) -> Vec<Vec<f64>> {
+        genomes.iter().map(|g| self.evaluate(g)).collect()
+    }
+}
+
+/// Parallel [`MultiObjectiveProblem::evaluate_batch`] building block:
+/// evaluates the batch on the `carma-exec` pool, preserving input
+/// order (the multi-objective sibling of
+/// [`par_evaluate`](crate::par_evaluate)).
+pub fn par_evaluate_multi<P>(problem: &P, genomes: &[P::Genome]) -> Vec<Vec<f64>>
+where
+    P: MultiObjectiveProblem + Sync + ?Sized,
+    P::Genome: Sync,
+{
+    carma_exec::par_map(genomes, |g| problem.evaluate(g))
 }
 
 /// A genome with its objective vector, as stored on the final front.
@@ -96,8 +113,7 @@ impl Nsga2Config {
         assert!(self.population >= 4, "population must be ≥ 4");
         assert!(self.population.is_multiple_of(2), "population must be even");
         assert!(
-            (0.0..=1.0).contains(&self.crossover_rate)
-                && (0.0..=1.0).contains(&self.mutation_rate),
+            (0.0..=1.0).contains(&self.crossover_rate) && (0.0..=1.0).contains(&self.mutation_rate),
             "rates must be in [0, 1]"
         );
     }
@@ -230,14 +246,24 @@ impl<P: MultiObjectiveProblem> Nsga2<P> {
         &self.problem
     }
 
-    /// Runs the optimization and returns the final non-dominated front.
-    pub fn run(&self) -> Vec<ParetoIndividual<P::Genome>> {
-        let cfg = &self.config;
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let mut pop: Vec<Member<P::Genome>> = (0..cfg.population)
-            .map(|_| {
-                let genome = self.problem.random_genome(&mut rng);
-                let objectives = self.problem.evaluate(&genome);
+    /// Batch-evaluates `genomes` into pool members (rank/crowding
+    /// unset).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the problem's `evaluate_batch` override broke the
+    /// one-result-per-genome contract.
+    fn evaluate_all(&self, genomes: Vec<P::Genome>) -> Vec<Member<P::Genome>> {
+        let objectives = self.problem.evaluate_batch(&genomes);
+        assert_eq!(
+            objectives.len(),
+            genomes.len(),
+            "evaluate_batch must return one objective vector per genome"
+        );
+        genomes
+            .into_iter()
+            .zip(objectives)
+            .map(|(genome, objectives)| {
                 debug_assert_eq!(objectives.len(), self.problem.objectives());
                 Member {
                     genome,
@@ -246,13 +272,28 @@ impl<P: MultiObjectiveProblem> Nsga2<P> {
                     crowding: 0.0,
                 }
             })
+            .collect()
+    }
+
+    /// Runs the optimization and returns the final non-dominated front.
+    pub fn run(&self) -> Vec<ParetoIndividual<P::Genome>> {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        // As in the single-objective engine, variation (RNG-sequential)
+        // is split from evaluation so every generation flows through
+        // `evaluate_batch` — the batch-parallelism hook. Evaluation
+        // never touches the RNG, so the split is bit-identical to the
+        // interleaved formulation.
+        let genomes: Vec<P::Genome> = (0..cfg.population)
+            .map(|_| self.problem.random_genome(&mut rng))
             .collect();
+        let mut pop = self.evaluate_all(genomes);
         Self::assign_rank_and_crowding(&mut pop);
 
         for _ in 0..cfg.generations {
             // Produce offspring by binary tournament on (rank, crowding).
-            let mut offspring: Vec<Member<P::Genome>> = Vec::with_capacity(cfg.population);
-            while offspring.len() < cfg.population {
+            let mut children: Vec<P::Genome> = Vec::with_capacity(cfg.population);
+            while children.len() < cfg.population {
                 let p1 = Self::binary_tournament(&pop, &mut rng);
                 let p2 = Self::binary_tournament(&pop, &mut rng);
                 let mut child = if rng.random_bool(cfg.crossover_rate) {
@@ -264,14 +305,9 @@ impl<P: MultiObjectiveProblem> Nsga2<P> {
                 if rng.random_bool(cfg.mutation_rate) {
                     self.problem.mutate(&mut child, &mut rng);
                 }
-                let objectives = self.problem.evaluate(&child);
-                offspring.push(Member {
-                    genome: child,
-                    objectives,
-                    rank: 0,
-                    crowding: 0.0,
-                });
+                children.push(child);
             }
+            let offspring = self.evaluate_all(children);
 
             // Environmental selection over parents ∪ offspring.
             pop.extend(offspring);
@@ -290,7 +326,9 @@ impl<P: MultiObjectiveProblem> Nsga2<P> {
                     let cd = crowding_distance(&objs, front);
                     let mut order: Vec<usize> = (0..front.len()).collect();
                     order.sort_by(|&a, &b| {
-                        cd[b].partial_cmp(&cd[a]).unwrap_or(std::cmp::Ordering::Equal)
+                        cd[b]
+                            .partial_cmp(&cd[a])
+                            .unwrap_or(std::cmp::Ordering::Equal)
                     });
                     for &w in order.iter().take(cfg.population - count) {
                         taken[front[w]] = true;
@@ -456,6 +494,52 @@ mod tests {
             front.iter().map(|p| p.genome).fold(0.0, f64::max)
         };
         assert_eq!(run(11).to_bits(), run(11).to_bits());
+    }
+
+    /// Schaffer with `evaluate_batch` overridden to the parallel
+    /// helper.
+    struct ParSchaffer;
+
+    impl MultiObjectiveProblem for ParSchaffer {
+        type Genome = f64;
+
+        fn objectives(&self) -> usize {
+            2
+        }
+
+        fn random_genome(&self, rng: &mut dyn Rng) -> f64 {
+            Schaffer.random_genome(rng)
+        }
+
+        fn crossover(&self, a: &f64, b: &f64, rng: &mut dyn Rng) -> f64 {
+            Schaffer.crossover(a, b, rng)
+        }
+
+        fn mutate(&self, g: &mut f64, rng: &mut dyn Rng) {
+            Schaffer.mutate(g, rng)
+        }
+
+        fn evaluate(&self, g: &f64) -> Vec<f64> {
+            Schaffer.evaluate(g)
+        }
+
+        fn evaluate_batch(&self, genomes: &[f64]) -> Vec<Vec<f64>> {
+            crate::par_evaluate_multi(self, genomes)
+        }
+    }
+
+    #[test]
+    fn parallel_batch_override_is_bit_identical() {
+        let cfg = Nsga2Config::default().with_seed(29).with_generations(12);
+        let serial = Nsga2::new(Schaffer, cfg).run();
+        for threads in [1, 4] {
+            let parallel = carma_exec::with_threads(threads, || Nsga2::new(ParSchaffer, cfg).run());
+            assert_eq!(serial.len(), parallel.len(), "threads = {threads}");
+            for (a, b) in serial.iter().zip(&parallel) {
+                assert_eq!(a.genome.to_bits(), b.genome.to_bits());
+                assert_eq!(a.objectives, b.objectives);
+            }
+        }
     }
 
     #[test]

@@ -157,11 +157,7 @@ mod tests {
         let m = MitchellMultiplier::new(8);
         for i in 0..8u32 {
             for j in 0..(8 - i) {
-                assert_eq!(
-                    m.multiply(1 << i, 1 << j),
-                    1u64 << (i + j),
-                    "2^{i} × 2^{j}"
-                );
+                assert_eq!(m.multiply(1 << i, 1 << j), 1u64 << (i + j), "2^{i} × 2^{j}");
             }
         }
     }

@@ -10,6 +10,13 @@
 //! For widths ≤ 10 the characterization is exhaustive (all 2^(2n)
 //! operand pairs, evaluated 64 pairs at a time through the lane
 //! simulator); larger widths use deterministic stratified sampling.
+//!
+//! Both sweeps run on the `carma-exec` pool: the operand space is cut
+//! into fixed-size chunks (fixed regardless of thread count), each
+//! chunk accumulates privately — sampled chunks with an RNG stream
+//! derived from `(seed, chunk index)` — and the partial accumulators
+//! merge in chunk order. Results are therefore bit-identical at every
+//! `CARMA_THREADS` setting.
 
 use carma_netlist::sim::{pack_bit, unpack_lane};
 use carma_netlist::LaneSim;
@@ -24,6 +31,10 @@ const EXHAUSTIVE_WIDTH_LIMIT: u32 = 10;
 const SAMPLE_COUNT: usize = 1 << 18;
 /// Seed for sampled characterization (deterministic).
 const SAMPLE_SEED: u64 = 0x5EEDE44;
+/// Operand pairs per parallel work chunk. Fixed (never derived from
+/// the thread count) so the chunk boundaries — and with them the f64
+/// accumulation order — are identical at any parallelism.
+const CHUNK_PAIRS: u64 = 1 << 12;
 
 /// Statistical error profile of a multiplier against exact
 /// multiplication.
@@ -86,7 +97,9 @@ impl ErrorProfile {
     }
 
     /// Characterizes `circuit` on `samples` uniformly random operand
-    /// pairs drawn with the given `seed`.
+    /// pairs. The sample stream is fully determined by `seed` (each
+    /// 4096-sample chunk draws from an RNG derived from the seed and
+    /// the chunk index), independent of thread count.
     pub fn sampled(circuit: &MultiplierCircuit, samples: usize, seed: u64) -> Self {
         Self::characterize_sampled(circuit, samples, seed)
     }
@@ -94,77 +107,82 @@ impl ErrorProfile {
     fn characterize_exhaustive(circuit: &MultiplierCircuit) -> Self {
         let n = circuit.width();
         let total = 1u64 << (2 * n);
-        let mut acc = Accumulator::new(n);
         let sim = LaneSim::new(circuit.netlist());
-        let mut scratch = Vec::new();
-
-        let mut pairs: Vec<(u64, u64)> = Vec::with_capacity(64);
-        let flush = |pairs: &mut Vec<(u64, u64)>,
-                         acc: &mut Accumulator,
-                         scratch: &mut Vec<u64>| {
-            if pairs.is_empty() {
-                return;
+        let chunks = total.div_ceil(CHUNK_PAIRS) as usize;
+        let partials = carma_exec::par_gen(chunks, |c| {
+            let start = c as u64 * CHUNK_PAIRS;
+            let end = (start + CHUNK_PAIRS).min(total);
+            let mut acc = Accumulator::new(n);
+            let mut scratch = Vec::new();
+            let mut pairs: Vec<(u64, u64)> = Vec::with_capacity(64);
+            for pair_idx in start..end {
+                let a = pair_idx & ((1 << n) - 1);
+                let b = pair_idx >> n;
+                pairs.push((a, b));
+                if pairs.len() == 64 {
+                    eval_lane_batch(&sim, n, &pairs, &mut acc, &mut scratch);
+                    pairs.clear();
+                }
             }
-            let a_vals: Vec<u64> = pairs.iter().map(|&(a, _)| a).collect();
-            let b_vals: Vec<u64> = pairs.iter().map(|&(_, b)| b).collect();
-            let mut words = Vec::with_capacity(2 * n as usize);
-            for bit in 0..n {
-                words.push(pack_bit(&a_vals, bit));
-            }
-            for bit in 0..n {
-                words.push(pack_bit(&b_vals, bit));
-            }
-            let out = sim.eval_into(&words, scratch);
-            for (lane, &(a, b)) in pairs.iter().enumerate() {
-                let approx = unpack_lane(&out, lane);
-                acc.record(a, b, approx);
-            }
-            pairs.clear();
-        };
-
-        for pair_idx in 0..total {
-            let a = pair_idx & ((1 << n) - 1);
-            let b = pair_idx >> n;
-            pairs.push((a, b));
-            if pairs.len() == 64 {
-                flush(&mut pairs, &mut acc, &mut scratch);
-            }
-        }
-        flush(&mut pairs, &mut acc, &mut scratch);
-        acc.finish()
+            eval_lane_batch(&sim, n, &pairs, &mut acc, &mut scratch);
+            acc
+        });
+        Accumulator::merge_in_order(n, partials).finish()
     }
 
     fn characterize_sampled(circuit: &MultiplierCircuit, samples: usize, seed: u64) -> Self {
         let n = circuit.width();
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut acc = Accumulator::new(n);
         let sim = LaneSim::new(circuit.netlist());
-        let mut scratch = Vec::new();
         let mask = (1u64 << n) - 1;
+        let chunk = CHUNK_PAIRS as usize;
+        let chunks = samples.div_ceil(chunk);
+        let partials = carma_exec::par_gen(chunks, |c| {
+            // Private RNG stream per chunk: the draw sequence depends
+            // only on (seed, chunk index), never on scheduling.
+            let mut rng = StdRng::seed_from_u64(carma_exec::derive_seed(seed, c as u64));
+            let mut acc = Accumulator::new(n);
+            let mut scratch = Vec::new();
+            let mut remaining = chunk.min(samples - c * chunk);
+            while remaining > 0 {
+                let batch = remaining.min(64);
+                let pairs: Vec<(u64, u64)> = (0..batch)
+                    .map(|_| (rng.random::<u64>() & mask, rng.random::<u64>() & mask))
+                    .collect();
+                eval_lane_batch(&sim, n, &pairs, &mut acc, &mut scratch);
+                remaining -= batch;
+            }
+            acc
+        });
+        Accumulator::merge_in_order(n, partials).finish()
+    }
+}
 
-        let mut remaining = samples;
-        while remaining > 0 {
-            let batch = remaining.min(64);
-            let pairs: Vec<(u64, u64)> = (0..batch)
-                .map(|_| (rng.random::<u64>() & mask, rng.random::<u64>() & mask))
-                .collect();
-            let a_vals: Vec<u64> = pairs.iter().map(|&(a, _)| a).collect();
-            let b_vals: Vec<u64> = pairs.iter().map(|&(_, b)| b).collect();
-            let mut words = Vec::with_capacity(2 * n as usize);
-            for bit in 0..n {
-                words.push(pack_bit(&a_vals, bit));
-            }
-            for bit in 0..n {
-                words.push(pack_bit(&b_vals, bit));
-            }
-            let out = sim.eval_into(&words, &mut scratch);
-            for (lane, &(a, b)) in pairs.iter().enumerate() {
-                let approx = unpack_lane(&out, lane);
-                acc.record(a, b, approx);
-            }
-            remaining -= batch;
-        }
-        acc.finish()
+/// Runs one ≤ 64-pair batch through the lane simulator and records the
+/// products into `acc`. No-op on an empty batch.
+fn eval_lane_batch(
+    sim: &LaneSim<'_>,
+    n: u32,
+    pairs: &[(u64, u64)],
+    acc: &mut Accumulator,
+    scratch: &mut Vec<u64>,
+) {
+    if pairs.is_empty() {
+        return;
+    }
+    debug_assert!(pairs.len() <= 64, "lane simulator is 64-wide");
+    let a_vals: Vec<u64> = pairs.iter().map(|&(a, _)| a).collect();
+    let b_vals: Vec<u64> = pairs.iter().map(|&(_, b)| b).collect();
+    let mut words = Vec::with_capacity(2 * n as usize);
+    for bit in 0..n {
+        words.push(pack_bit(&a_vals, bit));
+    }
+    for bit in 0..n {
+        words.push(pack_bit(&b_vals, bit));
+    }
+    let out = sim.eval_into(&words, scratch);
+    for (lane, &(a, b)) in pairs.iter().enumerate() {
+        let approx = unpack_lane(&out, lane);
+        acc.record(a, b, approx);
     }
 }
 
@@ -192,6 +210,30 @@ impl Accumulator {
             sum_signed_sq: 0.0,
             wce: 0,
         }
+    }
+
+    /// Folds `other` into `self` (field-wise sums, max of worst
+    /// cases).
+    fn absorb(&mut self, other: Accumulator) {
+        debug_assert_eq!(self.width, other.width);
+        self.count += other.count;
+        self.errors += other.errors;
+        self.sum_abs += other.sum_abs;
+        self.sum_rel += other.sum_rel;
+        self.sum_signed += other.sum_signed;
+        self.sum_signed_sq += other.sum_signed_sq;
+        self.wce = self.wce.max(other.wce);
+    }
+
+    /// Merges per-chunk accumulators **in chunk order** — the fixed
+    /// fold order that keeps the f64 sums identical at any thread
+    /// count.
+    fn merge_in_order(width: u32, partials: Vec<Accumulator>) -> Accumulator {
+        let mut total = Accumulator::new(width);
+        for p in partials {
+            total.absorb(p);
+        }
+        total
     }
 
     fn record(&mut self, a: u64, b: u64, approx: u64) {
@@ -314,6 +356,18 @@ mod tests {
         let a = ErrorProfile::sampled(&approx, 4096, 7);
         let b = ErrorProfile::sampled(&approx, 4096, 7);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn characterization_is_thread_count_invariant() {
+        let base = base8();
+        let approx = ApproxGenome::truncation(2, 1).apply(&base);
+        let exhaustive_1 = carma_exec::with_threads(1, || ErrorProfile::exhaustive(&approx));
+        let exhaustive_8 = carma_exec::with_threads(8, || ErrorProfile::exhaustive(&approx));
+        assert_eq!(exhaustive_1, exhaustive_8);
+        let sampled_1 = carma_exec::with_threads(1, || ErrorProfile::sampled(&approx, 9999, 5));
+        let sampled_8 = carma_exec::with_threads(8, || ErrorProfile::sampled(&approx, 9999, 5));
+        assert_eq!(sampled_1, sampled_8);
     }
 
     #[test]

@@ -206,7 +206,13 @@ mod tests {
     #[test]
     fn baugh_wooley_8bit_spot_checks() {
         let m = signed_baugh_wooley(8, ReductionKind::Wallace);
-        for (a, b) in [(-128i16, 127i16), (-1, -1), (100, -3), (0, -128), (-128, -128)] {
+        for (a, b) in [
+            (-128i16, 127i16),
+            (-1, -1),
+            (100, -3),
+            (0, -128),
+            (-128, -128),
+        ] {
             let ua = (a as i8 as u8) as u32;
             let ub = (b as i8 as u8) as u32;
             let p = m.multiply_via_netlist(ua, ub) as u16 as i16;

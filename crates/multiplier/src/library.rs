@@ -117,24 +117,29 @@ impl MultiplierLibrary {
             "ladder library needs width in 1..=10"
         );
         let base = MultiplierCircuit::generate(width, ReductionKind::Dadda);
-        let mut entries = Vec::new();
+        // Enumerate the ladder cheaply, then characterize every rung
+        // in parallel (characterization is the construction cost).
+        let mut rungs = Vec::new();
         for ta in 0..=max_depth {
             for tb in ta..=max_depth {
-                let genome = ApproxGenome::truncation(ta, tb);
-                let circuit = genome.apply(&base);
-                let profile = if genome.is_exact() {
-                    ErrorProfile::zero(width)
-                } else {
-                    ErrorProfile::exhaustive(&circuit)
-                };
-                entries.push(MultiplierEntry {
-                    name: format!("trunc{width}_{ta}_{tb}"),
-                    circuit,
-                    genome,
-                    profile,
-                });
+                rungs.push((ta, tb));
             }
         }
+        let entries = carma_exec::par_map(&rungs, |&(ta, tb)| {
+            let genome = ApproxGenome::truncation(ta, tb);
+            let circuit = genome.apply(&base);
+            let profile = if genome.is_exact() {
+                ErrorProfile::zero(width)
+            } else {
+                ErrorProfile::exhaustive(&circuit)
+            };
+            MultiplierEntry {
+                name: format!("trunc{width}_{ta}_{tb}"),
+                circuit,
+                genome,
+                profile,
+            }
+        });
         Self::from_entries(width, entries)
     }
 
@@ -153,41 +158,61 @@ impl MultiplierLibrary {
             "classic library needs width in 1..=10"
         );
         let base = MultiplierCircuit::generate(width, ReductionKind::Dadda);
-        let mut entries = vec![exact_entry(&base, width)];
+        // Candidate list first (cheap), then one parallel
+        // characterization sweep over all families; candidates whose
+        // profile turns out exact (error rate 0) are dropped below.
+        enum Candidate {
+            Trunc(u8),
+            Bam(u32),
+            Tcc(u32),
+        }
+        let mut candidates = Vec::new();
         for t in 1..=max_depth {
-            let genome = ApproxGenome::truncation(t, t);
-            let circuit = genome.apply(&base);
-            let profile = ErrorProfile::exhaustive(&circuit);
-            entries.push(MultiplierEntry {
-                name: format!("trunc{width}_{t}_{t}"),
-                circuit,
-                genome,
-                profile,
-            });
+            candidates.push(Candidate::Trunc(t));
         }
         for omit in 1..=(2 * u32::from(max_depth)).min(2 * width - 1) {
-            let bam = crate::families::broken_array(width, omit, ReductionKind::Dadda);
-            let profile = ErrorProfile::exhaustive(&bam);
-            if profile.error_rate > 0.0 {
-                entries.push(MultiplierEntry {
-                    name: format!("bam{width}_{omit}"),
-                    circuit: bam,
-                    genome: ApproxGenome::exact(), // not genome-derived
-                    profile,
-                });
-            }
-            let tcc =
-                crate::families::truncated_with_correction(width, omit, ReductionKind::Dadda);
-            let profile = ErrorProfile::exhaustive(&tcc);
-            if profile.error_rate > 0.0 {
-                entries.push(MultiplierEntry {
-                    name: format!("tcc{width}_{omit}"),
-                    circuit: tcc,
-                    genome: ApproxGenome::exact(),
-                    profile,
-                });
-            }
+            candidates.push(Candidate::Bam(omit));
+            candidates.push(Candidate::Tcc(omit));
         }
+        let characterized = carma_exec::par_map(&candidates, |candidate| {
+            let (name, circuit, genome) = match *candidate {
+                Candidate::Trunc(t) => {
+                    let genome = ApproxGenome::truncation(t, t);
+                    let circuit = genome.apply(&base);
+                    (format!("trunc{width}_{t}_{t}"), circuit, genome)
+                }
+                Candidate::Bam(omit) => (
+                    format!("bam{width}_{omit}"),
+                    crate::families::broken_array(width, omit, ReductionKind::Dadda),
+                    ApproxGenome::exact(), // not genome-derived
+                ),
+                Candidate::Tcc(omit) => (
+                    format!("tcc{width}_{omit}"),
+                    crate::families::truncated_with_correction(width, omit, ReductionKind::Dadda),
+                    ApproxGenome::exact(),
+                ),
+            };
+            let profile = ErrorProfile::exhaustive(&circuit);
+            let keep_even_if_exact = matches!(candidate, Candidate::Trunc(_));
+            (
+                keep_even_if_exact,
+                MultiplierEntry {
+                    name,
+                    circuit,
+                    genome,
+                    profile,
+                },
+            )
+        });
+        let mut entries = vec![exact_entry(&base, width)];
+        entries.extend(
+            characterized
+                .into_iter()
+                // Truncation rungs always err; BAM/TCC break lines can
+                // rediscover the exact function — skip those.
+                .filter(|(keep, e)| *keep || e.profile.error_rate > 0.0)
+                .map(|(_, e)| e),
+        );
         Self::from_entries(width, entries)
     }
 
@@ -201,24 +226,22 @@ impl MultiplierLibrary {
         };
         let front = Nsga2::new(problem, config.nsga).run();
 
-        let mut entries = vec![exact_entry(&base, config.width)];
-        for (i, p) in front.into_iter().enumerate() {
+        // Re-characterize the whole front in parallel (the NSGA-II run
+        // cached only objective values, not profiles).
+        let characterized = carma_exec::par_map_indexed(&front, |i, p| {
             let circuit = p.genome.apply(&base);
             let profile = ErrorProfile::exhaustive(&circuit);
-            if profile.mred == 0.0 && !p.genome.is_exact() {
-                // Functionally exact rediscovery of the base: skip.
-                continue;
-            }
-            if profile.mred == 0.0 {
-                continue;
-            }
-            entries.push(MultiplierEntry {
+            MultiplierEntry {
                 name: format!("carma{}_{i:03}", config.width),
                 circuit,
-                genome: p.genome,
+                genome: p.genome.clone(),
                 profile,
-            });
-        }
+            }
+        });
+        let mut entries = vec![exact_entry(&base, config.width)];
+        // Functionally exact (re)discoveries of the base are skipped;
+        // the canonical exact entry is already present.
+        entries.extend(characterized.into_iter().filter(|e| e.profile.mred > 0.0));
         Self::from_entries(config.width, entries)
     }
 
@@ -369,18 +392,15 @@ impl MultiObjectiveProblem for ApproxSearch {
         }
     }
 
-    fn crossover(
-        &self,
-        a: &ApproxGenome,
-        b: &ApproxGenome,
-        rng: &mut dyn Rng,
-    ) -> ApproxGenome {
+    fn crossover(&self, a: &ApproxGenome, b: &ApproxGenome, rng: &mut dyn Rng) -> ApproxGenome {
         let mut prunes: Vec<Prune> = Vec::new();
         for p in a.prunes.iter().chain(&b.prunes) {
-            if rng.random_bool(0.5) && prunes.len() < self.config.max_prunes
-                && !prunes.iter().any(|q| q.gate == p.gate) {
-                    prunes.push(*p);
-                }
+            if rng.random_bool(0.5)
+                && prunes.len() < self.config.max_prunes
+                && !prunes.iter().any(|q| q.gate == p.gate)
+            {
+                prunes.push(*p);
+            }
         }
         ApproxGenome {
             truncate_a: if rng.random_bool(0.5) {
@@ -442,6 +462,12 @@ impl MultiObjectiveProblem for ApproxSearch {
         let profile = ErrorProfile::exhaustive(&circuit);
         vec![circuit.transistor_count() as f64, profile.mred]
     }
+
+    fn evaluate_batch(&self, genomes: &[ApproxGenome]) -> Vec<Vec<f64>> {
+        // One genome's netlist sweep + error characterization is the
+        // whole cost of the library search; fan the generation out.
+        carma_ga::par_evaluate_multi(self, genomes)
+    }
 }
 
 #[cfg(test)]
@@ -486,8 +512,8 @@ mod tests {
         assert!(!front.is_empty());
         for a in &front {
             for b in &front {
-                let dominates = b.transistors() < a.transistors()
-                    && b.profile.mred < a.profile.mred;
+                let dominates =
+                    b.transistors() < a.transistors() && b.profile.mred < a.profile.mred;
                 assert!(!dominates, "{} dominated by {}", a.name, b.name);
             }
         }

@@ -114,9 +114,7 @@ impl LutMultiplier {
             let a_vals: Vec<u64> = (0..batch)
                 .map(|k| ((idx + k) as u64) & ((1 << n) - 1))
                 .collect();
-            let b_vals: Vec<u64> = (0..batch)
-                .map(|k| ((idx + k) as u64) >> n)
-                .collect();
+            let b_vals: Vec<u64> = (0..batch).map(|k| ((idx + k) as u64) >> n).collect();
             let mut words = Vec::with_capacity(2 * n as usize);
             for bit in 0..n {
                 words.push(pack_bit(&a_vals, bit));

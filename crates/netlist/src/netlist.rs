@@ -329,7 +329,10 @@ impl Netlist {
                 return Err(NetlistError::CannotRewriteInput { node: target });
             }
             Node::Const { .. } => return Ok(()),
-            Node::Unary { a, .. } => Node::Unary { op: UnOp::Buf, a: *a },
+            Node::Unary { a, .. } => Node::Unary {
+                op: UnOp::Buf,
+                a: *a,
+            },
             Node::Binary { a, b, .. } => {
                 let src = if which.is_multiple_of(2) { *a } else { *b };
                 Node::Unary {

@@ -82,8 +82,7 @@ fn main() {
     ] {
         let hours = active_hours_per_day * 3.0 * 365.0;
         let op = OperationalCarbon::new(GridMix::WorldAverage, active_power, hours);
-        let share = 100.0 * embodied.as_grams()
-            / (embodied.as_grams() + op.total().as_grams());
+        let share = 100.0 * embodied.as_grams() / (embodied.as_grams() + op.total().as_grams());
         println!(
             "  {label:<28} operational {:>12}  die-embodied share {share:>5.1} %",
             op.total().to_string()

@@ -44,14 +44,25 @@ fn main() {
             eprintln!("{e}");
             std::process::exit(2);
         });
-    let min_fps: f64 = args.get(2).map_or("30", String::as_str).parse().unwrap_or(30.0);
-    let max_drop: f64 =
-        args.get(3).map_or("2.0", String::as_str).parse().unwrap_or(2.0) / 100.0;
+    let min_fps: f64 = args
+        .get(2)
+        .map_or("30", String::as_str)
+        .parse()
+        .unwrap_or(30.0);
+    let max_drop: f64 = args
+        .get(3)
+        .map_or("2.0", String::as_str)
+        .parse()
+        .unwrap_or(2.0)
+        / 100.0;
 
     println!("CARMA design explorer");
     println!("workload    : {model}");
     println!("node        : {node}");
-    println!("constraints : ≥ {min_fps} FPS, ≤ {:.1} % accuracy drop\n", max_drop * 100.0);
+    println!(
+        "constraints : ≥ {min_fps} FPS, ≤ {:.1} % accuracy drop\n",
+        max_drop * 100.0
+    );
 
     println!("building context…");
     let ctx = CarmaContext::reduced(node);

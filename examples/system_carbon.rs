@@ -55,8 +55,8 @@ fn main() {
     let (mono, chiplet) = monolithic_vs_chiplet(
         TechNode::N7,
         TechNode::N28,
-        Area::from_mm2(1.2),  // compute logic at 7 nm
-        Area::from_mm2(6.0),  // memory section as implemented at 28 nm
+        Area::from_mm2(1.2), // compute logic at 7 nm
+        Area::from_mm2(6.0), // memory section as implemented at 28 nm
         0.0,
     );
     println!("  monolithic 7 nm : {}", mono.total());

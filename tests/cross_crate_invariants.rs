@@ -6,8 +6,7 @@ use carma_carbon::CarbonModel;
 use carma_dataflow::{Accelerator, AreaModel, PerfModel};
 use carma_dnn::{AccuracyEvaluator, DnnModel, EvaluatorConfig};
 use carma_multiplier::{
-    ApproxGenome, ErrorProfile, LutMultiplier, MultiplierCircuit, MultiplierLibrary,
-    ReductionKind,
+    ApproxGenome, ErrorProfile, LutMultiplier, MultiplierCircuit, MultiplierLibrary, ReductionKind,
 };
 use carma_netlist::TechNode;
 

@@ -43,7 +43,10 @@ fn exact_sweep_carbon_grows_with_compute() {
     // large (multiples, not percents).
     let first = sweep.first().unwrap().eval.embodied.as_grams();
     let last = sweep.last().unwrap().eval.embodied.as_grams();
-    assert!(last / first > 3.0, "carbon span too small: {first} → {last}");
+    assert!(
+        last / first > 3.0,
+        "carbon span too small: {first} → {last}"
+    );
 }
 
 #[test]

@@ -43,7 +43,10 @@ fn fig3_bars_are_ordered_exact_approx_gacdp() {
                 row.model,
                 row.approx_only
             );
-            assert!(row.approx_only > 0.6, "approx-only saving implausibly large");
+            assert!(
+                row.approx_only > 0.6,
+                "approx-only saving implausibly large"
+            );
             // The proposed flow is at least as good as approx-only.
             assert!(
                 row.ga_cdp <= row.approx_only + 1e-9,

@@ -7,7 +7,7 @@ use carma_core::{CarmaContext, DesignPoint};
 use carma_dataflow::{Accelerator, AreaModel, PerfModel};
 use carma_dnn::DnnModel;
 use carma_multiplier::{
-    ApproxGenome, ErrorProfile, LutMultiplier, MultiplierCircuit, Multiplier, Prune, PruneAction,
+    ApproxGenome, ErrorProfile, LutMultiplier, Multiplier, MultiplierCircuit, Prune, PruneAction,
     ReductionKind,
 };
 use carma_netlist::equiv::check_equivalence;

@@ -30,9 +30,11 @@ fn approximate_multiplier_exports_valid_verilog() {
         .lines()
         .filter(|l| {
             let t = l.trim_start();
-            ["and ", "or ", "xor ", "nand ", "nor ", "xnor ", "not ", "buf "]
-                .iter()
-                .any(|p| t.starts_with(p))
+            [
+                "and ", "or ", "xor ", "nand ", "nor ", "xnor ", "not ", "buf ",
+            ]
+            .iter()
+            .any(|p| t.starts_with(p))
         })
         .count();
     assert_eq!(instances, approx.netlist().gate_count());
@@ -102,7 +104,10 @@ fn report_pipeline_produces_complete_markdown() {
 
     let csv = to_csv(
         &["model", "carbon_g"],
-        &[vec![model.name().to_string(), eval.embodied.as_grams().to_string()]],
+        &[vec![
+            model.name().to_string(),
+            eval.embodied.as_grams().to_string(),
+        ]],
     );
     assert!(csv.starts_with("model,carbon_g\n"));
 }

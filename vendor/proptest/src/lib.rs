@@ -20,7 +20,9 @@ pub mod test_runner;
 pub mod prelude {
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::Config as ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, proptest,
+    };
 }
 
 /// Defines property tests.
@@ -109,7 +111,10 @@ macro_rules! prop_assert_eq {
         $crate::prop_assert!(
             *l == *r,
             "assertion failed: `{:?}` == `{:?}` ({} == {})",
-            l, r, stringify!($left), stringify!($right)
+            l,
+            r,
+            stringify!($left),
+            stringify!($right)
         );
     }};
 }
@@ -122,7 +127,10 @@ macro_rules! prop_assert_ne {
         $crate::prop_assert!(
             *l != *r,
             "assertion failed: `{:?}` != `{:?}` ({} != {})",
-            l, r, stringify!($left), stringify!($right)
+            l,
+            r,
+            stringify!($left),
+            stringify!($right)
         );
     }};
 }

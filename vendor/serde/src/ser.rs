@@ -71,8 +71,7 @@ pub trait SerializeSeq {
     /// Error produced on failure.
     type Error;
     /// Serializes one element.
-    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T)
-        -> Result<(), Self::Error>;
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Self::Error>;
     /// Finishes the sequence.
     fn end(self) -> Result<Self::Ok, Self::Error>;
 }

@@ -34,8 +34,9 @@ fn expand(input: TokenStream) -> Result<TokenStream, String> {
             TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // '#' + [group]
             TokenTree::Ident(id) if id.to_string() == "struct" => break,
             TokenTree::Ident(id) if id.to_string() == "enum" || id.to_string() == "union" => {
-                return Err("derive(Serialize) shim supports structs with named fields only"
-                    .to_string())
+                return Err(
+                    "derive(Serialize) shim supports structs with named fields only".to_string(),
+                )
             }
             _ => i += 1,
         }
@@ -109,13 +110,21 @@ fn parse_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
         let name = match tokens.get(i) {
             Some(TokenTree::Ident(id)) => id.to_string(),
             None => break, // trailing comma
-            Some(other) => return Err(format!("derive(Serialize): expected field name, found {other}")),
+            Some(other) => {
+                return Err(format!(
+                    "derive(Serialize): expected field name, found {other}"
+                ))
+            }
         };
         i += 1;
 
         match tokens.get(i) {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
-            _ => return Err(format!("derive(Serialize): expected `:` after field `{name}`")),
+            _ => {
+                return Err(format!(
+                    "derive(Serialize): expected `:` after field `{name}`"
+                ))
+            }
         }
 
         // Type: everything until a top-level comma. `<` / `>` do not
@@ -165,10 +174,8 @@ fn extract_serialize_with(stream: &TokenStream) -> Option<String> {
             while j < inner.len() {
                 if let TokenTree::Ident(key) = &inner[j] {
                     if key.to_string() == "serialize_with" {
-                        if let (
-                            Some(TokenTree::Punct(eq)),
-                            Some(TokenTree::Literal(lit)),
-                        ) = (inner.get(j + 1), inner.get(j + 2))
+                        if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                            (inner.get(j + 1), inner.get(j + 2))
                         {
                             if eq.as_char() == '=' {
                                 let s = lit.to_string();
@@ -230,5 +237,6 @@ fn render(name: &str, fields: &[Field]) -> TokenStream {
         len = fields.len(),
     );
 
-    out.parse().expect("derive(Serialize) shim produced invalid Rust")
+    out.parse()
+        .expect("derive(Serialize) shim produced invalid Rust")
 }
