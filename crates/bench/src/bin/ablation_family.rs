@@ -5,85 +5,11 @@
 //!
 //! ```text
 //! cargo run --release -p carma-bench --bin ablation_family
+//! # or: carma run ablation_family
 //! ```
 //!
-//! All three library constructions and every GA generation evaluate on
-//! the shared `carma-exec` engine (`CARMA_THREADS` controls width;
-//! results are thread-count invariant).
-
-use carma_bench::{banner, Scale};
-use carma_core::experiments::format_table;
-use carma_core::flow::{ga_cdp, smallest_exact_meeting, Constraints};
-use carma_core::CarmaContext;
-use carma_dnn::DnnModel;
-use carma_ga::Nsga2Config;
-use carma_multiplier::{LibraryConfig, MultiplierLibrary};
-use carma_netlist::TechNode;
+//! Thin shim over the scenario registry (`carma_core::scenario`).
 
 fn main() {
-    let scale = Scale::from_env();
-    banner(
-        "Ablation — multiplier library family (VGG16 @ 7 nm, ≥30 FPS, ≤2%)",
-        scale,
-    );
-
-    let model = DnnModel::vgg16();
-    let constraints = Constraints::new(30.0, 0.02);
-    let evaluator = scale.evaluator();
-    let depth = scale.library_depth();
-    let (nsga_pop, nsga_gens) = match scale {
-        Scale::Quick => (16, 6),
-        Scale::Full => (24, 12),
-    };
-
-    let libraries: Vec<(&str, MultiplierLibrary)> = vec![
-        ("ladder", MultiplierLibrary::truncation_ladder(8, depth)),
-        ("classic", MultiplierLibrary::classic_families(8, depth)),
-        (
-            "evolved",
-            MultiplierLibrary::evolve(LibraryConfig {
-                nsga: Nsga2Config::default()
-                    .with_population(nsga_pop)
-                    .with_generations(nsga_gens)
-                    .with_seed(0xFA31),
-                ..LibraryConfig::default()
-            }),
-        ),
-    ];
-
-    let mut rows = Vec::new();
-    for (name, library) in libraries {
-        let len = library.len();
-        let ctx = CarmaContext::with_parts(TechNode::N7, library, evaluator);
-        let baseline = smallest_exact_meeting(&ctx, &model, 30.0);
-        let best = ga_cdp(&ctx, &model, constraints, scale.ga());
-        let saving = 100.0 * (1.0 - best.embodied.as_grams() / baseline.eval.embodied.as_grams());
-        rows.push(vec![
-            name.to_string(),
-            len.to_string(),
-            best.multiplier.clone(),
-            format!("{:.1}", best.fps),
-            format!("{:.3}", best.embodied.as_grams()),
-            format!("{saving:.1}"),
-        ]);
-    }
-
-    println!(
-        "{}",
-        format_table(
-            &[
-                "library",
-                "units",
-                "chosen mult",
-                "FPS",
-                "carbon [g]",
-                "saving %"
-            ],
-            &rows
-        )
-    );
-    println!(
-        "expected: richer pools (classic, evolved) match or beat the ladder —\n\
-         the Pareto front of available (area, accuracy) points can only widen"
-    );
+    carma_bench::shim_main("ablation_family");
 }

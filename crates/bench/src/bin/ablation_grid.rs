@@ -4,52 +4,11 @@
 //!
 //! ```text
 //! cargo run --release -p carma-bench --bin ablation_grid
+//! # or: carma run ablation_grid
 //! ```
-
-use carma_bench::{banner, Scale};
-use carma_carbon::{CarbonModel, GridMix};
-use carma_core::experiments::format_table;
-use carma_core::flow::{ga_cdp, smallest_exact_meeting, Constraints};
-use carma_dnn::DnnModel;
-use carma_netlist::TechNode;
+//!
+//! Thin shim over the scenario registry (`carma_core::scenario`).
 
 fn main() {
-    let scale = Scale::from_env();
-    banner(
-        "Ablation — fab grid mix vs embodied carbon (VGG16 @ 7 nm)",
-        scale,
-    );
-
-    let model = DnnModel::vgg16();
-    let mut rows = Vec::new();
-    for grid in [
-        GridMix::Coal,
-        GridMix::TaiwanGrid,
-        GridMix::WorldAverage,
-        GridMix::Renewable,
-    ] {
-        let mut ctx = scale.context(TechNode::N7);
-        ctx.set_carbon_model(CarbonModel::for_node(TechNode::N7).with_grid(grid));
-        let baseline = smallest_exact_meeting(&ctx, &model, 30.0);
-        let best = ga_cdp(&ctx, &model, Constraints::new(30.0, 0.02), scale.ga());
-        let saving = 100.0 * (1.0 - best.embodied.as_grams() / baseline.eval.embodied.as_grams());
-        rows.push(vec![
-            grid.to_string(),
-            format!("{:.0}", grid.grams_per_kwh()),
-            format!("{:.3}", baseline.eval.embodied.as_grams()),
-            format!("{:.3}", best.embodied.as_grams()),
-            format!("{saving:.1}"),
-        ]);
-    }
-    println!(
-        "{}",
-        format_table(
-            &["grid", "CI [g/kWh]", "exact [g]", "ga-cdp [g]", "saving %"],
-            &rows
-        )
-    );
-    println!(
-        "expected: absolute carbon scales strongly with CI_fab; the *relative*\n\
-         GA-CDP saving persists even on a renewable grid (area still shrinks)"
-    );
+    carma_bench::shim_main("ablation_grid");
 }

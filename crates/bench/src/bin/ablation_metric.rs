@@ -5,61 +5,11 @@
 //!
 //! ```text
 //! cargo run --release -p carma-bench --bin ablation_metric
+//! # or: carma run ablation_metric
 //! ```
-
-use carma_bench::{banner, Scale};
-use carma_core::experiments::format_table;
-use carma_core::flow::{ga_cdp_with_metric, smallest_exact_meeting, Constraints};
-use carma_core::FitnessMetric;
-use carma_dnn::DnnModel;
-use carma_netlist::TechNode;
+//!
+//! Thin shim over the scenario registry (`carma_core::scenario`).
 
 fn main() {
-    let scale = Scale::from_env();
-    banner(
-        "Ablation — GA fitness metric (VGG16 @ 7 nm, ≥30 FPS, ≤2%)",
-        scale,
-    );
-
-    let ctx = scale.context(TechNode::N7);
-    let model = DnnModel::vgg16();
-    let constraints = Constraints::new(30.0, 0.02);
-    let baseline = smallest_exact_meeting(&ctx, &model, 30.0);
-
-    let mut rows = Vec::new();
-    for (name, metric) in [
-        ("service-CDP", FitnessMetric::ServiceCdp),
-        ("raw CDP", FitnessMetric::RawCdp),
-        ("carbon only", FitnessMetric::Carbon),
-        ("EDP", FitnessMetric::Edp),
-    ] {
-        let best = ga_cdp_with_metric(&ctx, &model, constraints, scale.ga(), metric);
-        let saving = 100.0 * (1.0 - best.embodied.as_grams() / baseline.eval.embodied.as_grams());
-        rows.push(vec![
-            name.to_string(),
-            best.accelerator.macs().to_string(),
-            format!("{:.1}", best.fps),
-            format!("{:.3}", best.embodied.as_grams()),
-            format!("{:.2}", best.energy_j * 1000.0),
-            format!("{saving:.1}"),
-        ]);
-    }
-    println!(
-        "{}",
-        format_table(
-            &[
-                "fitness",
-                "MACs",
-                "FPS",
-                "carbon [g]",
-                "energy [mJ]",
-                "saving %"
-            ],
-            &rows
-        )
-    );
-    println!(
-        "expected: service-CDP ≈ carbon-only (threshold-hugging, max saving);\n\
-         raw CDP and EDP buy speed/efficiency with embodied carbon"
-    );
+    carma_bench::shim_main("ablation_metric");
 }

@@ -4,80 +4,11 @@
 //!
 //! ```text
 //! cargo run --release -p carma-bench --bin ablation_search
+//! # or: carma run ablation_search
 //! ```
-
-use carma_bench::{banner, Scale};
-use carma_core::experiments::format_table;
-use carma_core::flow::{ga_cdp, smallest_exact_meeting, Constraints};
-use carma_core::DesignPoint;
-use carma_dnn::DnnModel;
-use carma_netlist::TechNode;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+//!
+//! Thin shim over the scenario registry (`carma_core::scenario`).
 
 fn main() {
-    let scale = Scale::from_env();
-    banner(
-        "Ablation — GA vs random search (VGG16 @ 7 nm, ≥30 FPS, ≤2%)",
-        scale,
-    );
-
-    let ctx = scale.context(TechNode::N7);
-    let model = DnnModel::vgg16();
-    let constraints = Constraints::new(30.0, 0.02);
-    let baseline = smallest_exact_meeting(&ctx, &model, 30.0);
-    let base_g = baseline.eval.embodied.as_grams();
-
-    let ga_cfg = scale.ga();
-    let budget = ga_cfg.population * (ga_cfg.generations + 1);
-
-    let mut rows = Vec::new();
-
-    // GA (seeded, as in the paper's flow).
-    let best = ga_cdp(&ctx, &model, constraints, ga_cfg);
-    rows.push(vec![
-        "ga-cdp".to_string(),
-        budget.to_string(),
-        format!("{:.1}", best.fps),
-        format!("{:.3}", best.embodied.as_grams()),
-        format!("{:.1}", 100.0 * (1.0 - best.embodied.as_grams() / base_g)),
-    ]);
-
-    // Random search at the same budget: sample design points uniformly
-    // and keep the best feasible by embodied carbon.
-    let mut rng = StdRng::seed_from_u64(0xABBA);
-    let mut best_random: Option<carma_core::DesignEval> = None;
-    for _ in 0..budget {
-        let dp = DesignPoint::random(&mut rng, ctx.library().len());
-        let eval = ctx.evaluate(&dp, &model);
-        if constraints.satisfied_by(&eval)
-            && best_random
-                .as_ref()
-                .is_none_or(|b| eval.embodied < b.embodied)
-        {
-            best_random = Some(eval);
-        }
-    }
-    match best_random {
-        Some(eval) => rows.push(vec![
-            "random".to_string(),
-            budget.to_string(),
-            format!("{:.1}", eval.fps),
-            format!("{:.3}", eval.embodied.as_grams()),
-            format!("{:.1}", 100.0 * (1.0 - eval.embodied.as_grams() / base_g)),
-        ]),
-        None => rows.push(vec![
-            "random".to_string(),
-            budget.to_string(),
-            "-".to_string(),
-            "(no feasible design found)".to_string(),
-            "-".to_string(),
-        ]),
-    }
-
-    println!(
-        "{}",
-        format_table(&["search", "evals", "FPS", "carbon [g]", "saving %"], &rows)
-    );
-    println!("expected: GA matches or beats random search at equal budget");
+    carma_bench::shim_main("ablation_search");
 }

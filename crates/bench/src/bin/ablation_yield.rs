@@ -5,55 +5,11 @@
 //!
 //! ```text
 //! cargo run --release -p carma-bench --bin ablation_yield
+//! # or: carma run ablation_yield
 //! ```
-
-use carma_bench::{banner, Scale};
-use carma_carbon::{CarbonModel, YieldModel};
-use carma_core::experiments::format_table;
-use carma_core::flow::{ga_cdp, smallest_exact_meeting, Constraints};
-use carma_dnn::DnnModel;
-use carma_netlist::TechNode;
+//!
+//! Thin shim over the scenario registry (`carma_core::scenario`).
 
 fn main() {
-    let scale = Scale::from_env();
-    banner("Ablation — yield model vs GA-CDP savings (VGG16)", scale);
-
-    let model = DnnModel::vgg16();
-    let mut rows = Vec::new();
-    // One context per node, built in parallel on the shared engine:
-    // the library characterization, accuracy reference run and perf
-    // cache are yield-model independent, so the three ablation arms
-    // below share them.
-    let contexts = carma_exec::par_map(&TechNode::ALL, |&node| scale.context(node));
-    for (node, mut ctx) in TechNode::ALL.into_iter().zip(contexts) {
-        for (name, ym) in [
-            ("poisson", YieldModel::Poisson),
-            ("murphy", YieldModel::Murphy),
-            (
-                "neg-binomial(3)",
-                YieldModel::NegativeBinomial { alpha: 3.0 },
-            ),
-        ] {
-            ctx.set_carbon_model(CarbonModel::for_node(node).with_yield_model(ym));
-            let baseline = smallest_exact_meeting(&ctx, &model, 30.0);
-            let best = ga_cdp(&ctx, &model, Constraints::new(30.0, 0.02), scale.ga());
-            let saving =
-                100.0 * (1.0 - best.embodied.as_grams() / baseline.eval.embodied.as_grams());
-            rows.push(vec![
-                node.to_string(),
-                name.to_string(),
-                format!("{:.4}", baseline.eval.embodied.as_grams()),
-                format!("{:.4}", best.embodied.as_grams()),
-                format!("{saving:.1}"),
-            ]);
-        }
-    }
-    println!(
-        "{}",
-        format_table(
-            &["node", "yield model", "exact [g]", "ga-cdp [g]", "saving %"],
-            &rows
-        )
-    );
-    println!("expected: savings stable within a few points across yield models");
+    carma_bench::shim_main("ablation_yield");
 }

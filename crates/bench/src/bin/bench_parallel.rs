@@ -6,129 +6,13 @@
 //!
 //! ```text
 //! cargo run --release -p carma-bench --bin bench_parallel
+//! # or: carma run bench_parallel
 //! ```
 //!
-//! Thread counts are pinned per measurement with
-//! `carma_exec::with_threads`, so one run covers the whole sweep
-//! regardless of `CARMA_THREADS`. The batch results are asserted
-//! bit-identical across widths while measuring — the determinism
-//! contract, enforced where the speedup is claimed.
-
-use std::time::Instant;
-
-use carma_bench::{banner, Scale};
-use carma_core::{CarmaContext, DesignPoint};
-use carma_dnn::DnnModel;
-use carma_multiplier::MultiplierLibrary;
-use carma_netlist::TechNode;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-fn timed<R>(f: impl FnOnce() -> R) -> (f64, R) {
-    let start = Instant::now();
-    let result = f();
-    (start.elapsed().as_secs_f64(), result)
-}
-
-fn json_series(rows: &[(usize, f64)]) -> String {
-    let cells: Vec<String> = rows
-        .iter()
-        .map(|&(threads, wall_s)| format!("{{\"threads\": {threads}, \"wall_s\": {wall_s:.6}}}"))
-        .collect();
-    format!("[{}]", cells.join(", "))
-}
-
-/// Speedup of the widest run over the single-thread run.
-fn speedup(rows: &[(usize, f64)]) -> f64 {
-    let serial = rows.first().expect("non-empty").1;
-    let widest = rows.last().expect("non-empty").1;
-    if widest > 0.0 {
-        serial / widest
-    } else {
-        f64::INFINITY
-    }
-}
+//! Thin shim over the scenario registry (`carma_core::scenario`); the
+//! runner pins each measurement's width with `carma_exec::with_threads`
+//! and asserts batch results bit-identical across widths.
 
 fn main() {
-    let scale = Scale::from_env();
-    banner(
-        "Parallel-engine benchmark — library + GA-generation wall-clock",
-        scale,
-    );
-
-    let host = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
-    let mut widths = vec![1usize, 2, host];
-    widths.sort_unstable();
-    widths.dedup();
-
-    let depth = scale.library_depth();
-
-    // Stage 1: multiplier-library characterization (the dominant cost
-    // of context construction).
-    let mut library_rows: Vec<(usize, f64)> = Vec::new();
-    let mut reference_len = None;
-    for &threads in &widths {
-        let (wall_s, lib) = carma_exec::with_threads(threads, || {
-            timed(|| MultiplierLibrary::truncation_ladder(8, depth))
-        });
-        let len = lib.len();
-        assert_eq!(*reference_len.get_or_insert(len), len, "library forked");
-        library_rows.push((threads, wall_s));
-        println!("library characterization  {threads:>2} threads: {wall_s:>8.3} s");
-    }
-
-    // Stage 2: one GA generation — a population-sized batch of design
-    // evaluations. Each width gets its own freshly drawn point set so
-    // every measurement pays the cold mapping-search cost (the GA's
-    // steady state: offspring are new points); reusing one set would
-    // let later widths ride the cache the first width filled and fake
-    // the speedup.
-    let ctx = CarmaContext::with_parts(
-        TechNode::N7,
-        MultiplierLibrary::truncation_ladder(8, depth),
-        scale.evaluator(),
-    );
-    let model = DnnModel::vgg16();
-    let population = scale.ga().population.max(24);
-    let point_set = |master: u64| -> Vec<DesignPoint> {
-        let mut rng = StdRng::seed_from_u64(master);
-        (0..population)
-            .map(|_| DesignPoint::random(&mut rng, ctx.library().len()))
-            .collect()
-    };
-    let mut ga_rows: Vec<(usize, f64)> = Vec::new();
-    for (w, &threads) in widths.iter().enumerate() {
-        let points = point_set(carma_exec::derive_seed(0xBE7C, w as u64));
-        let (wall_s, _batch) =
-            carma_exec::with_threads(threads, || timed(|| ctx.evaluate_batch(&points, &model)));
-        ga_rows.push((threads, wall_s));
-        println!("ga generation ({population:>3} pts)  {threads:>2} threads: {wall_s:>8.3} s");
-    }
-    // Determinism spot check across widths (near-free: the cache is
-    // warm for these points now).
-    let probe = point_set(carma_exec::derive_seed(0xBE7C, 0));
-    let narrow = carma_exec::with_threads(1, || ctx.evaluate_batch(&probe, &model));
-    let wide = carma_exec::with_threads(host, || ctx.evaluate_batch(&probe, &model));
-    assert_eq!(narrow, wide, "batch evaluation forked across widths");
-
-    let json = format!(
-        "{{\n  \"host_threads\": {host},\n  \"scale\": \"{scale:?}\",\n  \
-         \"library_characterization\": {},\n  \"ga_generation\": {},\n  \
-         \"speedup_library\": {:.3},\n  \"speedup_ga\": {:.3}\n}}\n",
-        json_series(&library_rows),
-        json_series(&ga_rows),
-        speedup(&library_rows),
-        speedup(&ga_rows),
-    );
-    match std::fs::write("BENCH_parallel.json", &json) {
-        Ok(()) => println!("\n(written to BENCH_parallel.json)"),
-        Err(e) => println!("\n(could not write BENCH_parallel.json: {e})"),
-    }
-    print!("\n{json}");
-    println!(
-        "note: each GA-generation measurement evaluates a fresh cold point set \
-         (the GA's steady state); speedups above are widest-vs-1-thread on this host"
-    );
+    carma_bench::shim_main("bench_parallel");
 }

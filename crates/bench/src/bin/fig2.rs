@@ -4,69 +4,12 @@
 //!
 //! ```text
 //! cargo run --release -p carma-bench --bin fig2
+//! # or: carma run fig2
 //! ```
 //!
-//! Context construction, both baseline sweeps and every GA generation
-//! evaluate on the shared `carma-exec` engine (`CARMA_THREADS`
-//! controls width; results are thread-count invariant).
-
-use carma_bench::{banner, Scale};
-use carma_core::experiments::{fig2_scatter, format_table};
-use carma_core::report::to_csv;
-use carma_dnn::DnnModel;
-use carma_netlist::TechNode;
+//! Thin shim over the scenario registry (`carma_core::scenario`);
+//! `CARMA_SCALE` / `CARMA_THREADS` behave as before.
 
 fn main() {
-    let scale = Scale::from_env();
-    banner("Figure 2 — carbon vs FPS, VGG16 @ 7 nm", scale);
-
-    let ctx = scale.context(TechNode::N7);
-    let model = DnnModel::vgg16();
-    let rows = fig2_scatter(&ctx, &model, scale.ga());
-
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.series.clone(),
-                if r.macs > 0 {
-                    r.macs.to_string()
-                } else {
-                    "-".to_string()
-                },
-                format!("{:.2}", r.fps),
-                format!("{:.3}", r.carbon_g),
-            ]
-        })
-        .collect();
-    println!(
-        "{}",
-        format_table(&["series", "MACs", "FPS", "carbon [gCO2]"], &table)
-    );
-    let csv = to_csv(&["series", "macs", "fps", "carbon_g"], &table);
-    if std::fs::write("fig2.csv", &csv).is_ok() {
-        println!("(rows written to fig2.csv)\n");
-    }
-
-    // The paper's headline observations, restated from the data.
-    let exact: Vec<_> = rows.iter().filter(|r| r.series == "exact").collect();
-    let span = exact.last().unwrap().carbon_g / exact.first().unwrap().carbon_g;
-    println!("carbon span across exact sweep: {span:.1}x (paper: \"exponential increase\")");
-
-    for fps in [30.0, 40.0, 50.0] {
-        let ga = rows
-            .iter()
-            .find(|r| r.series == format!("ga-cdp@{fps}"))
-            .expect("ga row");
-        let baseline = exact
-            .iter()
-            .find(|r| r.fps >= fps)
-            .unwrap_or_else(|| exact.last().expect("non-empty"));
-        println!(
-            "GA-CDP @ {fps} FPS: {:.3} g vs exact baseline {:.3} g → {:.1}% reduction",
-            ga.carbon_g,
-            baseline.carbon_g,
-            100.0 * (1.0 - ga.carbon_g / baseline.carbon_g)
-        );
-    }
+    carma_bench::shim_main("fig2");
 }

@@ -4,77 +4,11 @@
 //!
 //! ```text
 //! cargo run --release -p carma-bench --bin fig3
+//! # or: carma run fig3
 //! ```
-
-use carma_bench::{banner, Scale};
-use carma_core::experiments::{fig3, format_table};
-use carma_core::report::to_csv;
-use carma_netlist::TechNode;
+//!
+//! Thin shim over the scenario registry (`carma_core::scenario`).
 
 fn main() {
-    let scale = Scale::from_env();
-    banner(
-        "Figure 3 — normalized embodied carbon across DNNs and nodes",
-        scale,
-    );
-
-    // Context construction (library characterization + accuracy runs)
-    // is embarrassingly parallel across nodes; the GA runs inside
-    // `fig3` then fan each generation out through the same engine.
-    let contexts = carma_exec::par_map(&TechNode::ALL, |&node| scale.context(node));
-    let rows = fig3(&contexts, scale.ga());
-
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.model.clone(),
-                r.node.to_string(),
-                format!("{:.3}", r.exact),
-                format!("{:.3}", r.approx_only),
-                format!("{:.3}", r.ga_cdp),
-                format!("{:.2}", r.exact_carbon_g),
-            ]
-        })
-        .collect();
-    println!(
-        "{}",
-        format_table(
-            &[
-                "model",
-                "node",
-                "exact",
-                "approx-only",
-                "ga-cdp",
-                "exact [gCO2]"
-            ],
-            &table
-        )
-    );
-
-    let csv = to_csv(
-        &[
-            "model",
-            "node",
-            "exact",
-            "approx_only",
-            "ga_cdp",
-            "exact_carbon_g",
-        ],
-        &table,
-    );
-    if std::fs::write("fig3.csv", &csv).is_ok() {
-        println!("(rows written to fig3.csv)\n");
-    }
-
-    let best = rows
-        .iter()
-        .min_by(|a, b| a.ga_cdp.partial_cmp(&b.ga_cdp).expect("finite"))
-        .expect("non-empty");
-    println!(
-        "largest GA-CDP saving: {:.1}% ({} @ {}); paper: up to 65% for VGG16, 30–70% overall",
-        100.0 * (1.0 - best.ga_cdp),
-        best.model,
-        best.node
-    );
+    carma_bench::shim_main("fig3");
 }

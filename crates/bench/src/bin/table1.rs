@@ -16,46 +16,11 @@
 //!
 //! ```text
 //! cargo run --release -p carma-bench --bin table1
+//! # or: carma run table1
 //! ```
-
-use carma_bench::{banner, Scale};
-use carma_core::experiments::{format_table, reduction_table};
-use carma_dnn::DnnModel;
-use carma_netlist::TechNode;
+//!
+//! Thin shim over the scenario registry (`carma_core::scenario`).
 
 fn main() {
-    let scale = Scale::from_env();
-    banner(
-        "Figure 2 table — carbon reduction from approximation only",
-        scale,
-    );
-
-    let model = DnnModel::vgg16();
-    // One context per node, built in parallel on the shared engine.
-    let contexts = carma_exec::par_map(&TechNode::ALL, |&node| scale.context(node));
-    let mut rows: Vec<Vec<String>> = Vec::new();
-    for (node, ctx) in TechNode::ALL.into_iter().zip(&contexts) {
-        let table = reduction_table(ctx, &model);
-        let avg: Vec<String> = table.iter().map(|r| format!("{:.2}", r.avg_pct)).collect();
-        let peak: Vec<String> = table.iter().map(|r| format!("{:.2}", r.peak_pct)).collect();
-        rows.push(vec![
-            node.to_string(),
-            "avg".to_string(),
-            avg[0].clone(),
-            avg[1].clone(),
-            avg[2].clone(),
-        ]);
-        rows.push(vec![
-            String::new(),
-            "peak".to_string(),
-            peak[0].clone(),
-            peak[1].clone(),
-            peak[2].clone(),
-        ]);
-    }
-    println!(
-        "{}",
-        format_table(&["node", "type", "0.5%", "1.0%", "2.0%"], &rows)
-    );
-    println!("(paper peak maximum: 12.75% at 14 nm / 2.0%)");
+    carma_bench::shim_main("table1");
 }

@@ -4,88 +4,57 @@
 //! DESIGN.md §5) and Criterion performance benches for the CARMA
 //! stack.
 //!
-//! The binaries honour the `CARMA_SCALE` environment variable:
-//!
-//! * `quick` (default) — reduced multiplier library and GA budget;
-//!   minutes on a laptop, same qualitative shapes;
-//! * `full` — the paper-scale configuration (depth-4 library, 256
-//!   accuracy samples, GA 48×60).
+//! Since the scenario API landed, every binary is a thin shim over
+//! [`carma_core::scenario::ExperimentRegistry`] — the unified `carma`
+//! CLI (`carma list`, `carma run <name>`) runs the same registry with
+//! spec files, format selection and output redirection on top. The
+//! binaries keep their historical behaviour: `CARMA_SCALE=quick|full`
+//! selects the scale, `fig2`/`fig3` drop their CSV next to the
+//! invocation, and stdout carries banner + table + observations.
 //!
 //! ```text
 //! CARMA_SCALE=full cargo run --release -p carma-bench --bin fig2
+//! # equivalently, via the unified CLI:
+//! cargo run --release --bin carma -- run fig2 --scale full
 //! ```
 
-use carma_core::CarmaContext;
-use carma_dnn::EvaluatorConfig;
-use carma_ga::GaConfig;
-use carma_multiplier::MultiplierLibrary;
-use carma_netlist::TechNode;
+use carma_core::scenario::{ExperimentRegistry, ScenarioSpec};
 
-/// Experiment scale, selected via the `CARMA_SCALE` env var.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Scale {
-    /// Reduced library and GA budget (default).
-    Quick,
-    /// Paper-scale configuration.
-    Full,
-}
-
-impl Scale {
-    /// Reads the scale from the environment (`CARMA_SCALE=full|quick`).
-    pub fn from_env() -> Self {
-        match std::env::var("CARMA_SCALE").as_deref() {
-            Ok("full") => Scale::Full,
-            _ => Scale::Quick,
-        }
-    }
-
-    /// Builds a context at this scale for `node`.
-    pub fn context(self, node: TechNode) -> CarmaContext {
-        match self {
-            Scale::Quick => CarmaContext::with_parts(
-                node,
-                MultiplierLibrary::truncation_ladder(8, self.library_depth()),
-                self.evaluator(),
-            ),
-            Scale::Full => CarmaContext::standard(node),
-        }
-    }
-
-    /// The behavioural accuracy-evaluation budget at this scale.
-    pub fn evaluator(self) -> EvaluatorConfig {
-        match self {
-            Scale::Quick => EvaluatorConfig {
-                samples: 128,
-                ..EvaluatorConfig::default()
-            },
-            Scale::Full => EvaluatorConfig::default(),
-        }
-    }
-
-    /// Multiplier-library truncation depth at this scale.
-    pub fn library_depth(self) -> u8 {
-        match self {
-            Scale::Quick => 3,
-            Scale::Full => 4,
-        }
-    }
-
-    /// The GA budget at this scale.
-    pub fn ga(self) -> GaConfig {
-        match self {
-            Scale::Quick => GaConfig::default().with_population(24).with_generations(18),
-            Scale::Full => GaConfig::default(),
-        }
-    }
-}
+/// Experiment scale, re-exported from the scenario API (`carma-bench`
+/// keeps the name so benches and downstream code compile unchanged;
+/// `Scale::from_env` remains the thin env-only wrapper).
+pub use carma_core::scenario::Scale;
 
 /// Prints a standard experiment banner.
 pub fn banner(name: &str, scale: Scale) {
-    println!("=== CARMA experiment: {name} (scale: {scale:?}) ===");
-    println!(
-        "reproduces: Panteleaki et al., \"Leveraging Approximate Computing for \
-         Carbon-Aware DNN Accelerators\", DATE 2025\n"
-    );
+    print!("{}", carma_core::scenario::banner_text(name, scale));
+}
+
+/// The body of every legacy experiment binary: run the named
+/// experiment with its default spec (scale/threads from the
+/// environment), print banner + tables + notes, and write the legacy
+/// CSV artifact where the binary historically did.
+pub fn shim_main(name: &str) {
+    let registry = ExperimentRegistry::standard();
+    let info = registry
+        .get(name)
+        .unwrap_or_else(|| panic!("`{name}` is not a registered experiment"));
+    // Banner first, so long runs show what they are working on.
+    banner(info.title, Scale::from_env());
+    let report = match registry.run(&ScenarioSpec::named(name)) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    print!("{}", report.tables_text());
+    if let Some(path) = info.csv_artifact {
+        if std::fs::write(path, report.to_csv()).is_ok() {
+            println!("(rows written to {path})\n");
+        }
+    }
+    print!("{}", report.notes_text());
 }
 
 #[cfg(test)]
@@ -104,5 +73,23 @@ mod tests {
     fn quick_ga_is_smaller_than_full() {
         assert!(Scale::Quick.ga().population <= Scale::Full.ga().population);
         assert!(Scale::Quick.ga().generations <= Scale::Full.ga().generations);
+    }
+
+    #[test]
+    fn every_shim_target_is_registered() {
+        let registry = ExperimentRegistry::standard();
+        for name in [
+            "fig2",
+            "fig3",
+            "table1",
+            "ablation_family",
+            "ablation_grid",
+            "ablation_metric",
+            "ablation_search",
+            "ablation_yield",
+            "bench_parallel",
+        ] {
+            assert!(registry.get(name).is_some(), "missing `{name}`");
+        }
     }
 }

@@ -31,8 +31,26 @@ pub struct Fig2Row {
 }
 
 /// Regenerates the Figure 2 scatter for `model` on `ctx`'s node
-/// (the paper plots VGG16 at 7 nm).
+/// (the paper plots VGG16 at 7 nm) over the paper's class/FPS grid.
 pub fn fig2_scatter(ctx: &CarmaContext, model: &DnnModel, ga: GaConfig) -> Vec<Fig2Row> {
+    fig2_scatter_with(ctx, model, ga, &ACCURACY_CLASSES, &FPS_THRESHOLDS)
+}
+
+/// [`fig2_scatter`] over an explicit constraint grid: one
+/// approximate-only series per accuracy class, one GA-CDP point per
+/// FPS threshold (constrained by the *last* — loosest — class).
+///
+/// # Panics
+///
+/// Panics if either grid is empty or holds out-of-range values (the
+/// scenario API validates specs before reaching this point).
+pub fn fig2_scatter_with(
+    ctx: &CarmaContext,
+    model: &DnnModel,
+    ga: GaConfig,
+    accuracy_classes: &[f64],
+    fps_thresholds: &[f64],
+) -> Vec<Fig2Row> {
     let mut rows = Vec::new();
     for p in exact_sweep(ctx, model) {
         rows.push(Fig2Row {
@@ -42,7 +60,7 @@ pub fn fig2_scatter(ctx: &CarmaContext, model: &DnnModel, ga: GaConfig) -> Vec<F
             carbon_g: p.eval.embodied.as_grams(),
         });
     }
-    for &class in &ACCURACY_CLASSES {
+    for &class in accuracy_classes {
         for p in approx_only_sweep(ctx, model, class) {
             rows.push(Fig2Row {
                 series: format!("appx-{}%", class * 100.0),
@@ -52,11 +70,11 @@ pub fn fig2_scatter(ctx: &CarmaContext, model: &DnnModel, ga: GaConfig) -> Vec<F
             });
         }
     }
-    for (i, &fps) in FPS_THRESHOLDS.iter().enumerate() {
+    for (i, &fps) in fps_thresholds.iter().enumerate() {
         let best = ga_cdp(
             ctx,
             model,
-            Constraints::new(fps, *ACCURACY_CLASSES.last().expect("non-empty")),
+            Constraints::new_unchecked(fps, *accuracy_classes.last().expect("non-empty")),
             ga.with_seed(ga.seed.wrapping_add(i as u64)),
         );
         rows.push(Fig2Row {
@@ -84,10 +102,20 @@ pub struct ReductionRow {
     pub peak_pct: f64,
 }
 
-/// Regenerates the Figure 2 reduction table for one node.
+/// Regenerates the Figure 2 reduction table for one node over the
+/// paper's accuracy classes.
 pub fn reduction_table(ctx: &CarmaContext, model: &DnnModel) -> Vec<ReductionRow> {
+    reduction_table_with(ctx, model, &ACCURACY_CLASSES)
+}
+
+/// [`reduction_table`] over an explicit accuracy-class grid.
+pub fn reduction_table_with(
+    ctx: &CarmaContext,
+    model: &DnnModel,
+    accuracy_classes: &[f64],
+) -> Vec<ReductionRow> {
     let exact = exact_sweep(ctx, model);
-    ACCURACY_CLASSES
+    accuracy_classes
         .iter()
         .map(|&class| {
             let approx = approx_only_sweep(ctx, model, class);
@@ -134,8 +162,27 @@ pub struct Fig3Row {
 /// 30 FPS; approximate version = same architecture with an up-to-2 %
 /// multiplier; GA-CDP = full search at the same constraints.
 pub fn fig3_row(ctx: &CarmaContext, model: &DnnModel, ga: GaConfig) -> Fig3Row {
-    let min_fps = FPS_THRESHOLDS[0];
-    let max_drop = *ACCURACY_CLASSES.last().expect("non-empty");
+    fig3_row_with(
+        ctx,
+        model,
+        ga,
+        Constraints::new_unchecked(
+            FPS_THRESHOLDS[0],
+            *ACCURACY_CLASSES.last().expect("non-empty"),
+        ),
+    )
+}
+
+/// [`fig3_row`] at explicit constraints (FPS floor for the exact
+/// baseline and the GA, accuracy budget for the approximate arms).
+pub fn fig3_row_with(
+    ctx: &CarmaContext,
+    model: &DnnModel,
+    ga: GaConfig,
+    constraints: Constraints,
+) -> Fig3Row {
+    let min_fps = constraints.min_fps;
+    let max_drop = constraints.max_accuracy_drop;
 
     let baseline = smallest_exact_meeting(ctx, model, min_fps);
     let base_g = baseline.eval.embodied.as_grams();
@@ -145,7 +192,7 @@ pub fn fig3_row(ctx: &CarmaContext, model: &DnnModel, ga: GaConfig) -> Fig3Row {
     approx_dp.mult_idx = ctx.best_mult_within_drop(max_drop) as u16;
     let approx = ctx.evaluate(&approx_dp, model);
 
-    let best = ga_cdp(ctx, model, Constraints::new(min_fps, max_drop), ga);
+    let best = ga_cdp(ctx, model, constraints, ga);
 
     Fig3Row {
         model: model.name().to_string(),
@@ -160,11 +207,29 @@ pub fn fig3_row(ctx: &CarmaContext, model: &DnnModel, ga: GaConfig) -> Fig3Row {
 /// Regenerates the full Figure 3: every paper model on every provided
 /// context (one per node).
 pub fn fig3(contexts: &[CarmaContext], ga: GaConfig) -> Vec<Fig3Row> {
-    let models = DnnModel::paper_zoo();
+    fig3_with(
+        contexts,
+        ga,
+        &DnnModel::paper_zoo(),
+        Constraints::new_unchecked(
+            FPS_THRESHOLDS[0],
+            *ACCURACY_CLASSES.last().expect("non-empty"),
+        ),
+    )
+}
+
+/// [`fig3`] over explicit models and constraints (model-major, then
+/// node — the paper's bar-group order).
+pub fn fig3_with(
+    contexts: &[CarmaContext],
+    ga: GaConfig,
+    models: &[DnnModel],
+    constraints: Constraints,
+) -> Vec<Fig3Row> {
     let mut rows = Vec::new();
-    for model in &models {
+    for model in models {
         for ctx in contexts {
-            rows.push(fig3_row(ctx, model, ga));
+            rows.push(fig3_row_with(ctx, model, ga, constraints));
         }
     }
     rows
@@ -172,7 +237,10 @@ pub fn fig3(contexts: &[CarmaContext], ga: GaConfig) -> Vec<Fig3Row> {
 
 /// Serde helper: technology nodes serialize as their display name
 /// ("7nm"), keeping exported rows human-readable.
-fn serialize_node<S: serde::Serializer>(node: &TechNode, s: S) -> Result<S::Ok, S::Error> {
+pub(crate) fn serialize_node<S: serde::Serializer>(
+    node: &TechNode,
+    s: S,
+) -> Result<S::Ok, S::Error> {
     s.serialize_str(&node.to_string())
 }
 

@@ -58,6 +58,30 @@ impl FitnessMetric {
     }
 }
 
+/// Why a [`Constraints`] construction was rejected.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConstraintError {
+    /// `min_fps` was zero, negative, or not finite.
+    NonPositiveFps(f64),
+    /// `max_accuracy_drop` was outside `[0, 1]`.
+    DropOutOfRange(f64),
+}
+
+impl std::fmt::Display for ConstraintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConstraintError::NonPositiveFps(v) => {
+                write!(f, "min_fps must be positive and finite (got {v})")
+            }
+            ConstraintError::DropOutOfRange(v) => {
+                write!(f, "max_accuracy_drop must be in [0, 1] (got {v})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConstraintError {}
+
 /// The GA-CDP constraint set: *"thresholds for accuracy drop and
 /// performance, measured in inferences per second"*.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -70,21 +94,35 @@ pub struct Constraints {
 }
 
 impl Constraints {
-    /// Creates a constraint set.
+    /// Creates a constraint set, rejecting non-positive/non-finite FPS
+    /// floors and accuracy budgets outside `[0, 1]` with a descriptive
+    /// [`ConstraintError`] (surfaced by the `carma` CLI's scenario
+    /// validation instead of a panic).
+    pub fn new(min_fps: f64, max_accuracy_drop: f64) -> Result<Self, ConstraintError> {
+        if !(min_fps > 0.0 && min_fps.is_finite()) {
+            return Err(ConstraintError::NonPositiveFps(min_fps));
+        }
+        if !(0.0..=1.0).contains(&max_accuracy_drop) {
+            return Err(ConstraintError::DropOutOfRange(max_accuracy_drop));
+        }
+        Ok(Constraints {
+            min_fps,
+            max_accuracy_drop,
+        })
+    }
+
+    /// Creates a constraint set from values known to be valid — the
+    /// panicking shim for callers with literal in-range thresholds.
     ///
     /// # Panics
     ///
     /// Panics if `min_fps` is not positive or `max_accuracy_drop` is
-    /// outside `[0, 1]`.
-    pub fn new(min_fps: f64, max_accuracy_drop: f64) -> Self {
-        assert!(min_fps > 0.0, "min_fps must be positive");
-        assert!(
-            (0.0..=1.0).contains(&max_accuracy_drop),
-            "max_accuracy_drop must be in [0, 1]"
-        );
-        Constraints {
-            min_fps,
-            max_accuracy_drop,
+    /// outside `[0, 1]` (see [`Constraints::new`] for the fallible
+    /// form).
+    pub fn new_unchecked(min_fps: f64, max_accuracy_drop: f64) -> Self {
+        match Self::new(min_fps, max_accuracy_drop) {
+            Ok(c) => c,
+            Err(e) => panic!("{e}"),
         }
     }
 
@@ -331,7 +369,7 @@ mod tests {
     fn ga_cdp_beats_smallest_exact_baseline() {
         let ctx = ctx7();
         let model = DnnModel::resnet50();
-        let constraints = Constraints::new(30.0, 0.05);
+        let constraints = Constraints::new_unchecked(30.0, 0.05);
         let baseline = smallest_exact_meeting(ctx, &model, constraints.min_fps);
         let best = ga_cdp(ctx, &model, constraints, fast_ga());
         assert!(constraints.satisfied_by(&best), "{best}");
@@ -347,8 +385,18 @@ mod tests {
     fn tighter_fps_floor_costs_carbon() {
         let ctx = ctx7();
         let model = DnnModel::resnet50();
-        let relaxed = ga_cdp(ctx, &model, Constraints::new(10.0, 0.05), fast_ga());
-        let strict = ga_cdp(ctx, &model, Constraints::new(60.0, 0.05), fast_ga());
+        let relaxed = ga_cdp(
+            ctx,
+            &model,
+            Constraints::new_unchecked(10.0, 0.05),
+            fast_ga(),
+        );
+        let strict = ga_cdp(
+            ctx,
+            &model,
+            Constraints::new_unchecked(60.0, 0.05),
+            fast_ga(),
+        );
         assert!(strict.fps >= 60.0 && relaxed.fps >= 10.0);
         assert!(
             strict.embodied >= relaxed.embodied,
@@ -362,16 +410,33 @@ mod tests {
         let best = ga_cdp(
             ctx,
             &DnnModel::resnet50(),
-            Constraints::new(20.0, 0.0),
+            Constraints::new_unchecked(20.0, 0.0),
             fast_ga(),
         );
         assert_eq!(best.accuracy_drop, 0.0);
     }
 
     #[test]
-    #[should_panic(expected = "min_fps must be positive")]
     fn bad_constraints_rejected() {
-        let _ = Constraints::new(0.0, 0.01);
+        assert_eq!(
+            Constraints::new(0.0, 0.01),
+            Err(ConstraintError::NonPositiveFps(0.0))
+        );
+        assert!(matches!(
+            Constraints::new(f64::NAN, 0.01),
+            Err(ConstraintError::NonPositiveFps(v)) if v.is_nan()
+        ));
+        assert_eq!(
+            Constraints::new(30.0, 1.5),
+            Err(ConstraintError::DropOutOfRange(1.5))
+        );
+        assert!(Constraints::new(30.0, 0.02).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "min_fps must be positive")]
+    fn new_unchecked_panics_on_bad_fps() {
+        let _ = Constraints::new_unchecked(0.0, 0.01);
     }
 
     #[test]
@@ -380,7 +445,7 @@ mod tests {
         let _ = ga_cdp(
             ctx7(),
             &DnnModel::vgg16(),
-            Constraints::new(1e6, 0.02),
+            Constraints::new_unchecked(1e6, 0.02),
             GaConfig::default()
                 .with_population(8)
                 .with_generations(3)

@@ -27,18 +27,23 @@
 //! let best = flow::ga_cdp(
 //!     &ctx,
 //!     &DnnModel::vgg16(),
-//!     Constraints::new(30.0, 0.02),
+//!     Constraints::new(30.0, 0.02).expect("valid constraints"),
 //!     GaConfig::default(),
 //! );
 //! println!("best design: {} at {:.1} FPS, {}", best.accelerator, best.fps, best.embodied);
 //! ```
+//!
+//! For running whole paper experiments declaratively (by name or from
+//! a JSON spec), see the [`scenario`] module and the `carma` CLI.
 
 pub mod context;
 pub mod experiments;
 pub mod flow;
 pub mod report;
+pub mod scenario;
 pub mod space;
 
 pub use context::{CarmaContext, DesignEval};
-pub use flow::{Constraints, FitnessMetric, SweepPoint};
+pub use flow::{ConstraintError, Constraints, FitnessMetric, SweepPoint};
+pub use scenario::{ExperimentRegistry, Report, Scale, ScenarioError, ScenarioSpec};
 pub use space::DesignPoint;

@@ -1,0 +1,533 @@
+//! The serializable scenario spec and its resolved, typed form.
+
+use serde::{Deserialize, Serialize};
+
+use carma_dnn::DnnModel;
+use carma_ga::GaConfig;
+use carma_multiplier::{LibraryConfig, MultiplierLibrary};
+use carma_netlist::TechNode;
+
+use super::registry::ExperimentRegistry;
+use super::{resolve_scale, resolve_threads, Scale, ScenarioError};
+use crate::context::CarmaContext;
+use crate::experiments::{ACCURACY_CLASSES, FPS_THRESHOLDS};
+use crate::flow::Constraints;
+
+/// A declarative experiment description, JSON-round-trippable via
+/// [`ScenarioSpec::to_json`] / [`ScenarioSpec::from_json`].
+///
+/// Every field except `experiment` is optional; an empty string /
+/// empty list / `None` means "the experiment's paper default at the
+/// resolved scale", so `{"experiment": "fig2"}` reproduces the `fig2`
+/// binary exactly. Validation happens in [`ScenarioSpec::resolve`]
+/// (what the `carma` CLI calls before running) and reports descriptive
+/// [`ScenarioError`]s instead of panicking.
+///
+/// Precedence for `scale` and `threads` is spec field > CLI flag >
+/// environment variable (`CARMA_SCALE` / `CARMA_THREADS`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Registry name of the experiment (`fig2`, `fig3`, `table1`,
+    /// `ablation_family|grid|metric|search|yield`, `bench_parallel`).
+    pub experiment: String,
+    /// DNN model (`vgg16`, `resnet50`, …; `zoo` for the paper's four
+    /// models where supported). Empty = experiment default.
+    #[serde(default)]
+    pub model: String,
+    /// Primary technology node (`7nm`, `14nm`, `28nm`). Empty = 7 nm.
+    /// When set (and `nodes` is not), it also narrows a multi-node
+    /// experiment's sweep to this one node.
+    #[serde(default)]
+    pub node: String,
+    /// Node sweep for multi-node experiments (`fig3`, `table1`,
+    /// `ablation_yield`). Empty = all paper nodes for those (or the
+    /// primary `node` if given), else the primary node.
+    #[serde(default)]
+    pub nodes: Vec<String>,
+    /// Accuracy-drop classes, ascending; the last is the binding GA
+    /// budget. Empty = the paper's `[0.005, 0.010, 0.020]`.
+    #[serde(default)]
+    pub accuracy_classes: Vec<f64>,
+    /// FPS thresholds; the first is the binding floor. Empty = the
+    /// paper's `[30, 40, 50]`.
+    #[serde(default)]
+    pub fps_thresholds: Vec<f64>,
+    /// Multiplier family for the context library (`ladder`, `classic`,
+    /// `evolved`). Empty = the scale's default (truncation ladder).
+    #[serde(default)]
+    pub family: String,
+    /// Truncation depth of the library (1..=7). `None` = scale
+    /// default (3 quick, 4 full).
+    #[serde(default)]
+    pub library_depth: Option<u8>,
+    /// Behavioural accuracy-evaluation sample count. `None` = scale
+    /// default (128 quick, 256 full).
+    #[serde(default)]
+    pub accuracy_samples: Option<u32>,
+    /// GA hyper-parameter overrides, merged over the scale's budget.
+    #[serde(default)]
+    pub ga: Option<GaSpec>,
+    /// GA seed override (shorthand for `ga.seed`).
+    #[serde(default)]
+    pub seed: Option<u64>,
+    /// Experiment scale (`quick` / `full`). Empty = CLI flag, then
+    /// `CARMA_SCALE`, then quick.
+    #[serde(default)]
+    pub scale: String,
+    /// Execution-engine width. `None` = CLI flag, then
+    /// `CARMA_THREADS`, then available parallelism.
+    #[serde(default)]
+    pub threads: Option<usize>,
+}
+
+/// Partial [`GaConfig`] override: unset fields keep the scale budget.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct GaSpec {
+    /// Population size (≥ 2).
+    #[serde(default)]
+    pub population: Option<usize>,
+    /// Number of generations.
+    #[serde(default)]
+    pub generations: Option<usize>,
+    /// Tournament size (≥ 1).
+    #[serde(default)]
+    pub tournament: Option<usize>,
+    /// Crossover probability in `[0, 1]`.
+    #[serde(default)]
+    pub crossover_rate: Option<f64>,
+    /// Mutation probability in `[0, 1]`.
+    #[serde(default)]
+    pub mutation_rate: Option<f64>,
+    /// Elite count (< population).
+    #[serde(default)]
+    pub elites: Option<usize>,
+    /// RNG seed.
+    #[serde(default)]
+    pub seed: Option<u64>,
+}
+
+impl GaSpec {
+    fn apply(&self, mut ga: GaConfig) -> GaConfig {
+        if let Some(v) = self.population {
+            ga.population = v;
+        }
+        if let Some(v) = self.generations {
+            ga.generations = v;
+        }
+        if let Some(v) = self.tournament {
+            ga.tournament = v;
+        }
+        if let Some(v) = self.crossover_rate {
+            ga.crossover_rate = v;
+        }
+        if let Some(v) = self.mutation_rate {
+            ga.mutation_rate = v;
+        }
+        if let Some(v) = self.elites {
+            ga.elites = v;
+        }
+        if let Some(v) = self.seed {
+            ga.seed = v;
+        }
+        ga
+    }
+}
+
+impl ScenarioSpec {
+    /// The default spec for a registry experiment: running it
+    /// reproduces the matching `carma-bench` binary byte-for-byte at
+    /// the same scale/threads.
+    pub fn named(experiment: &str) -> Self {
+        ScenarioSpec {
+            experiment: experiment.to_string(),
+            model: String::new(),
+            node: String::new(),
+            nodes: Vec::new(),
+            accuracy_classes: Vec::new(),
+            fps_thresholds: Vec::new(),
+            family: String::new(),
+            library_depth: None,
+            accuracy_samples: None,
+            ga: None,
+            seed: None,
+            scale: String::new(),
+            threads: None,
+        }
+    }
+
+    /// Builder: sets the model.
+    #[must_use]
+    pub fn with_model(mut self, model: &str) -> Self {
+        self.model = model.to_string();
+        self
+    }
+
+    /// Builder: sets the primary node.
+    #[must_use]
+    pub fn with_node(mut self, node: &str) -> Self {
+        self.node = node.to_string();
+        self
+    }
+
+    /// Builder: sets the node sweep.
+    #[must_use]
+    pub fn with_nodes<I: IntoIterator<Item = S>, S: Into<String>>(mut self, nodes: I) -> Self {
+        self.nodes = nodes.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Builder: sets the scale.
+    #[must_use]
+    pub fn with_scale(mut self, scale: Scale) -> Self {
+        self.scale = scale.as_str().to_string();
+        self
+    }
+
+    /// Builder: sets the GA override.
+    #[must_use]
+    pub fn with_ga(mut self, ga: GaSpec) -> Self {
+        self.ga = Some(ga);
+        self
+    }
+
+    /// Builder: sets the seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Serializes the spec to compact JSON.
+    pub fn to_json(&self) -> String {
+        serde::json::to_string(self)
+    }
+
+    /// Parses a spec from JSON text, with descriptive errors for
+    /// syntax problems, unknown fields and type mismatches.
+    pub fn from_json(text: &str) -> Result<Self, ScenarioError> {
+        serde::json::from_str(text).map_err(|e| ScenarioError::Parse(e.to_string()))
+    }
+
+    /// Validates the spec against `registry` and resolves every
+    /// defaulted field into a typed [`ResolvedScenario`]. `cli_scale` /
+    /// `cli_threads` sit between the spec fields and the environment
+    /// in precedence.
+    pub fn resolve(
+        &self,
+        registry: &ExperimentRegistry,
+        cli_scale: Option<Scale>,
+        cli_threads: Option<usize>,
+    ) -> Result<ResolvedScenario, ScenarioError> {
+        let info =
+            registry
+                .get(&self.experiment)
+                .ok_or_else(|| ScenarioError::UnknownExperiment {
+                    name: self.experiment.clone(),
+                    known: registry.names().map(str::to_string).collect(),
+                })?;
+
+        let spec_scale = if self.scale.is_empty() {
+            None
+        } else {
+            Some(self.scale.parse::<Scale>()?)
+        };
+        let scale = resolve_scale(spec_scale, cli_scale);
+
+        let model = if self.model.is_empty() {
+            if info.zoo_default {
+                ModelSel::Zoo
+            } else {
+                ModelSel::One(DnnModel::vgg16())
+            }
+        } else if matches!(self.model.as_str(), "zoo" | "all") {
+            if info.multi_model {
+                ModelSel::Zoo
+            } else {
+                return Err(ScenarioError::ModelGridUnsupported(self.experiment.clone()));
+            }
+        } else {
+            ModelSel::One(
+                DnnModel::by_name(&self.model)
+                    .ok_or_else(|| ScenarioError::UnknownModel(self.model.clone()))?,
+            )
+        };
+
+        let parse_node = |s: &str| {
+            s.parse::<TechNode>()
+                .map_err(|_| ScenarioError::UnknownNode(s.to_string()))
+        };
+        let nodes: Vec<TechNode> = if self.nodes.is_empty() {
+            if !self.node.is_empty() {
+                // An explicit primary node narrows even a multi-node
+                // experiment's sweep to that one node — it must never
+                // be silently ignored.
+                vec![parse_node(&self.node)?]
+            } else if info.multi_node {
+                TechNode::ALL.to_vec()
+            } else {
+                vec![TechNode::N7]
+            }
+        } else {
+            if !info.multi_node && self.nodes.len() > 1 {
+                return Err(ScenarioError::SingleNodeExperiment(self.experiment.clone()));
+            }
+            self.nodes
+                .iter()
+                .map(|n| parse_node(n))
+                .collect::<Result<_, _>>()?
+        };
+        let node = if !self.node.is_empty() {
+            parse_node(&self.node)?
+        } else {
+            nodes[0]
+        };
+
+        let accuracy_classes = if self.accuracy_classes.is_empty() {
+            ACCURACY_CLASSES.to_vec()
+        } else {
+            for &c in &self.accuracy_classes {
+                if !(0.0..=1.0).contains(&c) || !c.is_finite() {
+                    return Err(ScenarioError::ClassOutOfRange(c));
+                }
+            }
+            self.accuracy_classes.clone()
+        };
+        let fps_thresholds = if self.fps_thresholds.is_empty() {
+            FPS_THRESHOLDS.to_vec()
+        } else {
+            self.fps_thresholds.clone()
+        };
+        // Every threshold must form valid constraints with the binding
+        // class; checking them all up front keeps runner-side
+        // `Constraints::new_unchecked` honest.
+        let binding_class = *accuracy_classes.last().expect("non-empty after default");
+        let mut constraints = None;
+        for &fps in &fps_thresholds {
+            let c = Constraints::new(fps, binding_class)?;
+            constraints.get_or_insert(c);
+        }
+        let constraints = constraints.expect("non-empty after default");
+
+        let family = match self.family.as_str() {
+            "" => None,
+            "ladder" => Some(Family::Ladder),
+            "classic" => Some(Family::Classic),
+            "evolved" => Some(Family::Evolved),
+            other => return Err(ScenarioError::UnknownFamily(other.to_string())),
+        };
+
+        if let Some(d) = self.library_depth {
+            if !(1..=7).contains(&d) {
+                return Err(ScenarioError::InvalidDepth(d));
+            }
+        }
+        if let Some(s) = self.accuracy_samples {
+            if s == 0 {
+                return Err(ScenarioError::InvalidSamples(s));
+            }
+        }
+
+        let mut ga = self.ga.unwrap_or_default().apply(scale.ga());
+        if let Some(seed) = self.seed {
+            ga.seed = seed;
+        }
+        if ga.population < 2 {
+            return Err(ScenarioError::InvalidGa(format!(
+                "population must be ≥ 2 (got {})",
+                ga.population
+            )));
+        }
+        if ga.tournament < 1 {
+            return Err(ScenarioError::InvalidGa("tournament must be ≥ 1".into()));
+        }
+        if !(0.0..=1.0).contains(&ga.crossover_rate) {
+            return Err(ScenarioError::InvalidGa(format!(
+                "crossover_rate must be in [0, 1] (got {})",
+                ga.crossover_rate
+            )));
+        }
+        if !(0.0..=1.0).contains(&ga.mutation_rate) {
+            return Err(ScenarioError::InvalidGa(format!(
+                "mutation_rate must be in [0, 1] (got {})",
+                ga.mutation_rate
+            )));
+        }
+        if ga.elites >= ga.population {
+            return Err(ScenarioError::InvalidGa(format!(
+                "elites ({}) must be < population ({})",
+                ga.elites, ga.population
+            )));
+        }
+
+        let threads = resolve_threads(self.threads, cli_threads);
+        if let Some(0) = threads {
+            return Err(ScenarioError::InvalidThreads(0));
+        }
+
+        Ok(ResolvedScenario {
+            name: info.name.to_string(),
+            title: info.title.to_string(),
+            model,
+            node,
+            nodes,
+            accuracy_classes,
+            fps_thresholds,
+            constraints,
+            family,
+            library_depth: self.library_depth,
+            accuracy_samples: self.accuracy_samples,
+            ga,
+            scale,
+            threads,
+        })
+    }
+}
+
+/// The model selection of a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelSel {
+    /// One named model.
+    One(DnnModel),
+    /// The paper's four-model zoo (`fig3`).
+    Zoo,
+}
+
+/// Multiplier-library family of the scenario context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// Truncation ladder (the scale default).
+    Ladder,
+    /// Mixed classic families (ladder + BAM + TCC).
+    Classic,
+    /// NSGA-II-evolved Pareto library.
+    Evolved,
+}
+
+impl Family {
+    /// The spec spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Family::Ladder => "ladder",
+            Family::Classic => "classic",
+            Family::Evolved => "evolved",
+        }
+    }
+}
+
+/// A fully validated scenario: every defaulted [`ScenarioSpec`] field
+/// made concrete. Construct via [`ScenarioSpec::resolve`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolvedScenario {
+    /// Registry name.
+    pub name: String,
+    /// Banner title (from the registry entry).
+    pub title: String,
+    /// Model selection.
+    pub model: ModelSel,
+    /// Primary node.
+    pub node: TechNode,
+    /// Node sweep (equals `[node]` for single-node experiments).
+    pub nodes: Vec<TechNode>,
+    /// Accuracy-drop classes (ascending; last is binding).
+    pub accuracy_classes: Vec<f64>,
+    /// FPS thresholds (first is binding).
+    pub fps_thresholds: Vec<f64>,
+    /// The binding constraint pair: first threshold, last class.
+    pub constraints: Constraints,
+    /// Library family override (`None` = scale default ladder).
+    pub family: Option<Family>,
+    /// Library depth override.
+    pub library_depth: Option<u8>,
+    /// Accuracy-sample override.
+    pub accuracy_samples: Option<u32>,
+    /// The effective GA budget.
+    pub ga: GaConfig,
+    /// The effective scale.
+    pub scale: Scale,
+    /// The effective engine width (`None` = engine default).
+    pub threads: Option<usize>,
+}
+
+impl ResolvedScenario {
+    /// The single model of this scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a `zoo` selection — `resolve` only admits `zoo` for
+    /// multi-model experiments, whose runners call [`Self::models`].
+    pub fn single_model(&self) -> &DnnModel {
+        match &self.model {
+            ModelSel::One(m) => m,
+            ModelSel::Zoo => panic!("zoo selection on a single-model experiment"),
+        }
+    }
+
+    /// The model list (the paper zoo, or the one selected model).
+    pub fn models(&self) -> Vec<DnnModel> {
+        match &self.model {
+            ModelSel::One(m) => vec![m.clone()],
+            ModelSel::Zoo => DnnModel::paper_zoo(),
+        }
+    }
+
+    /// The effective library truncation depth.
+    pub fn depth(&self) -> u8 {
+        self.library_depth
+            .unwrap_or_else(|| self.scale.library_depth())
+    }
+
+    /// The effective accuracy-evaluator configuration.
+    pub fn evaluator(&self) -> carma_dnn::EvaluatorConfig {
+        let mut cfg = self.scale.evaluator();
+        if let Some(s) = self.accuracy_samples {
+            cfg.samples = s as usize;
+        }
+        cfg
+    }
+
+    /// Builds the scenario's multiplier library (family × depth at
+    /// this scale).
+    pub fn library(&self) -> MultiplierLibrary {
+        self.library_for(self.family.unwrap_or(Family::Ladder))
+    }
+
+    /// Builds the library of an explicit `family` at this scenario's
+    /// settings — the one construction shared by [`Self::library`] and
+    /// the `ablation_family` runner, so the arms of that ablation are
+    /// exactly what `family = "…"` specs produce.
+    pub fn library_for(&self, family: Family) -> MultiplierLibrary {
+        match family {
+            Family::Ladder => MultiplierLibrary::truncation_ladder(8, self.depth()),
+            Family::Classic => MultiplierLibrary::classic_families(8, self.depth()),
+            Family::Evolved => {
+                let (pop, gens) = self.scale.library_nsga_budget();
+                let base = LibraryConfig::default();
+                MultiplierLibrary::evolve(LibraryConfig {
+                    // An explicit spec depth bounds the evolved
+                    // search's truncation too; unset keeps the
+                    // search's own default depth (the legacy
+                    // ablation arm at both scales).
+                    max_truncation: self.library_depth.unwrap_or(base.max_truncation),
+                    nsga: carma_ga::Nsga2Config::default()
+                        .with_population(pop)
+                        .with_generations(gens)
+                        .with_seed(0xFA31),
+                    ..base
+                })
+            }
+        }
+    }
+
+    /// Builds the evaluation context for `node`. With no family /
+    /// depth / sample overrides this is exactly [`Scale::context`], so
+    /// default specs reproduce the legacy binaries bit-for-bit.
+    pub fn context_for(&self, node: TechNode) -> CarmaContext {
+        CarmaContext::with_parts(node, self.library(), self.evaluator())
+    }
+
+    /// Builds one context per node of the sweep, in parallel on the
+    /// `carma-exec` engine (construction is thread-invariant).
+    pub fn node_contexts(&self) -> Vec<CarmaContext> {
+        carma_exec::par_map(&self.nodes, |&node| self.context_for(node))
+    }
+}

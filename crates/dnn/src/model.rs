@@ -67,6 +67,26 @@ impl DnnModel {
         ]
     }
 
+    /// Looks a preset model up by name (case-insensitive; `-`/`_`
+    /// ignored) — the resolver behind the scenario API's `model`
+    /// field. Returns `None` for unknown names.
+    pub fn by_name(name: &str) -> Option<DnnModel> {
+        let normalized: String = name
+            .chars()
+            .filter(|c| *c != '-' && *c != '_')
+            .collect::<String>()
+            .to_ascii_lowercase();
+        match normalized.as_str() {
+            "vgg16" => Some(DnnModel::vgg16()),
+            "vgg19" => Some(DnnModel::vgg19()),
+            "resnet50" => Some(DnnModel::resnet50()),
+            "resnet152" => Some(DnnModel::resnet152()),
+            "mobilenet" | "mobilenetv1" => Some(DnnModel::mobilenet_v1()),
+            "alexnet" => Some(DnnModel::alexnet()),
+            _ => None,
+        }
+    }
+
     /// VGG16 (Simonyan & Zisserman) at 224×224: 13 conv + 3 FC layers,
     /// ≈ 15.47 GMACs, ≈ 138 M parameters.
     pub fn vgg16() -> Self {

@@ -90,7 +90,7 @@ fn main() {
     let best = ga_cdp(
         &ctx,
         &model,
-        Constraints::new(min_fps, max_drop),
+        Constraints::new(min_fps, max_drop).expect("valid thresholds"),
         GaConfig::default().with_population(40).with_generations(40),
     );
     println!("GA-CDP (proposed)   : {best}");

@@ -1,13 +1,15 @@
-//! Quickstart: evaluate an NVDLA-style baseline and let GA-CDP design
-//! a carbon-aware replacement for the same workload.
+//! Quickstart: evaluate an NVDLA-style baseline, let GA-CDP design a
+//! carbon-aware replacement for the same workload, then run a whole
+//! paper experiment from a declarative JSON scenario spec.
 //!
 //! Run with:
 //!
 //! ```text
-//! cargo run --release -p carma-core --example quickstart
+//! cargo run --release --example quickstart
 //! ```
 
 use carma_core::flow::{ga_cdp, smallest_exact_meeting, Constraints};
+use carma_core::scenario::{ExperimentRegistry, ScenarioSpec};
 use carma_core::CarmaContext;
 use carma_dnn::DnnModel;
 use carma_ga::GaConfig;
@@ -37,7 +39,7 @@ fn main() {
     let best = ga_cdp(
         &ctx,
         &model,
-        Constraints::new(30.0, 0.02),
+        Constraints::new(30.0, 0.02).expect("valid thresholds"),
         GaConfig::default().with_population(32).with_generations(25),
     );
     println!("GA-CDP design  : {best}");
@@ -47,4 +49,22 @@ fn main() {
         "\nembodied-carbon saving vs baseline: {:.1} %",
         saving * 100.0
     );
+
+    // 4. The declarative route: load a scenario spec from JSON and run
+    //    a whole paper experiment through the registry — exactly what
+    //    `carma run --spec <file>` does.
+    let spec_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/examples/scenarios/table1_quick.json"
+    );
+    let text = std::fs::read_to_string(spec_path).expect("example spec ships with the repo");
+    let spec = ScenarioSpec::from_json(&text).expect("example spec is valid");
+    println!(
+        "\nrunning declarative scenario `{}` from {spec_path}…\n",
+        spec.experiment
+    );
+    let report = ExperimentRegistry::standard()
+        .run(&spec)
+        .expect("example spec resolves");
+    print!("{}", report.render_text());
 }

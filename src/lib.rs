@@ -15,7 +15,11 @@
 //! 5. [`dataflow`] — NVDLA-style performance/energy/area oracle.
 //! 6. [`carbon`] — ACT-style embodied-carbon model and CDP metric.
 //! 7. [`core`] — the paper's flow: GA over the accelerator space with
-//!    Carbon Delay Product fitness under FPS/accuracy constraints.
+//!    Carbon Delay Product fitness under FPS/accuracy constraints,
+//!    plus the declarative scenario API (`carma_core::scenario`)
+//!    behind the unified `carma` CLI (`carma list`, `carma run
+//!    <name>`, `carma run --spec scenario.json`) that regenerates
+//!    every figure, table and ablation of the evaluation.
 
 pub use carma_carbon as carbon;
 pub use carma_core as core;

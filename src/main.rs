@@ -1,0 +1,272 @@
+//! The unified `carma` CLI: list and run every paper experiment
+//! through the declarative scenario API, replacing per-figure binary
+//! sprawl with one entry point.
+//!
+//! ```text
+//! carma list
+//! carma run fig2
+//! carma run table1 --scale full --threads 8 --out csv --output table1.csv
+//! carma run --spec examples/scenarios/fig2_quick.json --out json
+//! ```
+
+use std::process::ExitCode;
+
+use carma_core::scenario::{banner_text, ExperimentRegistry, Scale, ScenarioSpec};
+
+const USAGE: &str = "\
+carma — carbon-aware DNN accelerator experiments (Panteleaki et al., DATE 2025)
+
+USAGE:
+  carma list                          show every experiment and what it reproduces
+  carma run <name> [OPTIONS]          run a registered experiment
+  carma run --spec <file> [OPTIONS]   run a JSON scenario spec
+  carma help                          show this message
+
+OPTIONS:
+  --spec <file>        load a ScenarioSpec from JSON (spec fields win over flags)
+  --scale quick|full   experiment scale        (spec > flag > $CARMA_SCALE > quick)
+  --threads <N>        execution-engine width  (spec > flag > $CARMA_THREADS > auto)
+  --model <name>       DNN model (vgg16|vgg19|resnet50|resnet152|mobilenet_v1|alexnet|zoo)
+  --node <node>        primary tech node (7nm|14nm|28nm)
+  --nodes <a,b,..>     node sweep for multi-node experiments
+  --seed <N>           GA seed override
+  --out text|json|csv  output format (default: text)
+  --output <path>      write the output to <path> instead of stdout
+
+Results are deterministic for a given spec and scale — the thread count
+never changes them: every width reproduces the serial reference
+bit-for-bit.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        None | Some("help" | "--help" | "-h") => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some("list") => {
+            list();
+            ExitCode::SUCCESS
+        }
+        Some("run") => run(&args[1..]),
+        Some(other) => {
+            eprintln!("error: unknown command `{other}`\n");
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn list() {
+    let registry = ExperimentRegistry::standard();
+    println!("CARMA experiments (run with `carma run <name>`):\n");
+    for info in registry.entries() {
+        println!("  {:<16} {}", info.name, info.index);
+    }
+    println!("\nSpecs: `carma run --spec <file.json>` (see examples/scenarios/).");
+}
+
+/// Output format of `carma run`.
+#[derive(Clone, Copy, PartialEq)]
+enum OutFormat {
+    Text,
+    Json,
+    Csv,
+}
+
+struct RunArgs {
+    name: Option<String>,
+    spec_path: Option<String>,
+    scale: Option<Scale>,
+    threads: Option<usize>,
+    model: Option<String>,
+    node: Option<String>,
+    nodes: Option<Vec<String>>,
+    seed: Option<u64>,
+    out: OutFormat,
+    output: Option<String>,
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}\n");
+    eprintln!("run `carma help` for usage");
+    ExitCode::from(2)
+}
+
+fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
+    let mut parsed = RunArgs {
+        name: None,
+        spec_path: None,
+        scale: None,
+        threads: None,
+        model: None,
+        node: None,
+        nodes: None,
+        seed: None,
+        out: OutFormat::Text,
+        output: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_for = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("`{flag}` needs a value"))
+        };
+        match arg.as_str() {
+            "--spec" => parsed.spec_path = Some(value_for("--spec")?),
+            "--scale" => {
+                let v = value_for("--scale")?;
+                parsed.scale = Some(v.parse::<Scale>().map_err(|e| e.to_string())?);
+            }
+            "--threads" => {
+                let v = value_for("--threads")?;
+                let n: usize = v
+                    .parse()
+                    .map_err(|_| format!("`--threads` needs a positive integer (got `{v}`)"))?;
+                if n == 0 {
+                    return Err("`--threads` must be ≥ 1".to_string());
+                }
+                parsed.threads = Some(n);
+            }
+            "--model" => parsed.model = Some(value_for("--model")?),
+            "--node" => parsed.node = Some(value_for("--node")?),
+            "--nodes" => {
+                let v = value_for("--nodes")?;
+                parsed.nodes = Some(v.split(',').map(|s| s.trim().to_string()).collect());
+            }
+            "--seed" => {
+                let v = value_for("--seed")?;
+                parsed.seed = Some(
+                    v.parse()
+                        .map_err(|_| format!("`--seed` needs an integer (got `{v}`)"))?,
+                );
+            }
+            "--out" => {
+                parsed.out = match value_for("--out")?.as_str() {
+                    "text" => OutFormat::Text,
+                    "json" => OutFormat::Json,
+                    "csv" => OutFormat::Csv,
+                    other => return Err(format!("unknown output format `{other}`")),
+                };
+            }
+            "--output" => parsed.output = Some(value_for("--output")?),
+            flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
+            name => {
+                if parsed.name.replace(name.to_string()).is_some() {
+                    return Err(format!("unexpected extra argument `{name}`"));
+                }
+            }
+        }
+    }
+    if parsed.name.is_none() && parsed.spec_path.is_none() {
+        return Err("give an experiment name or `--spec <file>`".to_string());
+    }
+    Ok(parsed)
+}
+
+fn run(args: &[String]) -> ExitCode {
+    let parsed = match parse_run_args(args) {
+        Ok(p) => p,
+        Err(msg) => return usage_error(&msg),
+    };
+
+    // Build the spec: from file, or the named default. Spec fields win
+    // over flags (spec > CLI > env), so flags only fill defaulted
+    // fields.
+    let mut spec = match &parsed.spec_path {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => return usage_error(&format!("cannot read `{path}`: {e}")),
+            };
+            match ScenarioSpec::from_json(&text) {
+                Ok(spec) => spec,
+                Err(e) => {
+                    eprintln!("error: {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        None => ScenarioSpec::named(parsed.name.as_deref().expect("checked in parse")),
+    };
+    if let (Some(name), Some(_)) = (&parsed.name, &parsed.spec_path) {
+        if *name != spec.experiment {
+            return usage_error(&format!(
+                "both `{name}` and --spec (experiment `{}`) given — drop one",
+                spec.experiment
+            ));
+        }
+    }
+    if let Some(model) = parsed.model {
+        if spec.model.is_empty() {
+            spec.model = model;
+        }
+    }
+    if let Some(node) = parsed.node {
+        if spec.node.is_empty() {
+            spec.node = node;
+        }
+    }
+    if let Some(nodes) = parsed.nodes {
+        if spec.nodes.is_empty() {
+            spec.nodes = nodes;
+        }
+    }
+    if let Some(seed) = parsed.seed {
+        spec.seed.get_or_insert(seed);
+    }
+
+    let registry = ExperimentRegistry::standard();
+
+    // In machine-readable modes keep stdout pure; the banner goes to
+    // stderr as a progress line.
+    let resolved_scale = if spec.scale.is_empty() {
+        carma_core::scenario::resolve_scale(None, parsed.scale)
+    } else {
+        match spec.scale.parse::<Scale>() {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    };
+    if let Some(info) = registry.get(&spec.experiment) {
+        let banner = banner_text(info.title, resolved_scale);
+        match parsed.out {
+            OutFormat::Text if parsed.output.is_none() => print!("{banner}"),
+            _ => eprint!("{banner}"),
+        }
+    }
+
+    let report = match registry.run_with(&spec, parsed.scale, parsed.threads) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let payload = match parsed.out {
+        OutFormat::Text => format!("{}{}", report.tables_text(), report.notes_text()),
+        OutFormat::Json => {
+            let mut json = report.to_json();
+            json.push('\n');
+            json
+        }
+        OutFormat::Csv => report.to_csv(),
+    };
+    match parsed.output {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, payload) {
+                eprintln!("error: cannot write `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("(written to {path})");
+        }
+        None => print!("{payload}"),
+    }
+    ExitCode::SUCCESS
+}

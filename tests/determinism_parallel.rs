@@ -114,7 +114,7 @@ fn ga_cdp_flow_is_thread_invariant() {
         let best = flow::ga_cdp(
             &ctx,
             &model,
-            Constraints::new(30.0, 0.05),
+            Constraints::new_unchecked(30.0, 0.05),
             GaConfig::default()
                 .with_population(16)
                 .with_generations(8)
@@ -132,4 +132,32 @@ fn ga_cdp_flow_is_thread_invariant() {
     let narrow = carma_exec::with_threads(1, run);
     let wide = carma_exec::with_threads(8, run);
     assert_eq!(narrow, wide);
+}
+
+/// The scenario API inherits the guarantee: a registry-driven run
+/// (context construction from the resolved spec, the experiment
+/// driver, artifact assembly) is bit-identical at 1 and 8 threads —
+/// including when the spec itself pins `threads`, which must override
+/// the ambient width without changing results.
+#[test]
+fn scenario_registry_run_is_thread_invariant() {
+    use carma_core::scenario::{ExperimentRegistry, ScenarioSpec};
+
+    let registry = ExperimentRegistry::standard();
+    let spec = {
+        let mut s = ScenarioSpec::named("table1").with_nodes(["7nm"]);
+        s.library_depth = Some(2);
+        s.accuracy_samples = Some(48);
+        s
+    };
+    let run = || registry.run(&spec).expect("spec runs");
+    let narrow = carma_exec::with_threads(1, run);
+    let wide = carma_exec::with_threads(8, run);
+    assert_eq!(narrow, wide);
+    assert_eq!(narrow.to_json(), wide.to_json());
+
+    let mut pinned = spec.clone();
+    pinned.threads = Some(2);
+    let via_spec = registry.run(&pinned).expect("pinned spec runs");
+    assert_eq!(via_spec.artifacts, narrow.artifacts);
 }

@@ -1,0 +1,378 @@
+//! The declarative scenario API end to end: spec serde round-trips,
+//! builder/resolve validation, golden equivalence between
+//! registry-driven runs and the direct experiment drivers, and the
+//! `carma` CLI binary itself.
+
+use std::process::Command;
+use std::sync::OnceLock;
+
+use carma_core::experiments::{fig2_scatter_with, reduction_table_with};
+use carma_core::scenario::{
+    Artifact, ExperimentRegistry, GaSpec, Scale, ScenarioError, ScenarioSpec,
+};
+use carma_core::{CarmaContext, ConstraintError};
+use carma_dnn::DnnModel;
+use carma_multiplier::MultiplierLibrary;
+use carma_netlist::TechNode;
+
+fn registry() -> &'static ExperimentRegistry {
+    static REGISTRY: OnceLock<ExperimentRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(ExperimentRegistry::standard)
+}
+
+/// A cheap fig2 spec: depth-2 ladder, 48 accuracy samples, small GA.
+fn small_fig2_spec() -> ScenarioSpec {
+    let mut spec = ScenarioSpec::named("fig2")
+        .with_model("resnet50")
+        .with_node("7nm")
+        .with_scale(Scale::Quick)
+        .with_ga(GaSpec {
+            population: Some(10),
+            generations: Some(6),
+            ..GaSpec::default()
+        })
+        .with_seed(42);
+    spec.library_depth = Some(2);
+    spec.accuracy_samples = Some(48);
+    spec
+}
+
+// ─── serde round-trip ───────────────────────────────────────────────
+
+#[test]
+fn spec_round_trips_through_json() {
+    let mut spec = small_fig2_spec();
+    spec.accuracy_classes = vec![0.005, 0.02];
+    spec.fps_thresholds = vec![25.0, 45.0];
+    spec.family = "classic".to_string();
+    spec.threads = Some(2);
+    let json = spec.to_json();
+    let back = ScenarioSpec::from_json(&json).expect("round-trip parses");
+    assert_eq!(back, spec);
+    // And the JSON itself is structurally valid for any JSON consumer.
+    assert!(serde::json::parse(&json).is_ok());
+}
+
+#[test]
+fn minimal_spec_parses_with_defaults() {
+    let spec = ScenarioSpec::from_json(r#"{"experiment": "fig2"}"#).expect("minimal spec");
+    assert_eq!(spec, ScenarioSpec::named("fig2"));
+}
+
+#[test]
+fn unknown_spec_field_is_rejected_with_its_name() {
+    let err = ScenarioSpec::from_json(r#"{"experiment": "fig2", "modle": "vgg16"}"#).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("modle"), "{msg}");
+    assert!(msg.contains("model"), "should list known fields: {msg}");
+}
+
+#[test]
+fn missing_experiment_field_is_rejected() {
+    let err = ScenarioSpec::from_json(r#"{"model": "vgg16"}"#).unwrap_err();
+    assert!(err.to_string().contains("experiment"), "{err}");
+}
+
+#[test]
+fn type_mismatch_points_at_the_field() {
+    let err = ScenarioSpec::from_json(r#"{"experiment": "fig2", "ga": {"population": "big"}}"#)
+        .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("ga.population"), "{msg}");
+}
+
+// ─── resolve-time validation ────────────────────────────────────────
+
+#[test]
+fn resolve_rejects_unknown_experiment() {
+    let err = ScenarioSpec::named("fig9")
+        .resolve(registry(), None, None)
+        .unwrap_err();
+    assert!(
+        matches!(err, ScenarioError::UnknownExperiment { .. }),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn resolve_rejects_bad_fps_through_constraint_error() {
+    let mut spec = ScenarioSpec::named("fig2");
+    spec.fps_thresholds = vec![0.0];
+    let err = spec.resolve(registry(), None, None).unwrap_err();
+    assert_eq!(
+        err,
+        ScenarioError::Constraint(ConstraintError::NonPositiveFps(0.0))
+    );
+    assert!(
+        err.to_string().contains("min_fps must be positive"),
+        "{err}"
+    );
+}
+
+#[test]
+fn resolve_rejects_bad_inputs() {
+    let reg = registry();
+    let bad_model = ScenarioSpec::named("fig2").with_model("vgg17");
+    assert!(matches!(
+        bad_model.resolve(reg, None, None),
+        Err(ScenarioError::UnknownModel(_))
+    ));
+
+    let bad_node = ScenarioSpec::named("fig2").with_node("5nm");
+    assert!(matches!(
+        bad_node.resolve(reg, None, None),
+        Err(ScenarioError::UnknownNode(_))
+    ));
+
+    let mut bad_scale = ScenarioSpec::named("fig2");
+    bad_scale.scale = "medium".to_string();
+    assert!(matches!(
+        bad_scale.resolve(reg, None, None),
+        Err(ScenarioError::UnknownScale(_))
+    ));
+
+    let mut bad_class = ScenarioSpec::named("fig2");
+    bad_class.accuracy_classes = vec![1.5];
+    assert!(matches!(
+        bad_class.resolve(reg, None, None),
+        Err(ScenarioError::ClassOutOfRange(_))
+    ));
+
+    let mut bad_family = ScenarioSpec::named("fig2");
+    bad_family.family = "booth".to_string();
+    assert!(matches!(
+        bad_family.resolve(reg, None, None),
+        Err(ScenarioError::UnknownFamily(_))
+    ));
+
+    let mut bad_depth = ScenarioSpec::named("fig2");
+    bad_depth.library_depth = Some(0);
+    assert!(matches!(
+        bad_depth.resolve(reg, None, None),
+        Err(ScenarioError::InvalidDepth(0))
+    ));
+
+    let bad_ga = ScenarioSpec::named("fig2").with_ga(GaSpec {
+        population: Some(1),
+        ..GaSpec::default()
+    });
+    assert!(matches!(
+        bad_ga.resolve(reg, None, None),
+        Err(ScenarioError::InvalidGa(_))
+    ));
+
+    let zoo_on_single = ScenarioSpec::named("fig2").with_model("zoo");
+    assert!(matches!(
+        zoo_on_single.resolve(reg, None, None),
+        Err(ScenarioError::ModelGridUnsupported(_))
+    ));
+
+    let multi_on_single = ScenarioSpec::named("fig2").with_nodes(["7nm", "14nm"]);
+    assert!(matches!(
+        multi_on_single.resolve(reg, None, None),
+        Err(ScenarioError::SingleNodeExperiment(_))
+    ));
+}
+
+#[test]
+fn resolve_defaults_match_the_paper_grid() {
+    let resolved = ScenarioSpec::named("fig2")
+        .resolve(registry(), None, None)
+        .expect("default spec resolves");
+    assert_eq!(resolved.accuracy_classes, vec![0.005, 0.010, 0.020]);
+    assert_eq!(resolved.fps_thresholds, vec![30.0, 40.0, 50.0]);
+    assert_eq!(resolved.constraints.min_fps, 30.0);
+    assert_eq!(resolved.constraints.max_accuracy_drop, 0.020);
+    assert_eq!(resolved.node, TechNode::N7);
+    assert_eq!(resolved.nodes, vec![TechNode::N7]);
+    // Multi-node experiments default to the full node sweep.
+    let table1 = ScenarioSpec::named("table1")
+        .resolve(registry(), None, None)
+        .expect("resolves");
+    assert_eq!(table1.nodes, TechNode::ALL.to_vec());
+}
+
+#[test]
+fn explicit_node_narrows_a_multi_node_sweep() {
+    let resolved = ScenarioSpec::named("table1")
+        .with_node("14nm")
+        .resolve(registry(), None, None)
+        .expect("resolves");
+    assert_eq!(resolved.node, TechNode::N14);
+    assert_eq!(
+        resolved.nodes,
+        vec![TechNode::N14],
+        "--node must not be ignored"
+    );
+    // An explicit nodes list still wins over the primary node field.
+    let resolved = ScenarioSpec::named("table1")
+        .with_nodes(["7nm", "28nm"])
+        .resolve(registry(), None, None)
+        .expect("resolves");
+    assert_eq!(resolved.nodes, vec![TechNode::N7, TechNode::N28]);
+}
+
+#[test]
+fn cli_scale_override_yields_to_spec_field() {
+    let spec = ScenarioSpec::named("fig2").with_scale(Scale::Quick);
+    let resolved = spec
+        .resolve(registry(), Some(Scale::Full), None)
+        .expect("resolves");
+    assert_eq!(resolved.scale, Scale::Quick, "spec field wins over CLI");
+
+    let unset = ScenarioSpec::named("fig2");
+    let resolved = unset
+        .resolve(registry(), Some(Scale::Full), None)
+        .expect("resolves");
+    assert_eq!(resolved.scale, Scale::Full, "CLI fills a defaulted field");
+}
+
+// ─── golden equivalence: registry run ≡ direct driver call ──────────
+
+#[test]
+fn registry_fig2_matches_direct_driver_call() {
+    let spec = small_fig2_spec();
+    let report = registry().run(&spec).expect("spec runs");
+
+    // The same configuration, assembled by hand as a pre-redesign
+    // driver would have: identical context, model, GA and grids must
+    // give byte-identical rows.
+    let resolved = spec.resolve(registry(), None, None).expect("resolves");
+    let ctx = CarmaContext::with_parts(
+        TechNode::N7,
+        MultiplierLibrary::truncation_ladder(8, 2),
+        resolved.evaluator(),
+    );
+    let direct = fig2_scatter_with(
+        &ctx,
+        &DnnModel::resnet50(),
+        resolved.ga,
+        &resolved.accuracy_classes,
+        &resolved.fps_thresholds,
+    );
+    assert_eq!(resolved.ga.seed, 42, "spec seed reached the GA config");
+    assert_eq!(report.artifacts.len(), 1);
+    match &report.artifacts[0] {
+        Artifact::Fig2(rows) => assert_eq!(rows, &direct),
+        other => panic!("expected Fig2 artifact, got {}", other.kind()),
+    }
+}
+
+#[test]
+fn registry_table1_matches_direct_driver_call() {
+    let mut spec = ScenarioSpec::named("table1").with_nodes(["7nm"]);
+    spec.library_depth = Some(2);
+    spec.accuracy_samples = Some(48);
+    let report = registry().run(&spec).expect("spec runs");
+
+    let resolved = spec.resolve(registry(), None, None).expect("resolves");
+    let ctx = CarmaContext::with_parts(
+        TechNode::N7,
+        MultiplierLibrary::truncation_ladder(8, 2),
+        resolved.evaluator(),
+    );
+    let direct = reduction_table_with(&ctx, &DnnModel::vgg16(), &resolved.accuracy_classes);
+    match &report.artifacts[0] {
+        Artifact::Reduction(rows) => assert_eq!(rows, &direct),
+        other => panic!("expected Reduction artifact, got {}", other.kind()),
+    }
+}
+
+#[test]
+fn report_sinks_agree_with_artifacts() {
+    let spec = {
+        let mut s = ScenarioSpec::named("table1").with_nodes(["7nm"]);
+        s.library_depth = Some(2);
+        s.accuracy_samples = Some(48);
+        s
+    };
+    let report = registry().run(&spec).expect("spec runs");
+    // JSON parses and carries the typed rows.
+    let v = serde::json::parse(&report.to_json()).expect("valid JSON");
+    let artifacts = v.get("artifacts").unwrap().as_array().unwrap();
+    assert_eq!(
+        artifacts[0].get("rows").unwrap().as_array().unwrap().len(),
+        report.artifacts[0].len()
+    );
+    // CSV has header + one line per displayed row.
+    let csv = report.to_csv();
+    let expected_lines = 1 + report.artifacts[0].table_rows().len();
+    assert_eq!(csv.lines().count(), expected_lines);
+    // Text rendering carries banner, table and notes.
+    let text = report.render_text();
+    assert!(text.contains("=== CARMA experiment:"));
+    assert!(text.contains("7nm"));
+    assert!(text.contains("paper peak maximum"));
+}
+
+// ─── the `carma` CLI binary ─────────────────────────────────────────
+
+fn carma_cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_carma"))
+}
+
+#[test]
+fn cli_list_names_every_experiment() {
+    let out = carma_cli().arg("list").output().expect("carma list runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for name in registry().names() {
+        assert!(stdout.contains(name), "list misses `{name}`:\n{stdout}");
+    }
+}
+
+#[test]
+fn cli_rejects_unknown_experiment_with_exit_2() {
+    let out = carma_cli()
+        .args(["run", "fig9"])
+        .output()
+        .expect("carma runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown experiment"), "{stderr}");
+    assert!(stderr.contains("fig2"), "should list known names: {stderr}");
+}
+
+#[test]
+fn cli_rejects_invalid_spec_with_exit_2() {
+    let dir = std::env::temp_dir().join(format!("carma_cli_spec_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let path = dir.join("bad.json");
+    std::fs::write(&path, r#"{"experiment": "fig2", "fps_thresholds": [0.0]}"#).expect("write");
+    let out = carma_cli()
+        .args(["run", "--spec"])
+        .arg(&path)
+        .output()
+        .expect("carma runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("min_fps must be positive"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cli_runs_spec_to_valid_json_on_clean_stdout() {
+    let dir = std::env::temp_dir().join(format!("carma_cli_json_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let path = dir.join("table1.json");
+    std::fs::write(
+        &path,
+        r#"{"experiment": "table1", "nodes": ["7nm"], "library_depth": 2, "accuracy_samples": 48}"#,
+    )
+    .expect("write");
+    let out = carma_cli()
+        .args(["run", "--out", "json", "--spec"])
+        .arg(&path)
+        .current_dir(&dir)
+        .output()
+        .expect("carma runs");
+    assert!(
+        out.status.success(),
+        "stderr:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let v = serde::json::parse(stdout.trim()).expect("stdout is pure JSON");
+    assert_eq!(v.get("experiment").unwrap().as_str(), Some("table1"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

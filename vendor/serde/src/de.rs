@@ -1,0 +1,231 @@
+//! Value-based deserialization, mirroring the subset of `serde::de`
+//! the workspace needs: a [`Deserialize`] trait driven by a parsed
+//! [`Value`](crate::json::Value) tree (scalars, options, sequences and
+//! — via `#[derive(Deserialize)]` — named-field structs).
+
+use crate::json::Value;
+
+/// A deserialization error with enough context to point at the
+/// offending field (`field \`ga.population\`: expected a number`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+    path: Vec<String>,
+}
+
+impl Error {
+    /// Creates an error from a free-form message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Error {
+            msg: msg.into(),
+            path: Vec::new(),
+        }
+    }
+
+    /// The error for a field name that is not part of the struct.
+    pub fn unknown_field(field: &str, strukt: &str, expected: &[&str]) -> Self {
+        if expected.is_empty() {
+            Error::new(format!("unknown field `{field}` in {strukt}"))
+        } else {
+            Error::new(format!(
+                "unknown field `{field}` in {strukt} (expected one of: {})",
+                expected.join(", ")
+            ))
+        }
+    }
+
+    /// The error for a required field that is absent from the input.
+    pub fn missing_field(field: &str, strukt: &str) -> Self {
+        Error::new(format!("missing required field `{field}` in {strukt}"))
+    }
+
+    /// Returns the error with `field` prepended to its path, so nested
+    /// failures read `field \`ga.population\`: …`.
+    #[must_use]
+    pub fn in_field(mut self, field: &str) -> Self {
+        self.path.insert(0, field.to_string());
+        self
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.path.is_empty() {
+            write!(f, "{}", self.msg)
+        } else {
+            write!(f, "field `{}`: {}", self.path.join("."), self.msg)
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A data structure that can be reconstructed from a parsed JSON
+/// [`Value`]. Implemented for scalars, `String`, `Option<T>` and
+/// `Vec<T>`; derive it on named-field structs with
+/// `#[derive(Deserialize)]`.
+pub trait Deserialize: Sized {
+    /// Builds `Self` from `value`.
+    fn deserialize(value: &Value) -> Result<Self, Error>;
+}
+
+fn expected(what: &str, got: &Value) -> Error {
+    let kind = match got {
+        Value::Null => "null",
+        Value::Bool(_) => "a boolean",
+        Value::Number(_) => "a number",
+        Value::String(_) => "a string",
+        Value::Array(_) => "an array",
+        Value::Object(_) => "an object",
+    };
+    Error::new(format!("expected {what}, found {kind}"))
+}
+
+impl Deserialize for bool {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(expected("a boolean", other)),
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Number(n) => Ok(*n),
+            other => Err(expected("a number", other)),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        f64::deserialize(value).map(|v| v as f32)
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(expected("a string", other)),
+        }
+    }
+}
+
+/// Integral JSON numbers survive an f64 round-trip exactly up to 2⁵³.
+const MAX_SAFE_INTEGER: f64 = 9_007_199_254_740_992.0;
+
+fn integral(value: &Value) -> Result<f64, Error> {
+    let n = f64::deserialize(value)?;
+    if n.fract() != 0.0 || !n.is_finite() || n.abs() > MAX_SAFE_INTEGER {
+        return Err(Error::new(format!("expected an integer, found {n}")));
+    }
+    Ok(n)
+}
+
+macro_rules! impl_deserialize_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let n = integral(value)?;
+                if n < 0.0 || n > <$t>::MAX as f64 {
+                    return Err(Error::new(format!(
+                        "integer {n} out of range for {}", stringify!($t)
+                    )));
+                }
+                Ok(n as $t)
+            }
+        }
+    )*};
+}
+impl_deserialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_deserialize_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let n = integral(value)?;
+                if n < <$t>::MIN as f64 || n > <$t>::MAX as f64 {
+                    return Err(Error::new(format!(
+                        "integer {n} out of range for {}", stringify!($t)
+                    )));
+                }
+                Ok(n as $t)
+            }
+        }
+    )*};
+}
+impl_deserialize_int!(i8, i16, i32, i64, isize);
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items
+                .iter()
+                .enumerate()
+                .map(|(i, v)| T::deserialize(v).map_err(|e| e.in_field(&format!("[{i}]"))))
+                .collect(),
+            other => Err(expected("an array", other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn scalars_deserialize() {
+        assert_eq!(bool::deserialize(&json::parse("true").unwrap()), Ok(true));
+        assert_eq!(f64::deserialize(&json::parse("2.5").unwrap()), Ok(2.5));
+        assert_eq!(u64::deserialize(&json::parse("42").unwrap()), Ok(42));
+        assert_eq!(i32::deserialize(&json::parse("-7").unwrap()), Ok(-7));
+        assert_eq!(
+            String::deserialize(&json::parse("\"hi\"").unwrap()),
+            Ok("hi".to_string())
+        );
+    }
+
+    #[test]
+    fn integer_range_checked() {
+        assert!(u8::deserialize(&json::parse("300").unwrap()).is_err());
+        assert!(u64::deserialize(&json::parse("-1").unwrap()).is_err());
+        assert!(u64::deserialize(&json::parse("1.5").unwrap()).is_err());
+    }
+
+    #[test]
+    fn options_and_vecs() {
+        assert_eq!(
+            Option::<u8>::deserialize(&json::parse("null").unwrap()),
+            Ok(None)
+        );
+        assert_eq!(
+            Option::<u8>::deserialize(&json::parse("4").unwrap()),
+            Ok(Some(4))
+        );
+        assert_eq!(
+            Vec::<f64>::deserialize(&json::parse("[0.5, 1.5]").unwrap()),
+            Ok(vec![0.5, 1.5])
+        );
+        let err = Vec::<f64>::deserialize(&json::parse("[1, \"x\"]").unwrap()).unwrap_err();
+        assert!(err.to_string().contains("[1]"), "{err}");
+    }
+
+    #[test]
+    fn error_paths_compose() {
+        let e = Error::new("boom").in_field("population").in_field("ga");
+        assert_eq!(e.to_string(), "field `ga.population`: boom");
+    }
+}

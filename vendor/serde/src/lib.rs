@@ -1,13 +1,17 @@
 //! Vendored, dependency-free serialization shim exposing the
 //! `serde`-shaped API surface the CARMA workspace uses: the
-//! [`Serialize`] / [`Serializer`] traits, a `#[derive(Serialize)]`
-//! proc-macro (re-exported from `serde_derive`), and a concrete JSON
-//! writer in [`json`] so experiment rows can be exported.
+//! [`Serialize`] / [`Serializer`] traits, a value-based
+//! [`Deserialize`](de::Deserialize) trait, `#[derive(Serialize)]` /
+//! `#[derive(Deserialize)]` proc-macros (re-exported from
+//! `serde_derive`), and a concrete JSON reader/writer in [`json`] so
+//! experiment rows can be exported and scenario specs loaded back.
 
-pub use serde_derive::Serialize;
+pub use serde_derive::{Deserialize, Serialize};
 
+pub mod de;
 pub mod ser;
 
+pub use de::Deserialize;
 pub use ser::{Serialize, Serializer};
 
 pub mod json;

@@ -1,10 +1,14 @@
-//! Vendored `#[derive(Serialize)]` implemented directly on
-//! `proc_macro` token streams (no `syn`/`quote` — the build is
-//! offline).
+//! Vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]`
+//! implemented directly on `proc_macro` token streams (no `syn` /
+//! `quote` — the build is offline).
 //!
 //! Supported shape: non-generic structs with named fields. Field
-//! attribute `#[serde(serialize_with = "path")]` routes one field
-//! through a custom `fn(&T, S) -> Result<S::Ok, S::Error>`.
+//! attributes:
+//!
+//! * `#[serde(serialize_with = "path")]` routes one field through a
+//!   custom `fn(&T, S) -> Result<S::Ok, S::Error>` (Serialize only);
+//! * `#[serde(default)]` makes a field optional on deserialization,
+//!   filling it from `Default::default()` when absent.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -12,18 +16,28 @@ struct Field {
     name: String,
     ty: String,
     serialize_with: Option<String>,
+    has_default: bool,
 }
 
 /// Derives `serde::Serialize` for a named-field struct.
 #[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
-    match expand(input) {
-        Ok(ts) => ts,
+    match parse_struct(input, "Serialize") {
+        Ok((name, fields)) => render_serialize(&name, &fields),
         Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
     }
 }
 
-fn expand(input: TokenStream) -> Result<TokenStream, String> {
+/// Derives `serde::de::Deserialize` for a named-field struct.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_struct(input, "Deserialize") {
+        Ok((name, fields)) => render_deserialize(&name, &fields),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn parse_struct(input: TokenStream, which: &str) -> Result<(String, Vec<Field>), String> {
     let tokens: Vec<TokenTree> = input.into_iter().collect();
     let mut i = 0;
 
@@ -34,21 +48,21 @@ fn expand(input: TokenStream) -> Result<TokenStream, String> {
             TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // '#' + [group]
             TokenTree::Ident(id) if id.to_string() == "struct" => break,
             TokenTree::Ident(id) if id.to_string() == "enum" || id.to_string() == "union" => {
-                return Err(
-                    "derive(Serialize) shim supports structs with named fields only".to_string(),
-                )
+                return Err(format!(
+                    "derive({which}) shim supports structs with named fields only"
+                ))
             }
             _ => i += 1,
         }
     }
     if i >= tokens.len() {
-        return Err("derive(Serialize): no `struct` keyword found".to_string());
+        return Err(format!("derive({which}): no `struct` keyword found"));
     }
     i += 1; // past `struct`
 
     let name = match tokens.get(i) {
         Some(TokenTree::Ident(id)) => id.to_string(),
-        _ => return Err("derive(Serialize): missing struct name".to_string()),
+        _ => return Err(format!("derive({which}): missing struct name")),
     };
     i += 1;
 
@@ -58,29 +72,34 @@ fn expand(input: TokenStream) -> Result<TokenStream, String> {
         match tokens.get(i) {
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
             Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
-                return Err("derive(Serialize) shim does not support generic structs".to_string())
+                return Err(format!(
+                    "derive({which}) shim does not support generic structs"
+                ))
             }
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
-                return Err("derive(Serialize) shim does not support tuple structs".to_string())
+                return Err(format!(
+                    "derive({which}) shim does not support tuple structs"
+                ))
             }
             Some(_) => i += 1,
             None => {
-                return Err("derive(Serialize): struct body not found".to_string());
+                return Err(format!("derive({which}): struct body not found"));
             }
         }
     };
 
-    let fields = parse_fields(fields_group)?;
-    Ok(render(&name, &fields))
+    let fields = parse_fields(fields_group, which)?;
+    Ok((name, fields))
 }
 
-fn parse_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+fn parse_fields(stream: TokenStream, which: &str) -> Result<Vec<Field>, String> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     let mut fields = Vec::new();
     let mut i = 0;
 
     while i < tokens.len() {
         let mut serialize_with = None;
+        let mut has_default = false;
 
         // Attributes before the field (doc comments and serde attrs).
         while let Some(TokenTree::Punct(p)) = tokens.get(i) {
@@ -88,9 +107,11 @@ fn parse_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
                 break;
             }
             if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
-                if let Some(sw) = extract_serialize_with(&g.stream()) {
+                let attr = parse_serde_attr(&g.stream());
+                if let Some(sw) = attr.serialize_with {
                     serialize_with = Some(sw);
                 }
+                has_default |= attr.default;
             }
             i += 2;
         }
@@ -112,7 +133,7 @@ fn parse_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
             None => break, // trailing comma
             Some(other) => {
                 return Err(format!(
-                    "derive(Serialize): expected field name, found {other}"
+                    "derive({which}): expected field name, found {other}"
                 ))
             }
         };
@@ -122,7 +143,7 @@ fn parse_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
             _ => {
                 return Err(format!(
-                    "derive(Serialize): expected `:` after field `{name}`"
+                    "derive({which}): expected `:` after field `{name}`"
                 ))
             }
         }
@@ -157,15 +178,23 @@ fn parse_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
             name,
             ty,
             serialize_with,
+            has_default,
         });
     }
 
     Ok(fields)
 }
 
-/// Looks for `serde(serialize_with = "path")` inside one attribute's
-/// bracket group.
-fn extract_serialize_with(stream: &TokenStream) -> Option<String> {
+#[derive(Default)]
+struct SerdeAttr {
+    serialize_with: Option<String>,
+    default: bool,
+}
+
+/// Looks for `serde(serialize_with = "path")` / `serde(default)`
+/// inside one attribute's bracket group.
+fn parse_serde_attr(stream: &TokenStream) -> SerdeAttr {
+    let mut out = SerdeAttr::default();
     let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
     match (tokens.first(), tokens.get(1)) {
         (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => {
@@ -173,26 +202,30 @@ fn extract_serialize_with(stream: &TokenStream) -> Option<String> {
             let mut j = 0;
             while j < inner.len() {
                 if let TokenTree::Ident(key) = &inner[j] {
-                    if key.to_string() == "serialize_with" {
-                        if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
-                            (inner.get(j + 1), inner.get(j + 2))
-                        {
-                            if eq.as_char() == '=' {
-                                let s = lit.to_string();
-                                return Some(s.trim_matches('"').to_string());
+                    match key.to_string().as_str() {
+                        "serialize_with" => {
+                            if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                                (inner.get(j + 1), inner.get(j + 2))
+                            {
+                                if eq.as_char() == '=' {
+                                    let s = lit.to_string();
+                                    out.serialize_with = Some(s.trim_matches('"').to_string());
+                                }
                             }
                         }
+                        "default" => out.default = true,
+                        _ => {}
                     }
                 }
                 j += 1;
             }
-            None
         }
-        _ => None,
+        _ => {}
     }
+    out
 }
 
-fn render(name: &str, fields: &[Field]) -> TokenStream {
+fn render_serialize(name: &str, fields: &[Field]) -> TokenStream {
     let mut body = String::new();
     let mut wrappers = String::new();
 
@@ -239,4 +272,79 @@ fn render(name: &str, fields: &[Field]) -> TokenStream {
 
     out.parse()
         .expect("derive(Serialize) shim produced invalid Rust")
+}
+
+fn render_deserialize(name: &str, fields: &[Field]) -> TokenStream {
+    // Unknown-key guard: every present key must name a known field.
+    let known_pattern = fields
+        .iter()
+        .map(|f| format!("\"{}\"", f.name))
+        .collect::<Vec<_>>()
+        .join(" | ");
+    let known_list = fields
+        .iter()
+        .map(|f| format!("\"{}\"", f.name))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let unknown_guard = if fields.is_empty() {
+        format!(
+            "if let ::core::option::Option::Some((__key, _)) = __members.first() {{\n\
+                 return ::core::result::Result::Err(\
+                     ::serde::de::Error::unknown_field(__key, \"{name}\", &[]));\n\
+             }}\n"
+        )
+    } else {
+        format!(
+            "for (__key, _) in __members.iter() {{\n\
+                 match __key.as_str() {{\n\
+                     {known_pattern} => {{}}\n\
+                     __other => return ::core::result::Result::Err(\
+                         ::serde::de::Error::unknown_field(__other, \"{name}\", &[{known_list}])),\n\
+                 }}\n\
+             }}\n"
+        )
+    };
+
+    let mut inits = String::new();
+    for f in fields {
+        let missing = if f.has_default {
+            "::core::default::Default::default()".to_string()
+        } else {
+            format!(
+                "return ::core::result::Result::Err(\
+                     ::serde::de::Error::missing_field(\"{0}\", \"{name}\"))",
+                f.name
+            )
+        };
+        inits.push_str(&format!(
+            "{0}: match __members.iter().find(|(__k, _)| __k == \"{0}\") {{\n\
+                 ::core::option::Option::Some((_, __v)) => \
+                     ::serde::de::Deserialize::deserialize(__v)\
+                         .map_err(|__e| __e.in_field(\"{0}\"))?,\n\
+                 ::core::option::Option::None => {missing},\n\
+             }},\n",
+            f.name
+        ));
+    }
+
+    let out = format!(
+        "const _: () = {{\n\
+             impl ::serde::de::Deserialize for {name} {{\n\
+                 fn deserialize(__value: &::serde::json::Value) -> ::core::result::Result<Self, ::serde::de::Error> {{\n\
+                     let __members = match __value {{\n\
+                         ::serde::json::Value::Object(__m) => __m,\n\
+                         _ => return ::core::result::Result::Err(\
+                             ::serde::de::Error::new(\"{name}: expected a JSON object\")),\n\
+                     }};\n\
+                     {unknown_guard}\n\
+                     ::core::result::Result::Ok({name} {{\n\
+                         {inits}\n\
+                     }})\n\
+                 }}\n\
+             }}\n\
+         }};"
+    );
+
+    out.parse()
+        .expect("derive(Deserialize) shim produced invalid Rust")
 }
