@@ -36,6 +36,7 @@
 //! assert!(cdp.value() > 0.0);
 //! ```
 
+pub mod deployment;
 pub mod embodied;
 pub mod metrics;
 pub mod params;
@@ -43,6 +44,7 @@ pub mod system;
 pub mod wafer;
 pub mod yield_model;
 
+pub use deployment::{DeploymentProfile, FootprintBreakdown};
 pub use embodied::{CarbonBreakdown, CarbonMass, CarbonModel};
 pub use metrics::{Cdp, Cep, Edp, OperationalCarbon};
 pub use params::{FabParams, GridMix, SILICON_CFPA_G_PER_CM2};

@@ -84,6 +84,20 @@ pub enum GridMix {
 }
 
 impl GridMix {
+    /// Fallible constructor for a custom intensity, rejecting negative
+    /// and non-finite values with a descriptive message instead of the
+    /// deferred panic in [`GridMix::grams_per_kwh`] — the validation
+    /// point the scenario API uses for spec input.
+    pub fn try_custom(g_per_kwh: f64) -> Result<GridMix, String> {
+        if g_per_kwh.is_finite() && g_per_kwh >= 0.0 {
+            Ok(GridMix::Custom(g_per_kwh))
+        } else {
+            Err(format!(
+                "grid carbon intensity must be a finite value ≥ 0 g/kWh (got {g_per_kwh})"
+            ))
+        }
+    }
+
     /// Carbon intensity in grams CO₂ per kWh.
     ///
     /// # Panics
@@ -108,6 +122,27 @@ impl Default for GridMix {
     /// grid.
     fn default() -> Self {
         GridMix::TaiwanGrid
+    }
+}
+
+impl std::str::FromStr for GridMix {
+    type Err = String;
+
+    /// Parses the preset spellings [`Display`](fmt::Display) emits
+    /// (`taiwan-grid`, `renewable`, `coal`, `world-average`). Custom
+    /// intensities are numeric, not named — build them with
+    /// [`GridMix::try_custom`].
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "taiwan-grid" | "taiwan" => Ok(GridMix::TaiwanGrid),
+            "renewable" => Ok(GridMix::Renewable),
+            "coal" => Ok(GridMix::Coal),
+            "world-average" | "world" => Ok(GridMix::WorldAverage),
+            other => Err(format!(
+                "unknown grid mix `{other}` (known: taiwan-grid, renewable, coal, \
+                 world-average, or a custom g/kWh value)"
+            )),
+        }
     }
 }
 

@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 
-use carma_carbon::{CarbonMass, CarbonModel};
+use carma_carbon::{CarbonMass, CarbonModel, Cdp, DeploymentProfile, FootprintBreakdown};
 use carma_dataflow::{Accelerator, AreaModel, PerfModel};
 use carma_dnn::{AccuracyEvaluator, DnnModel, EvaluatorConfig};
 use carma_multiplier::MultiplierLibrary;
@@ -38,6 +38,29 @@ pub struct DesignEval {
     pub energy_j: f64,
     /// Accuracy drop induced by the multiplier, in `[0, 1]`.
     pub accuracy_drop: f64,
+}
+
+impl DesignEval {
+    /// Average power draw while inferring, watts (energy per inference
+    /// over inference latency) — the active term of the operational
+    /// carbon model.
+    pub fn active_power_w(&self) -> f64 {
+        self.energy_j / self.latency_s
+    }
+
+    /// The Carbon Delay Product as its typed [`Cdp`] form (the scalar
+    /// [`cdp`](DesignEval::cdp) field is this value).
+    pub fn cdp_metric(&self) -> Cdp {
+        Cdp::new(self.embodied, self.latency_s)
+    }
+
+    /// The total-carbon footprint of this design deployed under
+    /// `profile`: die embodied (already priced by the evaluating
+    /// context's carbon model) + system embodied (package, DRAM) +
+    /// operational over the lifetime.
+    pub fn footprint(&self, profile: &DeploymentProfile) -> FootprintBreakdown {
+        profile.footprint(self.embodied, self.die_area, self.active_power_w())
+    }
 }
 
 impl fmt::Display for DesignEval {
@@ -312,11 +335,20 @@ impl CarmaContext {
             fps: perf.fps,
             die_area,
             embodied,
-            cdp: embodied.as_grams() * perf.latency_s,
+            cdp: Cdp::new(embodied, perf.latency_s).value(),
             latency_s: perf.latency_s,
             energy_j,
             accuracy_drop: self.accuracy_drops[mult_idx],
         }
+    }
+
+    /// The total-carbon footprint of `eval` deployed under `profile` —
+    /// a thin delegation to [`DesignEval::footprint`], kept on the
+    /// context so the type that priced the die (`evaluate` → embodied
+    /// carbon via this context's carbon model) also exposes the full
+    /// lifecycle story next to it in the docs.
+    pub fn footprint(&self, eval: &DesignEval, profile: &DeploymentProfile) -> FootprintBreakdown {
+        eval.footprint(profile)
     }
 
     /// Evaluates a batch of design points on `model` across the
@@ -434,6 +466,26 @@ mod tests {
             let batch = carma_exec::with_threads(threads, || ctx.evaluate_batch(&points, &model));
             assert_eq!(serial, batch, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn footprint_path_composes_lifecycle_buckets() {
+        let ctx = ctx7();
+        let eval = ctx.evaluate(&DesignPoint::nvdla_like(256), &DnnModel::resnet50());
+        let profile = DeploymentProfile::edge_default();
+        let fb = ctx.footprint(&eval, &profile);
+        assert_eq!(fb, eval.footprint(&profile));
+        assert_eq!(
+            fb.die, eval.embodied,
+            "die bucket is the context-priced die"
+        );
+        assert_eq!(fb.total(), fb.die + fb.system + fb.operational);
+        // Active power is energy over latency; a 3-year always-on
+        // deployment at edge-scale power must accrue operational carbon.
+        assert!((eval.active_power_w() - eval.energy_j / eval.latency_s).abs() < 1e-15);
+        assert!(fb.operational.as_grams() > 0.0);
+        // The cdp field routes through the Cdp newtype.
+        assert_eq!(eval.cdp, eval.cdp_metric().value());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! * [`ga_cdp`] — the proposed flow: a genetic algorithm over the full
 //!   chromosome with CDP fitness under FPS and accuracy constraints.
 
+use carma_carbon::{Cep, DeploymentProfile, Edp};
 use carma_dnn::DnnModel;
 use carma_ga::{Evaluation, GaConfig, GeneticAlgorithm, Problem};
 use rand::Rng;
@@ -55,6 +56,70 @@ impl FitnessMetric {
             FitnessMetric::Carbon => eval.embodied.as_grams(),
             FitnessMetric::Edp => eval.energy_j * eval.latency_s,
         }
+    }
+}
+
+/// The deployment-aware optimization objective of a scenario.
+///
+/// Where [`FitnessMetric`] enumerates the embodied-only fitness
+/// variants of the metric ablation, `Objective` is the scenario-level
+/// choice the `carma` CLI exposes, extended with
+/// [`TotalCarbon`](Objective::TotalCarbon): the full lifecycle bill —
+/// die + system embodied + operational over a [`DeploymentProfile`] —
+/// that lets deployment scenarios trade manufacturing carbon against
+/// use-phase emissions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Objective {
+    /// The paper's fitness: service-level Carbon Delay Product
+    /// (embodied carbon × delay floored at the FPS constraint's frame
+    /// time). Identical to [`FitnessMetric::ServiceCdp`] — a GA run
+    /// under `Objective::Cdp` reproduces the GA-CDP flow exactly.
+    #[default]
+    Cdp,
+    /// Total lifecycle carbon of the deployed module: die + system
+    /// embodied + operational (the deployment profile decides how much
+    /// the use phase weighs).
+    TotalCarbon,
+    /// Carbon Energy Product: embodied carbon × energy per inference.
+    Cep,
+    /// Energy Delay Product (carbon-blind classical metric).
+    Edp,
+}
+
+impl Objective {
+    /// The scalar objective value of `eval` under this objective
+    /// (lower is better). The deployment `profile` only matters for
+    /// [`TotalCarbon`](Objective::TotalCarbon).
+    pub fn value(
+        self,
+        eval: &DesignEval,
+        constraints: &Constraints,
+        profile: &DeploymentProfile,
+    ) -> f64 {
+        match self {
+            // Delegate to the metric so Cdp stays bit-identical to the
+            // pre-objective GA-CDP flow at any seed/scale.
+            Objective::Cdp => FitnessMetric::ServiceCdp.objective(eval, constraints),
+            Objective::TotalCarbon => eval.footprint(profile).total().as_grams(),
+            Objective::Cep => Cep::new(eval.embodied, eval.energy_j).value(),
+            Objective::Edp => Edp::new(eval.energy_j, eval.latency_s).value(),
+        }
+    }
+
+    /// The spec/CLI spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Objective::Cdp => "cdp",
+            Objective::TotalCarbon => "total-carbon",
+            Objective::Cep => "cep",
+            Objective::Edp => "edp",
+        }
+    }
+}
+
+impl std::fmt::Display for Objective {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
     }
 }
 
@@ -188,6 +253,48 @@ pub fn smallest_exact_meeting(ctx: &CarmaContext, model: &DnnModel, min_fps: f64
         .unwrap_or_else(|| sweep.last().expect("sweep is non-empty").clone())
 }
 
+/// The fitness a [`GaCdpProblem`] minimizes: either one of the
+/// metric-ablation variants, or a deployment-aware [`Objective`].
+enum GaFitness<'a> {
+    Metric(FitnessMetric),
+    Objective(Objective, &'a DeploymentProfile),
+}
+
+impl GaFitness<'_> {
+    fn value(&self, eval: &DesignEval, constraints: &Constraints) -> f64 {
+        match self {
+            GaFitness::Metric(m) => m.objective(eval, constraints),
+            GaFitness::Objective(o, profile) => o.value(eval, constraints, profile),
+        }
+    }
+}
+
+/// The best point of a baseline sweep under `objective`, restricted to
+/// points satisfying `constraints` (ties go to the earlier — smaller —
+/// preset). `None` when no point qualifies.
+///
+/// This is how the deployment experiment threads an [`Objective`]
+/// through the [`exact_sweep`]/[`approx_only_sweep`] baselines: under
+/// `Objective::Cdp` it picks the threshold-hugging preset
+/// ([`smallest_exact_meeting`]'s choice), under
+/// [`TotalCarbon`](Objective::TotalCarbon) the preset whose lifecycle
+/// bill — including use-phase energy — is lowest for the profile.
+pub fn best_in_sweep<'a>(
+    sweep: &'a [SweepPoint],
+    objective: Objective,
+    constraints: &Constraints,
+    profile: &DeploymentProfile,
+) -> Option<&'a SweepPoint> {
+    sweep
+        .iter()
+        .filter(|p| constraints.satisfied_by(&p.eval))
+        .min_by(|a, b| {
+            let va = objective.value(&a.eval, constraints, profile);
+            let vb = objective.value(&b.eval, constraints, profile);
+            va.partial_cmp(&vb).expect("objective values are finite")
+        })
+}
+
 /// The GA-CDP problem wrapper: minimize CDP subject to the constraints
 /// (violations normalized so FPS and accuracy shortfalls are
 /// commensurable).
@@ -195,7 +302,7 @@ struct GaCdpProblem<'a> {
     ctx: &'a CarmaContext,
     model: &'a DnnModel,
     constraints: Constraints,
-    metric: FitnessMetric,
+    fitness: GaFitness<'a>,
 }
 
 impl Problem for GaCdpProblem<'_> {
@@ -235,7 +342,7 @@ impl Problem for GaCdpProblem<'_> {
             0.0
         };
         Evaluation::with_violation(
-            self.metric.objective(&eval, &self.constraints),
+            self.fitness.value(&eval, &self.constraints),
             fps_violation + acc_violation,
         )
     }
@@ -271,11 +378,47 @@ pub fn ga_cdp_with_metric(
     config: GaConfig,
     metric: FitnessMetric,
 ) -> DesignEval {
+    run_ga(ctx, model, constraints, config, GaFitness::Metric(metric))
+}
+
+/// [`ga_cdp`] under a deployment-aware [`Objective`]: the same seeded
+/// GA over the same space, minimizing `objective` evaluated against
+/// `profile`. `Objective::Cdp` reproduces [`ga_cdp`] bit-for-bit at
+/// the same seed and scale (the profile is then ignored).
+///
+/// # Panics
+///
+/// Panics if the GA finds no feasible design (contradictory
+/// constraints).
+pub fn ga_cdp_with_objective(
+    ctx: &CarmaContext,
+    model: &DnnModel,
+    constraints: Constraints,
+    config: GaConfig,
+    objective: Objective,
+    profile: &DeploymentProfile,
+) -> DesignEval {
+    run_ga(
+        ctx,
+        model,
+        constraints,
+        config,
+        GaFitness::Objective(objective, profile),
+    )
+}
+
+fn run_ga(
+    ctx: &CarmaContext,
+    model: &DnnModel,
+    constraints: Constraints,
+    config: GaConfig,
+    fitness: GaFitness<'_>,
+) -> DesignEval {
     let problem = GaCdpProblem {
         ctx,
         model,
         constraints,
-        metric,
+        fitness,
     };
     // Seed the population with the NVDLA presets, both exact and with
     // the best in-budget multiplier: the GA then never loses to the
@@ -414,6 +557,95 @@ mod tests {
             fast_ga(),
         );
         assert_eq!(best.accuracy_drop, 0.0);
+    }
+
+    #[test]
+    fn objective_cdp_reproduces_ga_cdp_bit_for_bit() {
+        // The golden guarantee: routing the flow through the Objective
+        // enum must not perturb the paper's GA-CDP results.
+        let ctx = ctx7();
+        let model = DnnModel::resnet50();
+        let constraints = Constraints::new_unchecked(30.0, 0.05);
+        let legacy = ga_cdp(ctx, &model, constraints, fast_ga());
+        let via_objective = ga_cdp_with_objective(
+            ctx,
+            &model,
+            constraints,
+            fast_ga(),
+            Objective::Cdp,
+            &DeploymentProfile::edge_default(),
+        );
+        assert_eq!(legacy, via_objective);
+    }
+
+    #[test]
+    fn total_carbon_objective_finds_feasible_design() {
+        let ctx = ctx7();
+        let model = DnnModel::resnet50();
+        let constraints = Constraints::new_unchecked(30.0, 0.05);
+        let profile = DeploymentProfile::edge_default();
+        let best = ga_cdp_with_objective(
+            ctx,
+            &model,
+            constraints,
+            fast_ga(),
+            Objective::TotalCarbon,
+            &profile,
+        );
+        assert!(constraints.satisfied_by(&best), "{best}");
+        // Its lifecycle bill must not lose to the exact
+        // threshold-hugging baseline's under the same profile.
+        let baseline = smallest_exact_meeting(ctx, &model, constraints.min_fps);
+        assert!(
+            best.footprint(&profile).total() <= baseline.eval.footprint(&profile).total(),
+            "total-carbon GA lost to the exact baseline"
+        );
+    }
+
+    #[test]
+    fn objective_values_match_their_newtypes() {
+        let ctx = ctx7();
+        let eval = ctx.evaluate(&DesignPoint::nvdla_like(256), &DnnModel::resnet50());
+        let constraints = Constraints::new_unchecked(30.0, 0.05);
+        let profile = DeploymentProfile::edge_default();
+        assert_eq!(
+            Objective::Cdp.value(&eval, &constraints, &profile),
+            FitnessMetric::ServiceCdp.objective(&eval, &constraints)
+        );
+        assert_eq!(
+            Objective::Cep.value(&eval, &constraints, &profile),
+            eval.embodied.as_grams() * eval.energy_j
+        );
+        assert_eq!(
+            Objective::Edp.value(&eval, &constraints, &profile),
+            eval.energy_j * eval.latency_s
+        );
+        assert_eq!(
+            Objective::TotalCarbon.value(&eval, &constraints, &profile),
+            eval.footprint(&profile).total().as_grams()
+        );
+    }
+
+    #[test]
+    fn best_in_sweep_respects_constraints_and_objective() {
+        let ctx = ctx7();
+        let model = DnnModel::resnet50();
+        let sweep = exact_sweep(ctx, &model);
+        let constraints = Constraints::new_unchecked(30.0, 0.05);
+        let profile = DeploymentProfile::edge_default();
+        let best = best_in_sweep(&sweep, Objective::Cdp, &constraints, &profile)
+            .expect("some preset meets 30 FPS");
+        assert!(best.eval.fps >= 30.0);
+        // Under service-CDP the winner is the smallest preset meeting
+        // the floor (extra speed does not pay down carbon).
+        assert_eq!(
+            best.macs,
+            smallest_exact_meeting(ctx, &model, 30.0).macs,
+            "service-CDP must hug the threshold"
+        );
+        // An unmeetable floor yields no winner.
+        let impossible = Constraints::new_unchecked(1e9, 0.05);
+        assert!(best_in_sweep(&sweep, Objective::Cdp, &impossible, &profile).is_none());
     }
 
     #[test]

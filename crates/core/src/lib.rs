@@ -44,6 +44,6 @@ pub mod scenario;
 pub mod space;
 
 pub use context::{CarmaContext, DesignEval};
-pub use flow::{ConstraintError, Constraints, FitnessMetric, SweepPoint};
+pub use flow::{ConstraintError, Constraints, FitnessMetric, Objective, SweepPoint};
 pub use scenario::{ExperimentRegistry, Report, Scale, ScenarioError, ScenarioSpec};
 pub use space::DesignPoint;

@@ -126,23 +126,27 @@ pub fn design_report(ctx: &CarmaContext, model: &DnnModel, eval: &DesignEval) ->
     out
 }
 
+/// RFC 4180 field escaping: any cell containing a separator, a quote,
+/// or a line break is quoted, with embedded quotes doubled. Applied to
+/// header and data cells alike — an unescaped header or a bare newline
+/// would corrupt the whole file for downstream parsers.
+fn escape_csv_cell(cell: &str) -> String {
+    if cell.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
 /// Renders experiment rows as CSV (header + one line per row); fields
 /// are provided by the caller so any row type can be exported.
 pub fn to_csv(header: &[&str], rows: &[Vec<String>]) -> String {
     let mut out = String::new();
-    out.push_str(&header.join(","));
+    let header_cells: Vec<String> = header.iter().map(|h| escape_csv_cell(h)).collect();
+    out.push_str(&header_cells.join(","));
     out.push('\n');
     for row in rows {
-        let escaped: Vec<String> = row
-            .iter()
-            .map(|c| {
-                if c.contains(',') || c.contains('"') {
-                    format!("\"{}\"", c.replace('"', "\"\""))
-                } else {
-                    c.clone()
-                }
-            })
-            .collect();
+        let escaped: Vec<String> = row.iter().map(|c| escape_csv_cell(c)).collect();
         out.push_str(&escaped.join(","));
         out.push('\n');
     }
@@ -203,5 +207,33 @@ mod tests {
         assert_eq!(lines[0], "a,b");
         assert_eq!(lines[2], "2,\"with,comma\"");
         assert_eq!(lines[3], "3,\"with\"\"quote\"");
+    }
+
+    #[test]
+    fn csv_escapes_header_row_like_cells() {
+        // RFC 4180 regression: headers get the same quoting rule as
+        // data cells, not a bare join.
+        let csv = to_csv(&["carbon [g,CO2]", "say \"what\""], &[]);
+        assert_eq!(
+            csv.lines().next().unwrap(),
+            "\"carbon [g,CO2]\",\"say \"\"what\"\"\""
+        );
+    }
+
+    #[test]
+    fn csv_quotes_cells_with_line_breaks() {
+        // RFC 4180 regression: an embedded newline or CR must be kept
+        // inside a quoted field instead of splitting the record.
+        let csv = to_csv(
+            &["a", "b"],
+            &[vec![
+                "multi\nline".to_string(),
+                "carriage\rreturn".to_string(),
+            ]],
+        );
+        assert_eq!(csv, "a,b\n\"multi\nline\",\"carriage\rreturn\"\n");
+        // The record count survives a round through a quote-aware
+        // split: exactly one header + one (multi-physical-line) record.
+        assert_eq!(csv.matches('"').count(), 4);
     }
 }

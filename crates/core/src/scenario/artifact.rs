@@ -90,6 +90,41 @@ pub struct YieldRow {
     pub saving_pct: f64,
 }
 
+/// One cell of the `deployment` grid-mix × lifetime sweep: the
+/// objective-optimal design for that deployment scenario and its
+/// lifecycle carbon bill.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct DeploymentRow {
+    /// Deployment-site grid-mix name.
+    pub grid: String,
+    /// Grid carbon intensity, gCO₂/kWh.
+    pub ci_g_per_kwh: f64,
+    /// Deployed lifetime, hours.
+    pub lifetime_h: f64,
+    /// MAC count of the chosen design.
+    pub macs: u32,
+    /// Name of the chosen multiplier.
+    pub multiplier: String,
+    /// Throughput, FPS.
+    pub fps: f64,
+    /// Die embodied carbon, grams.
+    pub die_g: f64,
+    /// System embodied carbon (package + DRAM), grams.
+    pub system_g: f64,
+    /// Operational carbon over the lifetime, grams.
+    pub operational_g: f64,
+    /// Total lifecycle carbon, grams.
+    pub total_g: f64,
+    /// Operational share of the total, percent.
+    pub operational_share_pct: f64,
+    /// Total-carbon saving vs the best exact NVDLA preset under the
+    /// same objective and profile, percent.
+    pub total_saving_pct: f64,
+    /// Lifetime at which operational overtakes embodied for the chosen
+    /// design, hours (`None` when use-phase emissions never accrue).
+    pub crossover_h: Option<f64>,
+}
+
 /// One wall-clock measurement of the `bench_parallel` sweep.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct ParallelRow {
@@ -121,6 +156,8 @@ pub enum Artifact {
     Search(Vec<SearchRow>),
     /// `ablation_yield` arms.
     Yield(Vec<YieldRow>),
+    /// `deployment` sweep cells.
+    Deployment(Vec<DeploymentRow>),
     /// `bench_parallel` measurements.
     Parallel(Vec<ParallelRow>),
 }
@@ -141,6 +178,7 @@ impl Artifact {
             Artifact::Metric(_) => "metric",
             Artifact::Search(_) => "search",
             Artifact::Yield(_) => "yield",
+            Artifact::Deployment(_) => "deployment",
             Artifact::Parallel(_) => "parallel",
         }
     }
@@ -156,6 +194,7 @@ impl Artifact {
             Artifact::Metric(r) => r.len(),
             Artifact::Search(r) => r.len(),
             Artifact::Yield(r) => r.len(),
+            Artifact::Deployment(r) => r.len(),
             Artifact::Parallel(r) => r.len(),
         }
     }
@@ -209,6 +248,21 @@ impl Artifact {
             Artifact::Yield(_) => {
                 own(&["node", "yield model", "exact [g]", "ga-cdp [g]", "saving %"])
             }
+            Artifact::Deployment(_) => own(&[
+                "grid",
+                "CI [g/kWh]",
+                "life [h]",
+                "MACs",
+                "mult",
+                "FPS",
+                "die [g]",
+                "system [g]",
+                "op [g]",
+                "total [g]",
+                "op %",
+                "saving %",
+                "crossover [h]",
+            ]),
             Artifact::Parallel(_) => own(&["stage", "threads", "wall [s]"]),
         }
     }
@@ -257,6 +311,21 @@ impl Artifact {
             Artifact::Yield(_) => {
                 own(&["node", "yield_model", "exact_g", "ga_cdp_g", "saving_pct"])
             }
+            Artifact::Deployment(_) => own(&[
+                "grid",
+                "ci_g_per_kwh",
+                "lifetime_h",
+                "macs",
+                "multiplier",
+                "fps",
+                "die_g",
+                "system_g",
+                "operational_g",
+                "total_g",
+                "operational_share_pct",
+                "total_saving_pct",
+                "crossover_h",
+            ]),
             Artifact::Parallel(_) => own(&["stage", "threads", "wall_s"]),
         }
     }
@@ -379,6 +448,26 @@ impl Artifact {
                     ]
                 })
                 .collect(),
+            Artifact::Deployment(rows) => rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.grid.clone(),
+                        format!("{:.0}", r.ci_g_per_kwh),
+                        format!("{:.0}", r.lifetime_h),
+                        r.macs.to_string(),
+                        r.multiplier.clone(),
+                        format!("{:.1}", r.fps),
+                        format!("{:.3}", r.die_g),
+                        format!("{:.3}", r.system_g),
+                        format!("{:.3}", r.operational_g),
+                        format!("{:.3}", r.total_g),
+                        format!("{:.1}", r.operational_share_pct),
+                        format!("{:.1}", r.total_saving_pct),
+                        opt(r.crossover_h, |v| format!("{v:.0}"), "-"),
+                    ]
+                })
+                .collect(),
             Artifact::Parallel(rows) => rows
                 .iter()
                 .map(|r| {
@@ -419,6 +508,7 @@ impl Artifact {
             Artifact::Metric(r) => serde::json::to_string(r),
             Artifact::Search(r) => serde::json::to_string(r),
             Artifact::Yield(r) => serde::json::to_string(r),
+            Artifact::Deployment(r) => serde::json::to_string(r),
             Artifact::Parallel(r) => serde::json::to_string(r),
         }
     }

@@ -24,10 +24,14 @@ mod registry;
 mod spec;
 
 pub use artifact::{
-    Artifact, FamilyRow, GridRow, MetricRow, ParallelRow, Report, SearchRow, YieldRow,
+    Artifact, DeploymentRow, FamilyRow, GridRow, MetricRow, ParallelRow, Report, SearchRow,
+    YieldRow,
 };
 pub use registry::{ExperimentInfo, ExperimentRegistry, Runner};
-pub use spec::{Family, GaSpec, ModelSel, ResolvedScenario, ScenarioSpec};
+pub use spec::{
+    DeploymentSpec, Family, GaSpec, ModelSel, ResolvedScenario, ScenarioSpec, DEPLOYMENT_GRIDS,
+    DEPLOYMENT_LIFETIMES_H,
+};
 
 use carma_dnn::EvaluatorConfig;
 use carma_ga::GaConfig;
@@ -147,6 +151,22 @@ pub fn resolve_scale(spec: Option<Scale>, cli: Option<Scale>) -> Scale {
         })
 }
 
+/// A warning for mistyped `CARMA_SCALE` text (e.g. `CARMA_SCALE=paper`
+/// or `Full`), which [`resolve_scale`]'s lenient fallback would
+/// otherwise silently treat as quick scale. Returns `None` when the
+/// variable is unset, empty, or a recognized value; the `carma` CLI
+/// prints the `Some` text to stderr.
+pub fn scale_env_diagnostic() -> Option<String> {
+    match std::env::var("CARMA_SCALE") {
+        Ok(v) if !v.is_empty() && v != "quick" && v != "full" => Some(format!(
+            "warning: unrecognized CARMA_SCALE value `{v}` — accepted values are \
+             `quick` and `full`; treating it as quick where the environment \
+             decides the scale"
+        )),
+        _ => None,
+    }
+}
+
 /// The one `CARMA_THREADS` resolver: spec field beats CLI flag beats
 /// environment variable. `None` leaves the width to the `carma-exec`
 /// engine default (available parallelism). The parse mirrors the
@@ -208,6 +228,26 @@ pub enum ScenarioError {
     InvalidSamples(u32),
     /// `threads` must be ≥ 1.
     InvalidThreads(usize),
+    /// `objective` is not `cdp` / `total-carbon` / `cep` / `edp`.
+    UnknownObjective(String),
+    /// `deployment.grid` names no preset.
+    UnknownGrid(String),
+    /// `deployment.package` is not `monolithic` / `interposer`.
+    UnknownPackage(String),
+    /// A deployment-block value is out of range (negative or
+    /// non-finite intensity/lifetime/DRAM, utilization outside
+    /// `[0, 1]`, a `custom` grid without its intensity).
+    InvalidDeployment(String),
+    /// A non-CDP `objective` given to an experiment whose runner only
+    /// knows the paper's CDP fitness.
+    ObjectiveUnsupported {
+        /// The experiment.
+        experiment: String,
+        /// The requested objective.
+        objective: String,
+    },
+    /// A `deployment` block given to an experiment that ignores it.
+    DeploymentUnsupported(String),
 }
 
 impl std::fmt::Display for ScenarioError {
@@ -255,6 +295,33 @@ impl std::fmt::Display for ScenarioError {
             ScenarioError::InvalidThreads(t) => {
                 write!(f, "threads must be ≥ 1 (got {t})")
             }
+            ScenarioError::UnknownObjective(o) => write!(
+                f,
+                "unknown objective `{o}` (known: cdp, total-carbon, cep, edp)"
+            ),
+            ScenarioError::UnknownGrid(g) => write!(
+                f,
+                "unknown deployment grid `{g}` (known: taiwan-grid, renewable, coal, \
+                 world-average, custom — the last with `grid_g_per_kwh`)"
+            ),
+            ScenarioError::UnknownPackage(p) => {
+                write!(f, "unknown package `{p}` (known: monolithic, interposer)")
+            }
+            ScenarioError::InvalidDeployment(msg) => {
+                write!(f, "invalid deployment block: {msg}")
+            }
+            ScenarioError::ObjectiveUnsupported {
+                experiment,
+                objective,
+            } => write!(
+                f,
+                "experiment `{experiment}` runs under the paper's CDP fitness; \
+                 objective `{objective}` is only honored by `deployment`"
+            ),
+            ScenarioError::DeploymentUnsupported(e) => write!(
+                f,
+                "experiment `{e}` takes no `deployment` block (only `deployment` does)"
+            ),
         }
     }
 }

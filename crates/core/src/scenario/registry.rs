@@ -12,13 +12,17 @@ use carma_carbon::{CarbonModel, GridMix, YieldModel};
 use carma_multiplier::MultiplierLibrary;
 
 use super::artifact::{
-    Artifact, FamilyRow, GridRow, MetricRow, ParallelRow, Report, SearchRow, YieldRow,
+    Artifact, DeploymentRow, FamilyRow, GridRow, MetricRow, ParallelRow, Report, SearchRow,
+    YieldRow,
 };
 use super::spec::{Family, ResolvedScenario, ScenarioSpec};
 use super::{Scale, ScenarioError};
 use crate::context::{CarmaContext, DesignEval};
 use crate::experiments::{fig2_scatter_with, fig3_with, reduction_table_with, Fig2Row};
-use crate::flow::{ga_cdp, ga_cdp_with_metric, smallest_exact_meeting, FitnessMetric};
+use crate::flow::{
+    best_in_sweep, exact_sweep, ga_cdp, ga_cdp_with_metric, ga_cdp_with_objective,
+    smallest_exact_meeting, FitnessMetric,
+};
 use crate::space::DesignPoint;
 
 /// How an experiment's runner wants its evaluation context(s).
@@ -48,6 +52,11 @@ pub struct ExperimentInfo {
     pub multi_model: bool,
     /// Whether the model defaults to the paper zoo instead of VGG16.
     pub zoo_default: bool,
+    /// Whether the runner honors a non-default `objective` and a
+    /// `deployment` block. Specs setting either on an unaware
+    /// experiment are rejected at resolve time rather than silently
+    /// running under a different fitness.
+    pub objective_aware: bool,
     /// Legacy CSV artifact file the shim binary writes (`fig2.csv`…).
     pub csv_artifact: Option<&'static str>,
     /// The runner.
@@ -67,7 +76,8 @@ impl Default for ExperimentRegistry {
 }
 
 impl ExperimentRegistry {
-    /// The standard registry: all nine paper experiments.
+    /// The standard registry: the nine paper experiments plus the
+    /// `deployment` total-carbon sweep.
     pub fn standard() -> Self {
         let entries = vec![
             ExperimentInfo {
@@ -77,6 +87,7 @@ impl ExperimentRegistry {
                 multi_node: false,
                 multi_model: false,
                 zoo_default: false,
+                objective_aware: false,
                 csv_artifact: Some("fig2.csv"),
                 runner: Runner::Single(run_fig2),
             },
@@ -87,6 +98,7 @@ impl ExperimentRegistry {
                 multi_node: true,
                 multi_model: false,
                 zoo_default: false,
+                objective_aware: false,
                 csv_artifact: None,
                 runner: Runner::PerNode(run_table1),
             },
@@ -97,6 +109,7 @@ impl ExperimentRegistry {
                 multi_node: true,
                 multi_model: true,
                 zoo_default: true,
+                objective_aware: false,
                 csv_artifact: Some("fig3.csv"),
                 runner: Runner::PerNode(run_fig3),
             },
@@ -107,6 +120,7 @@ impl ExperimentRegistry {
                 multi_node: false,
                 multi_model: false,
                 zoo_default: false,
+                objective_aware: false,
                 csv_artifact: None,
                 runner: Runner::Custom(run_ablation_family),
             },
@@ -117,6 +131,7 @@ impl ExperimentRegistry {
                 multi_node: false,
                 multi_model: false,
                 zoo_default: false,
+                objective_aware: false,
                 csv_artifact: None,
                 runner: Runner::Custom(run_ablation_grid),
             },
@@ -127,6 +142,7 @@ impl ExperimentRegistry {
                 multi_node: false,
                 multi_model: false,
                 zoo_default: false,
+                objective_aware: false,
                 csv_artifact: None,
                 runner: Runner::Single(run_ablation_metric),
             },
@@ -137,6 +153,7 @@ impl ExperimentRegistry {
                 multi_node: false,
                 multi_model: false,
                 zoo_default: false,
+                objective_aware: false,
                 csv_artifact: None,
                 runner: Runner::Single(run_ablation_search),
             },
@@ -147,8 +164,21 @@ impl ExperimentRegistry {
                 multi_node: true,
                 multi_model: false,
                 zoo_default: false,
+                objective_aware: false,
                 csv_artifact: None,
                 runner: Runner::Custom(run_ablation_yield),
+            },
+            ExperimentInfo {
+                name: "deployment",
+                title: "Deployment scenarios — total carbon across grid mixes and lifetimes",
+                index:
+                    "Deployment: grid-mix × lifetime total-carbon sweep (embodied vs operational)",
+                multi_node: false,
+                multi_model: false,
+                zoo_default: false,
+                objective_aware: true,
+                csv_artifact: None,
+                runner: Runner::Single(run_deployment),
             },
             ExperimentInfo {
                 name: "bench_parallel",
@@ -157,6 +187,7 @@ impl ExperimentRegistry {
                 multi_node: false,
                 multi_model: false,
                 zoo_default: false,
+                objective_aware: false,
                 csv_artifact: None,
                 runner: Runner::Custom(run_bench_parallel),
             },
@@ -473,6 +504,80 @@ fn run_ablation_yield(r: &ResolvedScenario) -> Report {
     report(r, vec![Artifact::Yield(rows)], notes)
 }
 
+fn run_deployment(r: &ResolvedScenario, ctx: &CarmaContext) -> Report {
+    let model = r.single_model();
+    // One exact sweep serves every cell as the baseline pool; which
+    // preset wins is re-decided per cell, because the objective value
+    // of a design changes with the deployment profile.
+    let exact = exact_sweep(ctx, model);
+
+    let mut rows = Vec::new();
+    let mut op_dominated = 0usize;
+    for (cell, (grid, lifetime_h)) in r
+        .deployment_grids
+        .iter()
+        .flat_map(|&g| r.deployment_lifetimes_h.iter().map(move |&l| (g, l)))
+        .enumerate()
+    {
+        let profile = r.deployment.with_grid(grid).with_lifetime_hours(lifetime_h);
+        // Per-cell seed stream, as fig2 does per FPS threshold.
+        let best = ga_cdp_with_objective(
+            ctx,
+            model,
+            r.constraints,
+            r.ga.with_seed(r.ga.seed.wrapping_add(cell as u64)),
+            r.objective,
+            &profile,
+        );
+        let fb = ctx.footprint(&best, &profile);
+        let baseline = best_in_sweep(&exact, r.objective, &r.constraints, &profile)
+            .unwrap_or_else(|| exact.last().expect("sweep is non-empty"));
+        let baseline_total = ctx.footprint(&baseline.eval, &profile).total().as_grams();
+        if !fb.embodied_dominates() {
+            op_dominated += 1;
+        }
+        rows.push(DeploymentRow {
+            grid: grid.to_string(),
+            ci_g_per_kwh: grid.grams_per_kwh(),
+            lifetime_h,
+            macs: best.accelerator.macs(),
+            multiplier: best.multiplier.clone(),
+            fps: best.fps,
+            die_g: fb.die.as_grams(),
+            system_g: fb.system.as_grams(),
+            operational_g: fb.operational.as_grams(),
+            total_g: fb.total().as_grams(),
+            operational_share_pct: fb.operational_share() * 100.0,
+            total_saving_pct: 100.0 * (1.0 - fb.total().as_grams() / baseline_total),
+            crossover_h: profile.crossover_hours(fb.embodied(), best.active_power_w()),
+        });
+    }
+
+    let notes = vec![
+        format!(
+            "objective: {} | constraints: ≥{} FPS, ≤{}% drop | profile: {:.0}% duty, \
+             {:?} package, {} GB DRAM",
+            r.objective,
+            r.constraints.min_fps,
+            r.constraints.max_accuracy_drop * 100.0,
+            r.deployment.utilization * 100.0,
+            r.deployment.package,
+            r.deployment.dram_gb
+        ),
+        format!(
+            "operational exceeds embodied in {op_dominated}/{} scenarios; the crossover \
+             column gives the lifetime where the chosen design's use phase overtakes \
+             its embodied bill",
+            rows.len()
+        ),
+        "expected: dirtier grids and longer lifetimes shift the optimum toward \
+         energy-lean designs; on a renewable grid the embodied bill dominates \
+         and the sweep reduces to the paper's CDP story"
+            .to_string(),
+    ];
+    report(r, vec![Artifact::Deployment(rows)], notes)
+}
+
 fn timed<R>(f: impl FnOnce() -> R) -> (f64, R) {
     let start = Instant::now();
     let result = f();
@@ -590,7 +695,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_knows_all_nine_experiments() {
+    fn registry_knows_all_ten_experiments() {
         let registry = ExperimentRegistry::standard();
         let names: Vec<&str> = registry.names().collect();
         assert_eq!(
@@ -604,10 +709,12 @@ mod tests {
                 "ablation_metric",
                 "ablation_search",
                 "ablation_yield",
+                "deployment",
                 "bench_parallel",
             ]
         );
         assert!(registry.get("fig2").is_some());
+        assert!(registry.get("deployment").is_some());
         assert!(registry.get("fig4").is_none());
     }
 

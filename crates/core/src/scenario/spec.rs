@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use carma_carbon::{DeploymentProfile, GridMix, Package};
 use carma_dnn::DnnModel;
 use carma_ga::GaConfig;
 use carma_multiplier::{LibraryConfig, MultiplierLibrary};
@@ -11,7 +12,24 @@ use super::registry::ExperimentRegistry;
 use super::{resolve_scale, resolve_threads, Scale, ScenarioError};
 use crate::context::CarmaContext;
 use crate::experiments::{ACCURACY_CLASSES, FPS_THRESHOLDS};
-use crate::flow::Constraints;
+use crate::flow::{Constraints, Objective};
+
+/// The deployment experiment's default grid-mix sweep, cleanest to
+/// dirtiest.
+pub const DEPLOYMENT_GRIDS: [GridMix; 3] =
+    [GridMix::Renewable, GridMix::WorldAverage, GridMix::Coal];
+
+/// The deployment experiment's default lifetime sweep: one, three and
+/// five years of wall-clock hours.
+pub const DEPLOYMENT_LIFETIMES_H: [f64; 3] = [8_760.0, 26_280.0, 43_800.0];
+
+/// Upper bound on spec-supplied deployment magnitudes (lifetime hours,
+/// custom g/kWh, DRAM GB). Each value is physically absurd at 1e9
+/// already; bounding them keeps every downstream product (e.g.
+/// lifetime × intensity × power in [`carma_carbon::OperationalCarbon`])
+/// finite, so a spec validated here can never reach the
+/// `CarbonMass::from_grams` overflow panic mid-run.
+const DEPLOYMENT_MAGNITUDE_CAP: f64 = 1e9;
 
 /// A declarative experiment description, JSON-round-trippable via
 /// [`ScenarioSpec::to_json`] / [`ScenarioSpec::from_json`].
@@ -78,6 +96,45 @@ pub struct ScenarioSpec {
     /// `CARMA_THREADS`, then available parallelism.
     #[serde(default)]
     pub threads: Option<usize>,
+    /// Optimization objective (`cdp`, `total-carbon`, `cep`, `edp`).
+    /// Empty = the experiment default: `total-carbon` for
+    /// `deployment`, `cdp` (the paper's fitness) everywhere else.
+    #[serde(default)]
+    pub objective: String,
+    /// Deployment-profile block (grid mix, lifetime, utilization,
+    /// package, DRAM). `None` = the edge default; for the `deployment`
+    /// experiment an explicit `grid`/`lifetime_hours` also narrows the
+    /// grid × lifetime sweep to that value.
+    #[serde(default)]
+    pub deployment: Option<DeploymentSpec>,
+}
+
+/// Partial [`DeploymentProfile`] override: unset fields keep the edge
+/// default (world-average grid, 3-year always-on, monolithic package,
+/// 2 GB DRAM).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct DeploymentSpec {
+    /// Deployment-site grid mix (`taiwan-grid`, `renewable`, `coal`,
+    /// `world-average`, `custom`). Empty = world-average, or `custom`
+    /// when `grid_g_per_kwh` is given.
+    #[serde(default)]
+    pub grid: String,
+    /// Custom grid carbon intensity, g CO₂/kWh (pairs with
+    /// `grid = "custom"`; giving only the number implies it).
+    #[serde(default)]
+    pub grid_g_per_kwh: Option<f64>,
+    /// Deployed lifetime, wall-clock hours (≥ 0).
+    #[serde(default)]
+    pub lifetime_hours: Option<f64>,
+    /// Active duty cycle in `[0, 1]`.
+    #[serde(default)]
+    pub utilization: Option<f64>,
+    /// Package style (`monolithic`, `interposer`). Empty = monolithic.
+    #[serde(default)]
+    pub package: String,
+    /// External DRAM capacity, GB (≥ 0).
+    #[serde(default)]
+    pub dram_gb: Option<f64>,
 }
 
 /// Partial [`GaConfig`] override: unset fields keep the scale budget.
@@ -133,6 +190,104 @@ impl GaSpec {
     }
 }
 
+impl DeploymentSpec {
+    /// Resolves the block into a typed profile plus the grid and
+    /// lifetime sweeps of the `deployment` experiment (an explicit
+    /// `grid` / `lifetime_hours` narrows its sweep axis to that one
+    /// value, like `node` narrows a node sweep).
+    fn resolve(&self) -> Result<ResolvedDeployment, ScenarioError> {
+        let invalid = ScenarioError::InvalidDeployment;
+        let in_cap = |field: &str, v: f64| {
+            if v <= DEPLOYMENT_MAGNITUDE_CAP {
+                Ok(v)
+            } else {
+                Err(invalid(format!(
+                    "{field} must be ≤ {DEPLOYMENT_MAGNITUDE_CAP:e} (got {v})"
+                )))
+            }
+        };
+        let grid = match (self.grid.as_str(), self.grid_g_per_kwh) {
+            ("", None) => None,
+            ("" | "custom", Some(v)) => {
+                let g = GridMix::try_custom(v).map_err(invalid)?;
+                in_cap("grid_g_per_kwh", v)?;
+                Some(g)
+            }
+            ("custom", None) => {
+                return Err(invalid(
+                    "grid `custom` needs a `grid_g_per_kwh` intensity".to_string(),
+                ))
+            }
+            (name, intensity) => {
+                if intensity.is_some() {
+                    return Err(invalid(format!(
+                        "`grid_g_per_kwh` only pairs with grid `custom`, not `{name}`"
+                    )));
+                }
+                Some(
+                    name.parse::<GridMix>()
+                        .map_err(|_| ScenarioError::UnknownGrid(name.to_string()))?,
+                )
+            }
+        };
+        if let Some(h) = self.lifetime_hours {
+            if !(h.is_finite() && h >= 0.0) {
+                return Err(invalid(format!(
+                    "lifetime_hours must be a finite value ≥ 0 (got {h})"
+                )));
+            }
+            in_cap("lifetime_hours", h)?;
+        }
+        let utilization = match self.utilization {
+            None => 1.0,
+            Some(u) if u.is_finite() && (0.0..=1.0).contains(&u) => u,
+            Some(u) => {
+                return Err(invalid(format!("utilization must be in [0, 1] (got {u})")));
+            }
+        };
+        let package = match self.package.as_str() {
+            "" | "monolithic" => Package::Monolithic,
+            "interposer" | "interposer-2.5d" => Package::Interposer2_5d,
+            other => return Err(ScenarioError::UnknownPackage(other.to_string())),
+        };
+        let dram_gb = match self.dram_gb {
+            None => carma_carbon::deployment::DEFAULT_DRAM_GB,
+            Some(d) if d.is_finite() && d >= 0.0 => in_cap("dram_gb", d)?,
+            Some(d) => {
+                return Err(invalid(format!(
+                    "dram_gb must be a finite value ≥ 0 (got {d})"
+                )));
+            }
+        };
+        let profile = DeploymentProfile::new(
+            grid.unwrap_or(GridMix::WorldAverage),
+            self.lifetime_hours
+                .unwrap_or(carma_carbon::deployment::DEFAULT_LIFETIME_HOURS),
+            utilization,
+            package,
+            dram_gb,
+        );
+        Ok(ResolvedDeployment {
+            profile,
+            grids: match grid {
+                Some(g) => vec![g],
+                None => DEPLOYMENT_GRIDS.to_vec(),
+            },
+            lifetimes_h: match self.lifetime_hours {
+                Some(h) => vec![h],
+                None => DEPLOYMENT_LIFETIMES_H.to_vec(),
+            },
+        })
+    }
+}
+
+/// The typed result of [`DeploymentSpec::resolve`].
+struct ResolvedDeployment {
+    profile: DeploymentProfile,
+    grids: Vec<GridMix>,
+    lifetimes_h: Vec<f64>,
+}
+
 impl ScenarioSpec {
     /// The default spec for a registry experiment: running it
     /// reproduces the matching `carma-bench` binary byte-for-byte at
@@ -152,6 +307,8 @@ impl ScenarioSpec {
             seed: None,
             scale: String::new(),
             threads: None,
+            objective: String::new(),
+            deployment: None,
         }
     }
 
@@ -194,6 +351,20 @@ impl ScenarioSpec {
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = Some(seed);
+        self
+    }
+
+    /// Builder: sets the objective.
+    #[must_use]
+    pub fn with_objective(mut self, objective: &str) -> Self {
+        self.objective = objective.to_string();
+        self
+    }
+
+    /// Builder: sets the deployment block.
+    #[must_use]
+    pub fn with_deployment(mut self, deployment: DeploymentSpec) -> Self {
+        self.deployment = Some(deployment);
         self
     }
 
@@ -364,6 +535,38 @@ impl ScenarioSpec {
             return Err(ScenarioError::InvalidThreads(0));
         }
 
+        let objective = match self.objective.as_str() {
+            "" => {
+                if info.objective_aware {
+                    Objective::TotalCarbon
+                } else {
+                    Objective::Cdp
+                }
+            }
+            "cdp" => Objective::Cdp,
+            "total-carbon" | "total_carbon" => Objective::TotalCarbon,
+            "cep" => Objective::Cep,
+            "edp" => Objective::Edp,
+            other => return Err(ScenarioError::UnknownObjective(other.to_string())),
+        };
+        // An unaware experiment would silently run under its own CDP
+        // fitness — reject an explicit request it cannot honor instead
+        // (an explicit `cdp` is what runs anyway, so it stays valid).
+        if !info.objective_aware {
+            if objective != Objective::Cdp {
+                return Err(ScenarioError::ObjectiveUnsupported {
+                    experiment: self.experiment.clone(),
+                    objective: objective.as_str().to_string(),
+                });
+            }
+            if self.deployment.is_some() {
+                return Err(ScenarioError::DeploymentUnsupported(
+                    self.experiment.clone(),
+                ));
+            }
+        }
+        let deployment = self.deployment.clone().unwrap_or_default().resolve()?;
+
         Ok(ResolvedScenario {
             name: info.name.to_string(),
             title: info.title.to_string(),
@@ -379,6 +582,10 @@ impl ScenarioSpec {
             ga,
             scale,
             threads,
+            objective,
+            deployment: deployment.profile,
+            deployment_grids: deployment.grids,
+            deployment_lifetimes_h: deployment.lifetimes_h,
         })
     }
 }
@@ -446,6 +653,18 @@ pub struct ResolvedScenario {
     pub scale: Scale,
     /// The effective engine width (`None` = engine default).
     pub threads: Option<usize>,
+    /// The optimization objective (`total-carbon` by default for the
+    /// `deployment` experiment, `cdp` elsewhere).
+    pub objective: Objective,
+    /// The deployment profile (edge default unless a `deployment`
+    /// block overrides it).
+    pub deployment: DeploymentProfile,
+    /// Grid mixes the `deployment` experiment sweeps (the profile's
+    /// own grid when the spec pins one).
+    pub deployment_grids: Vec<GridMix>,
+    /// Lifetimes (hours) the `deployment` experiment sweeps (the
+    /// profile's own lifetime when the spec pins one).
+    pub deployment_lifetimes_h: Vec<f64>,
 }
 
 impl ResolvedScenario {

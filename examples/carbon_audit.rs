@@ -4,10 +4,10 @@
 //! model in `carma-carbon`.
 //!
 //! ```text
-//! cargo run --release -p carma-core --example carbon_audit
+//! cargo run --release --example carbon_audit
 //! ```
 
-use carma_carbon::{CarbonModel, GridMix, OperationalCarbon, YieldModel};
+use carma_carbon::{CarbonModel, DeploymentProfile, GridMix, YieldModel};
 use carma_dataflow::{Accelerator, AreaModel, EnergyModel, PerfModel};
 use carma_dnn::DnnModel;
 use carma_netlist::TechNode;
@@ -63,11 +63,12 @@ fn main() {
         println!("  {name:<14} {c}");
     }
 
-    // Embodied vs operational: the paper's motivating comparison.
-    // The balance depends entirely on the duty cycle — an always-on
-    // camera is operational-dominated, an occasionally-woken sensor is
+    // Embodied vs operational: the paper's motivating comparison,
+    // through the DeploymentProfile total-carbon API. The balance
+    // depends entirely on the duty cycle — an always-on camera is
+    // operational-dominated, an occasionally-woken sensor is
     // embodied-dominated. Show the spectrum and the crossover.
-    println!("\nembodied vs operational (ResNet50 @ 30 FPS when active, 3-year life):");
+    println!("\nembodied vs operational (ResNet50 @ 30 FPS when active, 3-year life, 2 GB DRAM):");
     let perf = PerfModel::new().evaluate(&accel, &DnnModel::resnet50());
     let energy = EnergyModel::exact(TechNode::N7);
     let active_power = energy.average_power_w(&perf) * (perf.latency_s * 30.0).min(1.0);
@@ -80,17 +81,23 @@ fn main() {
         ("assistant (30 min/day)", 0.5),
         ("sensor wake-ups (1 min/day)", 1.0 / 60.0),
     ] {
-        let hours = active_hours_per_day * 3.0 * 365.0;
-        let op = OperationalCarbon::new(GridMix::WorldAverage, active_power, hours);
-        let share = 100.0 * embodied.as_grams() / (embodied.as_grams() + op.total().as_grams());
+        let profile =
+            DeploymentProfile::edge_default().with_utilization(active_hours_per_day / 24.0);
+        let fb = profile.footprint(embodied, die, active_power);
         println!(
-            "  {label:<28} operational {:>12}  die-embodied share {share:>5.1} %",
-            op.total().to_string()
+            "  {label:<28} operational {:>12}  module-embodied share {:>5.1} %  crossover {:>9} h",
+            fb.operational.to_string(),
+            100.0 * (1.0 - fb.operational_share()),
+            profile
+                .crossover_hours(fb.embodied(), active_power)
+                .map(|h| format!("{h:.0}"))
+                .unwrap_or_else(|| "∞".to_string()),
         );
     }
     println!(
-        "\n  (the paper's \"embodied now dominates\" claim concerns full\n\
-         \x20  modules — add package + DRAM from the system model — and\n\
-         \x20  duty-cycled edge deployments, where the last rows apply)"
+        "\n  (module embodied = die + package + DRAM via the system model; the\n\
+         \x20  paper's \"embodied now dominates\" claim holds for the duty-cycled\n\
+         \x20  edge deployments of the last rows — `carma run deployment` sweeps\n\
+         \x20  this trade across grids and lifetimes)"
     );
 }

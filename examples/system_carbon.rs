@@ -1,15 +1,18 @@
 //! System-level carbon analysis: the accelerator die never ships
 //! alone. This example prices a complete edge inference module — die,
-//! package, DRAM — and compares a monolithic implementation against an
-//! ECO-CHIP-style chiplet split, putting the paper's die-level savings
-//! in system context.
+//! package, DRAM, *and* the electricity it will burn — through the
+//! [`DeploymentProfile`] total-carbon API, then compares a monolithic
+//! implementation against an ECO-CHIP-style chiplet split, putting the
+//! paper's die-level savings in system context.
 //!
 //! ```text
-//! cargo run --release -p carma-core --example system_carbon
+//! cargo run --release --example system_carbon
 //! ```
 
-use carma_carbon::system::{monolithic_vs_chiplet, Die, Package, SystemCarbon};
-use carma_dataflow::{Accelerator, AreaModel};
+use carma_carbon::system::monolithic_vs_chiplet;
+use carma_carbon::{CarbonModel, DeploymentProfile};
+use carma_dataflow::{Accelerator, AreaModel, EnergyModel, PerfModel};
+use carma_dnn::DnnModel;
 use carma_multiplier::{ApproxGenome, MultiplierCircuit, ReductionKind};
 use carma_netlist::{Area, TechNode};
 
@@ -17,37 +20,47 @@ fn main() {
     println!("CARMA system-level carbon analysis\n");
 
     // The accelerator: 512-MAC NVDLA-style design at 7 nm, once with
-    // the exact multiplier and once with a 2-bit-truncated unit.
+    // the exact multiplier and once with a 2-bit-truncated unit,
+    // deployed for three years on the world-average grid at a 25 %
+    // duty cycle with 2 GB of LPDDR.
     let accel = Accelerator::nvdla_preset(512, TechNode::N7);
+    let perf = PerfModel::new().evaluate(&accel, &DnnModel::resnet50());
     let exact_mult = MultiplierCircuit::generate(8, ReductionKind::Dadda);
     let approx_mult = ApproxGenome::truncation(2, 2).apply(&exact_mult);
+    let profile = DeploymentProfile::edge_default().with_utilization(0.25);
+    println!("deployment: {profile}\n");
 
     for (label, mult) in [("exact", &exact_mult), ("approx t2x2", &approx_mult)] {
         let die_area = AreaModel::new(mult.transistor_count()).die_area(&accel);
-        let system = SystemCarbon::of(
-            &[Die {
-                node: TechNode::N7,
-                area: die_area,
-            }],
-            Package::Monolithic,
-            2.0, // 2 GB LPDDR
-        );
+        let die = CarbonModel::for_node(TechNode::N7).embodied_carbon(die_area);
+        let power_w = EnergyModel::with_multiplier(
+            TechNode::N7,
+            mult.transistor_count(),
+            exact_mult.transistor_count(),
+        )
+        .average_power_w(&perf);
+        let fb = profile.footprint(die, die_area, power_w);
         println!("— {label} multiplier —");
         println!("  die area        : {:.3} mm²", die_area.as_mm2());
-        println!("  die carbon      : {}", system.dies[0]);
-        println!("  package         : {}", system.package);
-        println!("  DRAM (2 GB)     : {}", system.dram);
-        println!("  system total    : {}", system.total());
+        println!("  die embodied    : {}", fb.die);
+        println!("  system embodied : {} (package + DRAM)", fb.system);
+        println!("  operational     : {} over the lifetime", fb.operational);
+        println!("  lifecycle total : {}", fb.total());
         println!(
-            "  silicon share   : {:.1} %\n",
-            system.silicon_fraction() * 100.0
+            "  operational share {:.1} %; embodied-vs-use crossover at {} h\n",
+            fb.operational_share() * 100.0,
+            profile
+                .crossover_hours(fb.embodied(), power_w)
+                .map(|h| format!("{h:.0}"))
+                .unwrap_or_else(|| "∞".to_string()),
         );
     }
 
     println!(
-        "note: at module level, DRAM and packaging dominate — the paper's\n\
-         die-level savings matter most where many dies share a module, or\n\
-         where the deployment is die-dominated (wearables, sensors).\n"
+        "note: at module level, DRAM, packaging and use-phase energy dominate —\n\
+         the paper's die-level savings matter most where many dies share a\n\
+         module, or where the deployment is die-dominated (duty-cycled\n\
+         wearables and sensors; lower `utilization` to see the flip).\n"
     );
 
     // ECO-CHIP-style what-if: move the SRAM-heavy section to 28 nm.

@@ -172,11 +172,19 @@ fn run(args: &[String]) -> ExitCode {
         Err(msg) => return usage_error(&msg),
     };
 
+    // A mistyped CARMA_SCALE would otherwise be silently read as
+    // quick scale by the lenient library fallback.
+    if let Some(warning) = carma_core::scenario::scale_env_diagnostic() {
+        eprintln!("{warning}");
+    }
+
     // Build the spec: from file, or the named default. Spec fields win
     // over flags (spec > CLI > env), so flags only fill defaulted
-    // fields.
-    let mut spec = match &parsed.spec_path {
-        Some(path) => {
+    // fields. Matching on both sources keeps every argument
+    // combination on the usage-error path — no panic is reachable even
+    // if the parser's invariants drift.
+    let mut spec = match (&parsed.spec_path, &parsed.name) {
+        (Some(path), _) => {
             let text = match std::fs::read_to_string(path) {
                 Ok(t) => t,
                 Err(e) => return usage_error(&format!("cannot read `{path}`: {e}")),
@@ -189,7 +197,8 @@ fn run(args: &[String]) -> ExitCode {
                 }
             }
         }
-        None => ScenarioSpec::named(parsed.name.as_deref().expect("checked in parse")),
+        (None, Some(name)) => ScenarioSpec::named(name),
+        (None, None) => return usage_error("give an experiment name or `--spec <file>`"),
     };
     if let (Some(name), Some(_)) = (&parsed.name, &parsed.spec_path) {
         if *name != spec.experiment {

@@ -161,3 +161,41 @@ fn scenario_registry_run_is_thread_invariant() {
     let via_spec = registry.run(&pinned).expect("pinned spec runs");
     assert_eq!(via_spec.artifacts, narrow.artifacts);
 }
+
+/// The deployment experiment (GA per grid × lifetime cell under the
+/// total-carbon objective) inherits the guarantee too, down to the
+/// bytes of its CSV sink — `carma run deployment --out csv` is
+/// bit-identical at `CARMA_THREADS=1` and `8`.
+#[test]
+fn deployment_experiment_is_thread_invariant() {
+    use carma_core::scenario::{DeploymentSpec, ExperimentRegistry, GaSpec, ScenarioSpec};
+
+    let registry = ExperimentRegistry::standard();
+    let spec = {
+        let mut s = ScenarioSpec::named("deployment")
+            .with_model("resnet50")
+            .with_ga(GaSpec {
+                population: Some(10),
+                generations: Some(5),
+                ..GaSpec::default()
+            })
+            .with_seed(0xCA4B)
+            .with_deployment(DeploymentSpec {
+                lifetime_hours: Some(26_280.0),
+                ..DeploymentSpec::default()
+            });
+        s.library_depth = Some(2);
+        s.accuracy_samples = Some(48);
+        s
+    };
+    let run = || registry.run(&spec).expect("spec runs");
+    let narrow = carma_exec::with_threads(1, run);
+    let wide = carma_exec::with_threads(8, run);
+    assert_eq!(narrow, wide);
+    assert_eq!(
+        narrow.to_csv(),
+        wide.to_csv(),
+        "CSV sink forked across widths"
+    );
+    assert_eq!(narrow.to_json(), wide.to_json());
+}

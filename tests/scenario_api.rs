@@ -7,10 +7,11 @@ use std::process::Command;
 use std::sync::OnceLock;
 
 use carma_core::experiments::{fig2_scatter_with, reduction_table_with};
+use carma_core::flow::ga_cdp;
 use carma_core::scenario::{
-    Artifact, ExperimentRegistry, GaSpec, Scale, ScenarioError, ScenarioSpec,
+    Artifact, DeploymentSpec, ExperimentRegistry, GaSpec, Scale, ScenarioError, ScenarioSpec,
 };
-use carma_core::{CarmaContext, ConstraintError};
+use carma_core::{CarmaContext, ConstraintError, Objective};
 use carma_dnn::DnnModel;
 use carma_multiplier::MultiplierLibrary;
 use carma_netlist::TechNode;
@@ -79,6 +80,38 @@ fn type_mismatch_points_at_the_field() {
         .unwrap_err();
     let msg = err.to_string();
     assert!(msg.contains("ga.population"), "{msg}");
+}
+
+/// A cheap deployment spec: depth-2 ladder, 48 samples, small GA, and
+/// the grid/lifetime sweep narrowed to one cell.
+fn small_deployment_spec() -> ScenarioSpec {
+    let mut spec = ScenarioSpec::named("deployment")
+        .with_model("resnet50")
+        .with_ga(GaSpec {
+            population: Some(10),
+            generations: Some(6),
+            ..GaSpec::default()
+        })
+        .with_seed(42)
+        .with_deployment(DeploymentSpec {
+            grid: "world-average".to_string(),
+            lifetime_hours: Some(26_280.0),
+            utilization: Some(0.5),
+            ..DeploymentSpec::default()
+        });
+    spec.library_depth = Some(2);
+    spec.accuracy_samples = Some(48);
+    spec
+}
+
+#[test]
+fn deployment_spec_round_trips_through_json() {
+    let mut spec = small_deployment_spec().with_objective("total-carbon");
+    spec.deployment.as_mut().unwrap().dram_gb = Some(4.0);
+    let json = spec.to_json();
+    let back = ScenarioSpec::from_json(&json).expect("round-trip parses");
+    assert_eq!(back, spec);
+    assert!(serde::json::parse(&json).is_ok());
 }
 
 // ─── resolve-time validation ────────────────────────────────────────
@@ -172,6 +205,216 @@ fn resolve_rejects_bad_inputs() {
         multi_on_single.resolve(reg, None, None),
         Err(ScenarioError::SingleNodeExperiment(_))
     ));
+}
+
+#[test]
+fn resolve_rejects_bad_deployment_blocks() {
+    let reg = registry();
+    let with = |d: DeploymentSpec| ScenarioSpec::named("deployment").with_deployment(d);
+
+    let bad_objective = ScenarioSpec::named("deployment").with_objective("carbon-delay");
+    assert!(matches!(
+        bad_objective.resolve(reg, None, None),
+        Err(ScenarioError::UnknownObjective(_))
+    ));
+
+    let bad_grid = with(DeploymentSpec {
+        grid: "fusion".to_string(),
+        ..DeploymentSpec::default()
+    });
+    let err = bad_grid.resolve(reg, None, None).unwrap_err();
+    assert!(matches!(err, ScenarioError::UnknownGrid(_)));
+    assert!(err.to_string().contains("world-average"), "{err}");
+
+    let custom_without_value = with(DeploymentSpec {
+        grid: "custom".to_string(),
+        ..DeploymentSpec::default()
+    });
+    assert!(matches!(
+        custom_without_value.resolve(reg, None, None),
+        Err(ScenarioError::InvalidDeployment(_))
+    ));
+
+    let intensity_on_preset = with(DeploymentSpec {
+        grid: "coal".to_string(),
+        grid_g_per_kwh: Some(100.0),
+        ..DeploymentSpec::default()
+    });
+    assert!(matches!(
+        intensity_on_preset.resolve(reg, None, None),
+        Err(ScenarioError::InvalidDeployment(_))
+    ));
+
+    let bad_package = with(DeploymentSpec {
+        package: "bga".to_string(),
+        ..DeploymentSpec::default()
+    });
+    assert!(matches!(
+        bad_package.resolve(reg, None, None),
+        Err(ScenarioError::UnknownPackage(_))
+    ));
+
+    let bad_utilization = with(DeploymentSpec {
+        utilization: Some(1.5),
+        ..DeploymentSpec::default()
+    });
+    assert!(matches!(
+        bad_utilization.resolve(reg, None, None),
+        Err(ScenarioError::InvalidDeployment(_))
+    ));
+
+    let bad_lifetime = with(DeploymentSpec {
+        lifetime_hours: Some(-1.0),
+        ..DeploymentSpec::default()
+    });
+    assert!(matches!(
+        bad_lifetime.resolve(reg, None, None),
+        Err(ScenarioError::InvalidDeployment(_))
+    ));
+
+    let bad_dram = with(DeploymentSpec {
+        dram_gb: Some(f64::NAN),
+        ..DeploymentSpec::default()
+    });
+    assert!(matches!(
+        bad_dram.resolve(reg, None, None),
+        Err(ScenarioError::InvalidDeployment(_))
+    ));
+}
+
+#[test]
+fn custom_grid_validation_never_panics() {
+    // The GridMix::Custom panic in grams_per_kwh must be unreachable
+    // from spec input: every bad intensity becomes a descriptive
+    // ScenarioError at resolve time. Sweep a property-style grid of
+    // bad and good values.
+    let reg = registry();
+    for bad in [
+        -1.0,
+        -1e-300,
+        -f64::INFINITY,
+        f64::INFINITY,
+        f64::NAN,
+        f64::MIN,
+    ] {
+        let spec = ScenarioSpec::named("deployment").with_deployment(DeploymentSpec {
+            grid_g_per_kwh: Some(bad),
+            ..DeploymentSpec::default()
+        });
+        let err = spec.resolve(reg, None, None).unwrap_err();
+        match err {
+            ScenarioError::InvalidDeployment(msg) => {
+                assert!(msg.contains("g/kWh"), "not descriptive: {msg}");
+            }
+            other => panic!("expected InvalidDeployment, got {other:?}"),
+        }
+    }
+    // Finite but absurd magnitudes are capped too: a validated spec
+    // must never overflow the lifetime × intensity × power product
+    // into the CarbonMass::from_grams panic mid-run.
+    for (huge, field) in [
+        (
+            DeploymentSpec {
+                grid_g_per_kwh: Some(1e300),
+                ..DeploymentSpec::default()
+            },
+            "grid_g_per_kwh",
+        ),
+        (
+            DeploymentSpec {
+                lifetime_hours: Some(1e15),
+                ..DeploymentSpec::default()
+            },
+            "lifetime_hours",
+        ),
+        (
+            DeploymentSpec {
+                dram_gb: Some(1e12),
+                ..DeploymentSpec::default()
+            },
+            "dram_gb",
+        ),
+    ] {
+        let spec = ScenarioSpec::named("deployment").with_deployment(huge);
+        match spec.resolve(reg, None, None).unwrap_err() {
+            ScenarioError::InvalidDeployment(msg) => {
+                assert!(msg.contains(field) && msg.contains("≤"), "{msg}");
+            }
+            other => panic!("expected InvalidDeployment for huge {field}, got {other:?}"),
+        }
+    }
+    for good in [0.0, 1e-9, 475.0, 1e6] {
+        let spec = ScenarioSpec::named("deployment").with_deployment(DeploymentSpec {
+            grid_g_per_kwh: Some(good),
+            ..DeploymentSpec::default()
+        });
+        let resolved = spec.resolve(reg, None, None).expect("valid custom grid");
+        assert_eq!(resolved.deployment.grid.grams_per_kwh(), good);
+        assert_eq!(
+            resolved.deployment_grids.len(),
+            1,
+            "custom grid pins the sweep"
+        );
+    }
+}
+
+#[test]
+fn objective_and_deployment_rejected_on_unaware_experiments() {
+    // fig2's runner only knows the CDP fitness: a spec asking it for
+    // another objective (or handing it a deployment block) must fail
+    // loudly instead of silently running under a different fitness.
+    let reg = registry();
+    let err = ScenarioSpec::named("fig2")
+        .with_objective("total-carbon")
+        .resolve(reg, None, None)
+        .unwrap_err();
+    assert!(
+        matches!(err, ScenarioError::ObjectiveUnsupported { .. }),
+        "{err:?}"
+    );
+    assert!(err.to_string().contains("fig2"), "{err}");
+
+    let err = ScenarioSpec::named("fig2")
+        .with_deployment(DeploymentSpec::default())
+        .resolve(reg, None, None)
+        .unwrap_err();
+    assert!(
+        matches!(err, ScenarioError::DeploymentUnsupported(_)),
+        "{err:?}"
+    );
+
+    // An explicit `cdp` is exactly what runs — it stays valid.
+    assert!(ScenarioSpec::named("fig2")
+        .with_objective("cdp")
+        .resolve(reg, None, None)
+        .is_ok());
+    // And the deployment experiment honors every objective.
+    assert!(ScenarioSpec::named("deployment")
+        .with_objective("edp")
+        .resolve(reg, None, None)
+        .is_ok());
+}
+
+#[test]
+fn deployment_defaults_resolve_to_the_full_sweep() {
+    let resolved = ScenarioSpec::named("deployment")
+        .resolve(registry(), None, None)
+        .expect("default deployment spec resolves");
+    assert_eq!(resolved.objective, Objective::TotalCarbon);
+    assert_eq!(resolved.deployment_grids.len(), 3);
+    assert_eq!(resolved.deployment_lifetimes_h.len(), 3);
+    assert_eq!(resolved.deployment.utilization, 1.0);
+    // Non-deployment experiments keep the paper's CDP objective.
+    let fig2 = ScenarioSpec::named("fig2")
+        .resolve(registry(), None, None)
+        .expect("resolves");
+    assert_eq!(fig2.objective, Objective::Cdp);
+    // An explicit grid/lifetime narrows the sweep to one cell.
+    let narrowed = small_deployment_spec()
+        .resolve(registry(), None, None)
+        .expect("resolves");
+    assert_eq!(narrowed.deployment_grids.len(), 1);
+    assert_eq!(narrowed.deployment_lifetimes_h, vec![26_280.0]);
 }
 
 #[test]
@@ -279,6 +522,64 @@ fn registry_table1_matches_direct_driver_call() {
 }
 
 #[test]
+fn deployment_under_cdp_objective_is_golden_vs_legacy_ga_cdp() {
+    // The acceptance golden: `objective = "cdp"` routes the deployment
+    // experiment through the exact pre-change GA-CDP flow — the chosen
+    // design must be bit-identical to a direct `ga_cdp` call at the
+    // same seed and scale.
+    let spec = small_deployment_spec().with_objective("cdp");
+    let report = registry().run(&spec).expect("spec runs");
+    let resolved = spec.resolve(registry(), None, None).expect("resolves");
+
+    let ctx = CarmaContext::with_parts(
+        TechNode::N7,
+        MultiplierLibrary::truncation_ladder(8, 2),
+        resolved.evaluator(),
+    );
+    // The single sweep cell uses the base seed (cell index 0).
+    let legacy = ga_cdp(
+        &ctx,
+        &DnnModel::resnet50(),
+        resolved.constraints,
+        resolved.ga,
+    );
+    match &report.artifacts[0] {
+        Artifact::Deployment(rows) => {
+            assert_eq!(rows.len(), 1);
+            let row = &rows[0];
+            assert_eq!(row.macs, legacy.accelerator.macs());
+            assert_eq!(row.multiplier, legacy.multiplier);
+            assert_eq!(row.fps.to_bits(), legacy.fps.to_bits());
+            assert_eq!(row.die_g.to_bits(), legacy.embodied.as_grams().to_bits());
+        }
+        other => panic!("expected Deployment artifact, got {}", other.kind()),
+    }
+}
+
+#[test]
+fn deployment_csv_is_well_formed() {
+    let report = registry().run(&small_deployment_spec()).expect("spec runs");
+    let csv = report.to_csv();
+    let lines: Vec<&str> = csv.lines().collect();
+    assert_eq!(lines.len(), 1 + report.artifacts[0].len());
+    let columns = lines[0].split(',').count();
+    assert_eq!(columns, 13);
+    for line in &lines[1..] {
+        // No cell in this table carries a separator, so a plain split
+        // must agree with the header arity — and every numeric column
+        // parses.
+        assert_eq!(line.split(',').count(), columns, "ragged row: {line}");
+    }
+    // JSON sink round-trips through a strict parser.
+    let v = serde::json::parse(&report.to_json()).expect("valid JSON");
+    let artifacts = v.get("artifacts").unwrap().as_array().unwrap();
+    assert_eq!(
+        artifacts[0].get("kind").unwrap().as_str(),
+        Some("deployment")
+    );
+}
+
+#[test]
 fn report_sinks_agree_with_artifacts() {
     let spec = {
         let mut s = ScenarioSpec::named("table1").with_nodes(["7nm"]);
@@ -331,6 +632,51 @@ fn cli_rejects_unknown_experiment_with_exit_2() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("unknown experiment"), "{stderr}");
     assert!(stderr.contains("fig2"), "should list known names: {stderr}");
+}
+
+#[test]
+fn cli_run_without_name_or_spec_is_a_usage_error_not_a_panic() {
+    let out = carma_cli().arg("run").output().expect("carma runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("give an experiment name or `--spec <file>`"),
+        "{stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}
+
+#[test]
+fn cli_warns_on_unrecognized_carma_scale() {
+    // A mistyped env value (`full` misspelled) must be named on stderr
+    // with the accepted spellings; use an invalid experiment so the
+    // probe exits fast after the warning.
+    let out = carma_cli()
+        .args(["run", "fig9"])
+        .env("CARMA_SCALE", "fullish")
+        .output()
+        .expect("carma runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unrecognized CARMA_SCALE"), "{stderr}");
+    assert!(stderr.contains("fullish"), "{stderr}");
+    assert!(
+        stderr.contains("quick") && stderr.contains("full"),
+        "warning must name the accepted values: {stderr}"
+    );
+    // Recognized values stay silent.
+    for good in ["quick", "full", ""] {
+        let out = carma_cli()
+            .args(["run", "fig9"])
+            .env("CARMA_SCALE", good)
+            .output()
+            .expect("carma runs");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            !stderr.contains("unrecognized CARMA_SCALE"),
+            "false warning for `{good}`: {stderr}"
+        );
+    }
 }
 
 #[test]
