@@ -1,0 +1,100 @@
+//! Serving-path benchmark: boots the embedded `carma-serve` HTTP
+//! service on an ephemeral port and measures what the result cache
+//! buys — cold-miss latency (a real registry run) vs warm-hit latency
+//! (a content-addressed lookup) — plus request throughput on the hit
+//! path and `/healthz`. Emits `BENCH_serve.json`.
+//!
+//! ```text
+//! cargo run --release -p carma-bench --bin bench_serve            # full measurement
+//! cargo run --release -p carma-bench --bin bench_serve -- --test  # CI smoke (tiny)
+//! ```
+
+use std::net::SocketAddr;
+use std::time::Instant;
+
+use carma_serve::http::http_request;
+use carma_serve::{Server, ServerConfig};
+
+/// The benched spec: a deliberately small fig2 scenario so the miss
+/// measures serving overhead plus a short real run, not minutes of GA.
+const SPEC: &str = r#"{
+    "experiment": "fig2",
+    "model": "resnet50",
+    "library_depth": 2,
+    "accuracy_samples": 48,
+    "ga": {"population": 10, "generations": 6},
+    "seed": 42,
+    "scale": "quick"
+}"#;
+
+fn post_run(addr: SocketAddr) -> (f64, String) {
+    let start = Instant::now();
+    let response = http_request(addr, "POST", "/run", Some(SPEC)).expect("POST /run");
+    let wall_s = start.elapsed().as_secs_f64();
+    assert_eq!(response.status, 200, "body: {}", response.body);
+    let cache = response
+        .header("x-carma-cache")
+        .expect("cache marker header")
+        .to_string();
+    (wall_s, cache)
+}
+
+fn median(sorted: &mut [f64]) -> f64 {
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    sorted[sorted.len() / 2]
+}
+
+fn main() {
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let iterations = if test_mode { 5 } else { 200 };
+
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let handle = server.spawn().expect("spawn");
+    let addr = handle.addr();
+    println!("=== CARMA serving benchmark (carma-serve @ {addr}) ===\n");
+
+    // Cold miss: the first submission computes through the registry.
+    let (miss_s, cache) = post_run(addr);
+    assert_eq!(cache, "miss", "first request must be a cache miss");
+
+    // Warm hits: identical spec, content-addressed lookup.
+    let mut hit_latencies: Vec<f64> = Vec::with_capacity(iterations);
+    let hits_start = Instant::now();
+    for _ in 0..iterations {
+        let (wall_s, cache) = post_run(addr);
+        assert_eq!(cache, "hit", "repeat request must be a cache hit");
+        hit_latencies.push(wall_s);
+    }
+    let run_hit_rps = iterations as f64 / hits_start.elapsed().as_secs_f64();
+
+    // Raw request throughput floor: /healthz does no cache work.
+    let health_start = Instant::now();
+    for _ in 0..iterations {
+        let response = http_request(addr, "GET", "/healthz", None).expect("GET /healthz");
+        assert_eq!(response.status, 200);
+    }
+    let healthz_rps = iterations as f64 / health_start.elapsed().as_secs_f64();
+
+    handle.shutdown();
+
+    let hit_mean_s = hit_latencies.iter().sum::<f64>() / hit_latencies.len() as f64;
+    let hit_p50_s = median(&mut hit_latencies);
+    let speedup = miss_s / hit_p50_s;
+
+    let json = format!(
+        "{{\n  \"spec\": \"fig2 (resnet50, depth 2, 48 samples, 10x6 GA)\",\n  \
+         \"iterations\": {iterations},\n  \"miss_latency_s\": {miss_s:.6},\n  \
+         \"hit_latency_mean_s\": {hit_mean_s:.6},\n  \"hit_latency_p50_s\": {hit_p50_s:.6},\n  \
+         \"run_hit_rps\": {run_hit_rps:.1},\n  \"healthz_rps\": {healthz_rps:.1},\n  \
+         \"speedup_hit_vs_miss\": {speedup:.1}\n}}\n"
+    );
+    match std::fs::write("BENCH_serve.json", &json) {
+        Ok(()) => println!("(written to BENCH_serve.json)"),
+        Err(e) => println!("(could not write BENCH_serve.json: {e})"),
+    }
+    print!("{json}");
+    println!(
+        "\nnote: the miss pays one real registry run; hits are content-addressed \
+         lookups, so the ratio is the memoization payoff for overlapping sweeps"
+    );
+}

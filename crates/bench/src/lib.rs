@@ -35,6 +35,14 @@ pub fn banner(name: &str, scale: Scale) {
 /// environment), print banner + tables + notes, and write the legacy
 /// CSV artifact where the binary historically did.
 pub fn shim_main(name: &str) {
+    // Surface mistyped CARMA_SCALE / CARMA_THREADS before the silent
+    // lenient fallbacks (quick scale / available parallelism) apply.
+    if let Some(warning) = carma_core::scenario::scale_env_diagnostic() {
+        eprintln!("{warning}");
+    }
+    if let Some(warning) = carma_core::scenario::threads_env_diagnostic() {
+        eprintln!("{warning}");
+    }
     let registry = ExperimentRegistry::standard();
     let info = registry
         .get(name)

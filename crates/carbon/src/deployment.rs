@@ -179,11 +179,27 @@ impl DeploymentProfile {
     /// The deployed lifetime (hours) at which use-phase emissions
     /// overtake the embodied bill `embodied`, for a module drawing
     /// `active_power_w` when active at this profile's utilization and
-    /// grid. `None` when operational emissions never accrue (zero
-    /// power, zero utilization, or a zero-carbon grid).
+    /// grid.
+    ///
+    /// `None` is the documented sentinel for "the use phase never
+    /// catches up": operational emissions never accrue (zero or
+    /// non-finite power, zero utilization, a zero-carbon grid), or the
+    /// accrual rate is so close to zero that the crossover lifetime
+    /// overflows `f64` — an embodied-dominated-forever deployment.
+    /// The result, when present, is always finite and ≥ 0.
     pub fn crossover_hours(&self, embodied: CarbonMass, active_power_w: f64) -> Option<f64> {
         let g_per_hour = active_power_w * self.utilization / 1000.0 * self.grid.grams_per_kwh();
-        (g_per_hour > 0.0).then(|| embodied.as_grams() / g_per_hour)
+        if !g_per_hour.is_finite() || g_per_hour <= 0.0 {
+            // Covers NaN and ±inf (non-finite power inputs) as well
+            // as zero and negative rates — an infinite accrual rate
+            // is a degenerate input, not an instant crossover.
+            return None;
+        }
+        let hours = embodied.as_grams() / g_per_hour;
+        // A subnormal rate under a macroscopic embodied bill divides
+        // toward infinity; report "never" rather than a non-finite
+        // lifetime no caller can render or compare.
+        hours.is_finite().then_some(hours)
     }
 }
 
@@ -348,6 +364,72 @@ mod tests {
                 .crossover_hours(carbon, 2.0),
             None
         );
+    }
+
+    #[test]
+    fn crossover_sentinel_for_near_zero_operational_intensity() {
+        // A subnormal accrual rate (tiny power × tiny grid intensity)
+        // under a macroscopic embodied bill would divide to +inf; the
+        // documented sentinel for "embodied dominates forever" is None,
+        // never a non-finite number.
+        let p = DeploymentProfile::edge_default().with_grid(GridMix::Custom(1e-300));
+        let big = CarbonMass::from_grams(1e12);
+        assert_eq!(p.crossover_hours(big, 1e-12), None);
+        // A merely-small (normal) rate still yields a finite, huge
+        // crossover rather than the sentinel.
+        let small_rate = DeploymentProfile::edge_default().with_grid(GridMix::Custom(1e-6));
+        let h = small_rate
+            .crossover_hours(CarbonMass::from_grams(1.0), 1.0)
+            .expect("normal rate crosses eventually");
+        assert!(h.is_finite() && h > 0.0);
+    }
+
+    #[test]
+    fn crossover_sentinel_for_degenerate_power_inputs() {
+        let (carbon, _) = die();
+        let p = DeploymentProfile::edge_default();
+        // Non-finite or negative draw can come from an unvalidated
+        // caller; every degenerate case maps to the sentinel.
+        assert_eq!(p.crossover_hours(carbon, f64::NAN), None);
+        assert_eq!(p.crossover_hours(carbon, f64::INFINITY * 0.0), None);
+        // An infinite draw at nonzero utilization gives an infinite
+        // accrual rate — still the sentinel, not Some(0.0).
+        assert_eq!(p.crossover_hours(carbon, f64::INFINITY), None);
+        assert_eq!(p.crossover_hours(carbon, -2.0), None);
+        // Utilization 0 composed with the degenerate inputs too.
+        let idle = p.with_utilization(0.0);
+        assert_eq!(idle.crossover_hours(carbon, f64::NAN), None);
+        assert_eq!(idle.crossover_hours(carbon, f64::INFINITY), None);
+    }
+
+    #[test]
+    fn crossover_zero_embodied_crosses_immediately() {
+        // With no embodied bill the use phase leads from hour zero:
+        // the crossover is 0, not the "never" sentinel.
+        let p = DeploymentProfile::edge_default();
+        assert_eq!(p.crossover_hours(CarbonMass::ZERO, 2.0), Some(0.0));
+    }
+
+    proptest! {
+        #[test]
+        fn crossover_is_finite_nonnegative_or_none(
+            embodied_g in 0.0f64..1e15,
+            // Exponent sampling spans kW draws down through subnormal
+            // rates to exact underflow-to-zero — the full degenerate
+            // surface the sentinel guards.
+            power_exp in -340.0f64..3.0,
+            util in 0.0f64..1.0,
+            ci_exp in -340.0f64..4.0,
+        ) {
+            let power = 10f64.powf(power_exp);
+            let ci = 10f64.powf(ci_exp);
+            let p = DeploymentProfile::edge_default()
+                .with_utilization(util)
+                .with_grid(GridMix::Custom(ci));
+            if let Some(h) = p.crossover_hours(CarbonMass::from_grams(embodied_g), power) {
+                prop_assert!(h.is_finite() && h >= 0.0, "got {h}");
+            }
+        }
     }
 
     #[test]

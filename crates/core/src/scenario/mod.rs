@@ -29,8 +29,9 @@ pub use artifact::{
 };
 pub use registry::{ExperimentInfo, ExperimentRegistry, Runner};
 pub use spec::{
-    DeploymentSpec, Family, GaSpec, ModelSel, ResolvedScenario, ScenarioSpec, DEPLOYMENT_GRIDS,
-    DEPLOYMENT_LIFETIMES_H,
+    DeploymentSpec, Family, GaSpec, ModelSel, ResolvedScenario, ScenarioSpec,
+    DEPLOYMENT_FIELD_ORDER, DEPLOYMENT_GRIDS, DEPLOYMENT_LIFETIMES_H, GA_FIELD_ORDER,
+    SPEC_FIELD_ORDER,
 };
 
 use carma_dnn::EvaluatorConfig;
@@ -170,7 +171,9 @@ pub fn scale_env_diagnostic() -> Option<String> {
 /// The one `CARMA_THREADS` resolver: spec field beats CLI flag beats
 /// environment variable. `None` leaves the width to the `carma-exec`
 /// engine default (available parallelism). The parse mirrors the
-/// engine's own: trimmed positive integer, anything else ignored.
+/// engine's own: trimmed positive integer, anything else ignored —
+/// entry points surface the ignored text via
+/// [`threads_env_diagnostic`].
 pub fn resolve_threads(spec: Option<usize>, cli: Option<usize>) -> Option<usize> {
     spec.or(cli).or_else(|| {
         std::env::var("CARMA_THREADS")
@@ -179,6 +182,14 @@ pub fn resolve_threads(spec: Option<usize>, cli: Option<usize>) -> Option<usize>
             .filter(|&n| n >= 1)
     })
 }
+
+/// A warning for mistyped `CARMA_THREADS` text (e.g. `CARMA_THREADS=
+/// fast` or `=0`), which both [`resolve_threads`] and the `carma-exec`
+/// engine would otherwise silently ignore. Mirrors
+/// [`scale_env_diagnostic`]; re-exported from the engine so the two
+/// lenient parsers share one diagnostic. `None` when the variable is
+/// unset, empty, or a valid positive integer.
+pub use carma_exec::threads_env_diagnostic;
 
 /// The standard experiment banner (what every bench binary prints
 /// before its table).

@@ -1,6 +1,7 @@
 //! The serializable scenario spec and its resolved, typed form.
 
-use serde::{Deserialize, Serialize};
+use serde::ser::SerializeStruct;
+use serde::{Deserialize, Serialize, Serializer};
 
 use carma_carbon::{DeploymentProfile, GridMix, Package};
 use carma_dnn::DnnModel;
@@ -43,7 +44,12 @@ const DEPLOYMENT_MAGNITUDE_CAP: f64 = 1e9;
 ///
 /// Precedence for `scale` and `threads` is spec field > CLI flag >
 /// environment variable (`CARMA_SCALE` / `CARMA_THREADS`).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Serialization uses the explicit canonical field order
+/// [`SPEC_FIELD_ORDER`] (a hand-written impl, not declaration order),
+/// so `to_json` output is a stable contract: reordering the struct's
+/// fields cannot silently change the bytes callers hash or diff.
+#[derive(Debug, Clone, PartialEq, Deserialize)]
 pub struct ScenarioSpec {
     /// Registry name of the experiment (`fig2`, `fig3`, `table1`,
     /// `ablation_family|grid|metric|search|yield`, `bench_parallel`).
@@ -111,8 +117,8 @@ pub struct ScenarioSpec {
 
 /// Partial [`DeploymentProfile`] override: unset fields keep the edge
 /// default (world-average grid, 3-year always-on, monolithic package,
-/// 2 GB DRAM).
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+/// 2 GB DRAM). Serializes in [`DEPLOYMENT_FIELD_ORDER`].
+#[derive(Debug, Clone, PartialEq, Default, Deserialize)]
 pub struct DeploymentSpec {
     /// Deployment-site grid mix (`taiwan-grid`, `renewable`, `coal`,
     /// `world-average`, `custom`). Empty = world-average, or `custom`
@@ -138,7 +144,8 @@ pub struct DeploymentSpec {
 }
 
 /// Partial [`GaConfig`] override: unset fields keep the scale budget.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+/// Serializes in [`GA_FIELD_ORDER`].
+#[derive(Debug, Clone, Copy, PartialEq, Default, Deserialize)]
 pub struct GaSpec {
     /// Population size (≥ 2).
     #[serde(default)]
@@ -161,6 +168,104 @@ pub struct GaSpec {
     /// RNG seed.
     #[serde(default)]
     pub seed: Option<u64>,
+}
+
+/// The canonical JSON field order of a serialized [`ScenarioSpec`].
+///
+/// This is an explicit contract, enforced by a hand-written
+/// [`Serialize`] impl and a byte-stability regression test: the
+/// result-cache fingerprint and any consumer diffing spec JSON may
+/// rely on it. Reordering the struct declaration does NOT change it;
+/// adding a field means extending this list (and accepting that every
+/// serialized spec changes shape, visibly, in review).
+pub const SPEC_FIELD_ORDER: [&str; 15] = [
+    "experiment",
+    "model",
+    "node",
+    "nodes",
+    "accuracy_classes",
+    "fps_thresholds",
+    "family",
+    "library_depth",
+    "accuracy_samples",
+    "ga",
+    "seed",
+    "scale",
+    "threads",
+    "objective",
+    "deployment",
+];
+
+/// Canonical JSON field order of a serialized [`GaSpec`].
+pub const GA_FIELD_ORDER: [&str; 7] = [
+    "population",
+    "generations",
+    "tournament",
+    "crossover_rate",
+    "mutation_rate",
+    "elites",
+    "seed",
+];
+
+/// Canonical JSON field order of a serialized [`DeploymentSpec`].
+pub const DEPLOYMENT_FIELD_ORDER: [&str; 6] = [
+    "grid",
+    "grid_g_per_kwh",
+    "lifetime_hours",
+    "utilization",
+    "package",
+    "dram_gb",
+];
+
+impl Serialize for ScenarioSpec {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        // Field order is the SPEC_FIELD_ORDER contract, spelled out
+        // here by hand so the compiler ties every field to one slot.
+        let mut st = serializer.serialize_struct("ScenarioSpec", SPEC_FIELD_ORDER.len())?;
+        st.serialize_field("experiment", &self.experiment)?;
+        st.serialize_field("model", &self.model)?;
+        st.serialize_field("node", &self.node)?;
+        st.serialize_field("nodes", &self.nodes)?;
+        st.serialize_field("accuracy_classes", &self.accuracy_classes)?;
+        st.serialize_field("fps_thresholds", &self.fps_thresholds)?;
+        st.serialize_field("family", &self.family)?;
+        st.serialize_field("library_depth", &self.library_depth)?;
+        st.serialize_field("accuracy_samples", &self.accuracy_samples)?;
+        st.serialize_field("ga", &self.ga)?;
+        st.serialize_field("seed", &self.seed)?;
+        st.serialize_field("scale", &self.scale)?;
+        st.serialize_field("threads", &self.threads)?;
+        st.serialize_field("objective", &self.objective)?;
+        st.serialize_field("deployment", &self.deployment)?;
+        st.end()
+    }
+}
+
+impl Serialize for GaSpec {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut st = serializer.serialize_struct("GaSpec", GA_FIELD_ORDER.len())?;
+        st.serialize_field("population", &self.population)?;
+        st.serialize_field("generations", &self.generations)?;
+        st.serialize_field("tournament", &self.tournament)?;
+        st.serialize_field("crossover_rate", &self.crossover_rate)?;
+        st.serialize_field("mutation_rate", &self.mutation_rate)?;
+        st.serialize_field("elites", &self.elites)?;
+        st.serialize_field("seed", &self.seed)?;
+        st.end()
+    }
+}
+
+impl Serialize for DeploymentSpec {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut st = serializer.serialize_struct("DeploymentSpec", DEPLOYMENT_FIELD_ORDER.len())?;
+        st.serialize_field("grid", &self.grid)?;
+        st.serialize_field("grid_g_per_kwh", &self.grid_g_per_kwh)?;
+        st.serialize_field("lifetime_hours", &self.lifetime_hours)?;
+        st.serialize_field("utilization", &self.utilization)?;
+        st.serialize_field("package", &self.package)?;
+        st.serialize_field("dram_gb", &self.dram_gb)?;
+        st.end()
+    }
 }
 
 impl GaSpec {
@@ -749,4 +854,99 @@ impl ResolvedScenario {
     pub fn node_contexts(&self) -> Vec<CarmaContext> {
         carma_exec::par_map(&self.nodes, |&node| self.context_for(node))
     }
+
+    /// The canonical JSON of everything that determines this
+    /// scenario's *results* — the preimage of [`Self::fingerprint`].
+    ///
+    /// Every field is an **effective** value (defaults already
+    /// resolved), so two specs that spell the same experiment
+    /// differently — `{"experiment":"fig2"}` vs an explicit
+    /// `scale`/`model`/GA block restating the defaults — canonicalize
+    /// to the same bytes. Deliberately excluded:
+    ///
+    /// * `threads` — the execution-engine width never changes results
+    ///   (the carma-exec determinism contract), so a cache keyed on
+    ///   this JSON serves `CARMA_THREADS=1` and `=8` from one entry;
+    /// * the banner `title` — cosmetic.
+    ///
+    /// Grid mixes canonicalize to their g CO₂/kWh intensity, so a
+    /// `custom` grid at 475 g/kWh and the `world-average` preset hash
+    /// identically — they produce identical results.
+    pub fn canonical_json(&self) -> String {
+        use serde::json::to_string as js;
+
+        let model_names: Vec<String> = self.models().iter().map(|m| m.name().to_string()).collect();
+        let node_names: Vec<String> = self.nodes.iter().map(|n| n.to_string()).collect();
+        let family = self.family.unwrap_or(Family::Ladder).as_str();
+        let package = match self.deployment.package {
+            Package::Monolithic => "monolithic",
+            Package::Interposer2_5d => "interposer-2.5d",
+        };
+        let grid_intensities: Vec<f64> = self
+            .deployment_grids
+            .iter()
+            .map(|g| g.grams_per_kwh())
+            .collect();
+
+        format!(
+            "{{\"experiment\":{},\"scale\":{},\"models\":{},\"node\":{},\"nodes\":{},\
+             \"accuracy_classes\":{},\"fps_thresholds\":{},\"family\":{},\
+             \"library_depth\":{},\"accuracy_samples\":{},\
+             \"ga\":{{\"population\":{},\"generations\":{},\"tournament\":{},\
+             \"crossover_rate\":{},\"mutation_rate\":{},\"elites\":{},\"seed\":{}}},\
+             \"objective\":{},\
+             \"deployment\":{{\"grid_g_per_kwh\":{},\"lifetime_hours\":{},\
+             \"utilization\":{},\"package\":{},\"dram_gb\":{}}},\
+             \"deployment_grids\":{},\"deployment_lifetimes_h\":{}}}",
+            js(&self.name),
+            js(self.scale.as_str()),
+            js(&model_names),
+            js(&self.node.to_string()),
+            js(&node_names),
+            js(&self.accuracy_classes),
+            js(&self.fps_thresholds),
+            js(family),
+            self.depth(),
+            self.evaluator().samples,
+            self.ga.population,
+            self.ga.generations,
+            self.ga.tournament,
+            js(&self.ga.crossover_rate),
+            js(&self.ga.mutation_rate),
+            self.ga.elites,
+            self.ga.seed,
+            js(self.objective.as_str()),
+            js(&self.deployment.grid.grams_per_kwh()),
+            js(&self.deployment.lifetime_hours),
+            js(&self.deployment.utilization),
+            js(package),
+            js(&self.deployment.dram_gb),
+            js(&grid_intensities),
+            js(&self.deployment_lifetimes_h),
+        )
+    }
+
+    /// Content address of this scenario's results: a 128-bit FNV-1a
+    /// hash of [`Self::canonical_json`], rendered as 32 lowercase hex
+    /// characters. Identical resolved scenarios — including the same
+    /// spec at different thread counts — always collide (that is the
+    /// point); distinct ones differ up to the hash's collision bound.
+    pub fn fingerprint(&self) -> String {
+        let canon = self.canonical_json();
+        // Two independent 64-bit FNV-1a passes (standard offset basis,
+        // then a splitmix64-constant basis) make the 128-bit address.
+        let a = fnv1a64(canon.as_bytes(), 0xCBF2_9CE4_8422_2325);
+        let b = fnv1a64(canon.as_bytes(), 0x9E37_79B9_7F4A_7C15);
+        format!("{a:016x}{b:016x}")
+    }
+}
+
+/// 64-bit FNV-1a over `bytes` from an explicit basis.
+fn fnv1a64(bytes: &[u8], basis: u64) -> u64 {
+    let mut hash = basis;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
 }

@@ -80,12 +80,31 @@ thread_local! {
 /// `CARMA_THREADS` parsed once per process (`None` = unset/invalid).
 fn env_threads() -> Option<usize> {
     static ENV: OnceLock<Option<usize>> = OnceLock::new();
-    *ENV.get_or_init(|| {
-        std::env::var("CARMA_THREADS")
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .filter(|&n| n >= 1)
-    })
+    *ENV.get_or_init(|| parse_threads(std::env::var("CARMA_THREADS").ok().as_deref()))
+}
+
+/// The `CARMA_THREADS` parse every resolver shares: trimmed positive
+/// integer, anything else `None`.
+fn parse_threads(text: Option<&str>) -> Option<usize> {
+    text.and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+}
+
+/// A warning for `CARMA_THREADS` text the engine cannot use (e.g.
+/// `CARMA_THREADS=fast` or `=0`), which the lenient parse would
+/// otherwise silently ignore, falling back to available parallelism.
+/// Returns `None` when the variable is unset, empty, or a valid
+/// positive integer. Entry points (the `carma` CLI, the legacy bench
+/// binaries) print the `Some` text to stderr before running.
+pub fn threads_env_diagnostic() -> Option<String> {
+    match std::env::var("CARMA_THREADS") {
+        Ok(v) if !v.is_empty() && parse_threads(Some(&v)).is_none() => Some(format!(
+            "warning: unrecognized CARMA_THREADS value `{v}` — the accepted form is \
+             a positive integer (e.g. CARMA_THREADS=4); ignoring it and using \
+             available parallelism where the environment decides the width"
+        )),
+        _ => None,
+    }
 }
 
 /// The thread count the pool will use for a `par_map` issued from the
@@ -353,6 +372,16 @@ mod tests {
     #[should_panic(expected = "thread count must be ≥ 1")]
     fn zero_threads_rejected() {
         with_threads(0, || ());
+    }
+
+    #[test]
+    fn parse_threads_accepts_positive_integers_only() {
+        assert_eq!(parse_threads(Some("4")), Some(4));
+        assert_eq!(parse_threads(Some(" 8 ")), Some(8));
+        assert_eq!(parse_threads(Some("0")), None);
+        assert_eq!(parse_threads(Some("fast")), None);
+        assert_eq!(parse_threads(Some("")), None);
+        assert_eq!(parse_threads(None), None);
     }
 
     #[test]

@@ -1,0 +1,194 @@
+//! The content-addressed result cache: report JSON keyed by the
+//! resolved scenario's [`fingerprint`], held in memory and (optionally)
+//! mirrored to a directory so identical specs stay microsecond cache
+//! hits across server restarts.
+//!
+//! [`fingerprint`]: carma_core::scenario::ResolvedScenario::fingerprint
+
+use std::collections::HashMap;
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Which tier served a cache hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheTier {
+    /// The in-memory map of this server process.
+    Memory,
+    /// The on-disk store (a previous run or a previous process); the
+    /// entry is promoted to memory on the way out.
+    Disk,
+}
+
+/// Content-addressed store of rendered report JSON.
+///
+/// Keys are the 32-hex-char scenario fingerprints — *what* the result
+/// is, never *when* or *by whom* it was computed — so the cache never
+/// needs invalidation: a key either means exactly one result or is
+/// absent.
+pub struct ResultCache {
+    mem: Mutex<HashMap<String, Arc<str>>>,
+    dir: Option<PathBuf>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResultCache {
+    /// Creates a cache; with `Some(dir)` entries are write-through
+    /// mirrored as `<dir>/<fingerprint>.json` (the directory is
+    /// created if missing).
+    pub fn new(dir: Option<PathBuf>) -> io::Result<Self> {
+        if let Some(d) = &dir {
+            std::fs::create_dir_all(d)?;
+        }
+        Ok(ResultCache {
+            mem: Mutex::new(HashMap::new()),
+            dir,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        })
+    }
+
+    fn disk_path(&self, fingerprint: &str) -> Option<PathBuf> {
+        // Fingerprints are produced internally, but refuse anything
+        // that is not plain lowercase hex before touching the
+        // filesystem with it.
+        let dir = self.dir.as_ref()?;
+        let is_hex = !fingerprint.is_empty()
+            && fingerprint
+                .bytes()
+                .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b));
+        is_hex.then(|| dir.join(format!("{fingerprint}.json")))
+    }
+
+    /// Looks `fingerprint` up: memory first, then the disk store
+    /// (promoting the entry to memory). Updates the hit/miss counters.
+    pub fn get(&self, fingerprint: &str) -> Option<(Arc<str>, CacheTier)> {
+        if let Some(payload) = self.mem.lock().expect("cache lock").get(fingerprint) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some((Arc::clone(payload), CacheTier::Memory));
+        }
+        if let Some(path) = self.disk_path(fingerprint) {
+            if let Ok(text) = std::fs::read_to_string(&path) {
+                let payload: Arc<str> = Arc::from(text);
+                self.mem
+                    .lock()
+                    .expect("cache lock")
+                    .insert(fingerprint.to_string(), Arc::clone(&payload));
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Some((payload, CacheTier::Disk));
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// A memory-only lookup that leaves the hit/miss counters alone.
+    /// For re-checks that follow a counted [`ResultCache::get`] in the
+    /// same request (the server's under-the-queue-lock recheck):
+    /// anything that materialized since that miss was inserted into
+    /// memory, so skipping the disk keeps the recheck cheap and the
+    /// stats one-count-per-request.
+    pub fn peek(&self, fingerprint: &str) -> Option<Arc<str>> {
+        self.mem
+            .lock()
+            .expect("cache lock")
+            .get(fingerprint)
+            .map(Arc::clone)
+    }
+
+    /// Stores `payload` under `fingerprint` (write-through to disk,
+    /// best-effort: a full or read-only disk degrades the store to
+    /// memory-only rather than failing the request). Returns the
+    /// shared payload.
+    pub fn insert(&self, fingerprint: &str, payload: String) -> Arc<str> {
+        let payload: Arc<str> = Arc::from(payload);
+        if let Some(path) = self.disk_path(fingerprint) {
+            // Write-then-rename so a concurrent reader (or a second
+            // server on the same cache dir) never sees a torn file.
+            let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+            if std::fs::write(&tmp, payload.as_bytes()).is_ok() {
+                let _ = std::fs::rename(&tmp, &path);
+            }
+        }
+        self.mem
+            .lock()
+            .expect("cache lock")
+            .insert(fingerprint.to_string(), Arc::clone(&payload));
+        payload
+    }
+
+    /// Number of in-memory entries.
+    pub fn len(&self) -> usize {
+        self.mem.lock().expect("cache lock").len()
+    }
+
+    /// Whether the in-memory map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(hits, misses)` since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("carma-serve-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn memory_roundtrip_and_stats() {
+        let cache = ResultCache::new(None).expect("no dir to create");
+        assert!(cache.is_empty());
+        assert_eq!(cache.get("ab12"), None);
+        let stored = cache.insert("ab12", "{\"x\":1}".to_string());
+        let (got, tier) = cache.get("ab12").expect("present");
+        assert_eq!(&*got, &*stored);
+        assert_eq!(tier, CacheTier::Memory);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats(), (1, 1));
+    }
+
+    #[test]
+    fn disk_store_survives_a_fresh_cache() {
+        let dir = tempdir("survive");
+        let first = ResultCache::new(Some(dir.clone())).expect("create dir");
+        first.insert("deadbeef", "{\"rows\":[1,2]}".to_string());
+
+        // A second cache over the same directory — a "restarted
+        // server" — serves the entry from disk and promotes it.
+        let second = ResultCache::new(Some(dir.clone())).expect("reopen dir");
+        let (payload, tier) = second.get("deadbeef").expect("disk hit");
+        assert_eq!(&*payload, "{\"rows\":[1,2]}");
+        assert_eq!(tier, CacheTier::Disk);
+        let (_, tier) = second.get("deadbeef").expect("now in memory");
+        assert_eq!(tier, CacheTier::Memory);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn non_hex_keys_never_touch_disk() {
+        let dir = tempdir("nonhex");
+        let cache = ResultCache::new(Some(dir.clone())).expect("create dir");
+        cache.insert("../escape", "{}".to_string());
+        cache.insert("UPPER", "{}".to_string());
+        // In-memory still works; the directory stays empty.
+        assert!(cache.get("../escape").is_some());
+        let entries: Vec<_> = std::fs::read_dir(&dir).expect("dir exists").collect();
+        assert!(entries.is_empty(), "disk write for a non-hex key");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,258 @@
+//! A minimal HTTP/1.1 layer over `std::net` — just enough protocol
+//! for the scenario service: one request per connection
+//! (`Connection: close`), `Content-Length` bodies, and a tiny
+//! blocking client for tests and benches.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Maximum accepted size of the request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Maximum accepted request-body size. Scenario specs are a few
+/// hundred bytes; anything near this bound is not a spec.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// How long a connection may sit idle mid-request before the server
+/// drops it.
+pub const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, …).
+    pub method: String,
+    /// Path without the query string (`/run`).
+    pub path: String,
+    /// Query parameters, in order (`async=true`).
+    pub query: Vec<(String, String)>,
+    /// The request body (empty without a `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First query value under `key`, if present.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the request asked for asynchronous execution
+    /// (`?async=true` / `?async=1`).
+    pub fn wants_async(&self) -> bool {
+        matches!(self.query_param("async"), Some("true" | "1"))
+    }
+}
+
+/// Why a request could not be parsed — each maps to one 4xx status.
+#[derive(Debug)]
+pub enum RequestError {
+    /// Socket error or client went away mid-request.
+    Io(io::Error),
+    /// The head never terminated within [`MAX_HEAD_BYTES`].
+    HeadTooLarge,
+    /// `Content-Length` exceeds [`MAX_BODY_BYTES`].
+    BodyTooLarge,
+    /// The request line / headers were not parseable HTTP.
+    Malformed(&'static str),
+}
+
+impl From<io::Error> for RequestError {
+    fn from(e: io::Error) -> Self {
+        RequestError::Io(e)
+    }
+}
+
+/// Position of the `\r\n\r\n` head terminator, if present.
+fn head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Reads and parses one request from `stream`.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, RequestError> {
+    stream.set_read_timeout(Some(READ_TIMEOUT)).ok();
+
+    // Read in chunks until the blank line that ends the head; the
+    // tail of the last chunk is the start of the body. (One byte per
+    // read() would cost a syscall per head byte — thousands per
+    // request on the cache-hit hot path.)
+    let mut buf = Vec::new();
+    let terminator = loop {
+        if let Some(pos) = head_end(&buf) {
+            break pos;
+        }
+        if buf.len() >= MAX_HEAD_BYTES {
+            return Err(RequestError::HeadTooLarge);
+        }
+        let mut chunk = [0u8; 1024];
+        match stream.read(&mut chunk)? {
+            0 => return Err(RequestError::Malformed("connection closed mid-head")),
+            n => buf.extend_from_slice(&chunk[..n]),
+        }
+    };
+    let body_read = buf.split_off(terminator + 4);
+    buf.truncate(terminator);
+    let head = String::from_utf8(buf).map_err(|_| RequestError::Malformed("non-UTF-8 head"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or(RequestError::Malformed("missing method"))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or(RequestError::Malformed("missing request target"))?;
+    if !parts
+        .next()
+        .is_some_and(|version| version.starts_with("HTTP/1."))
+    {
+        return Err(RequestError::Malformed("not an HTTP/1.x request"));
+    }
+
+    let (path, query_text) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let query = query_text
+        .split('&')
+        .filter(|pair| !pair.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (pair.to_string(), String::new()),
+        })
+        .collect();
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| RequestError::Malformed("unparseable Content-Length"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(RequestError::BodyTooLarge);
+    }
+    // The head chunks may have read part (or all) of the body already.
+    let mut body = body_read;
+    if body.len() > content_length {
+        // Connection: close means no pipelining; drop any excess.
+        body.truncate(content_length);
+    } else if body.len() < content_length {
+        let already = body.len();
+        body.resize(content_length, 0);
+        stream.read_exact(&mut body[already..])?;
+    }
+
+    Ok(Request {
+        method,
+        path: path.to_string(),
+        query,
+        body,
+    })
+}
+
+/// Writes one `application/json` response and flushes. `extra_headers`
+/// lets handlers attach markers like `X-Carma-Cache`.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    extra_headers: &[(&str, &str)],
+) -> io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Response",
+    };
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n",
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// A parsed client-side response.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: u16,
+    /// Response headers as `(lowercased-name, value)` pairs.
+    pub headers: Vec<(String, String)>,
+    /// The body text.
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// First header value under `name` (case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A tiny blocking HTTP/1.1 client for exercising the service from
+/// tests and the `bench_serve` binary: one request, `Connection:
+/// close`, whole-response read.
+pub fn http_request(
+    addr: SocketAddr,
+    method: &str,
+    target: &str,
+    body: Option<&str>,
+) -> io::Result<HttpResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(300))).ok();
+    let body = body.unwrap_or("");
+    let request = format!(
+        "{method} {target} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes())?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let (head, body) = raw.split_once("\r\n\r\n").ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidData, "response without header block")
+    })?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or_default();
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|code| code.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "unparseable status line"))?;
+    let headers = lines
+        .filter_map(|line| line.split_once(':'))
+        .map(|(n, v)| (n.to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    Ok(HttpResponse {
+        status,
+        headers,
+        body: body.to_string(),
+    })
+}

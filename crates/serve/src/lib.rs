@@ -1,0 +1,56 @@
+//! # carma-serve
+//!
+//! An embedded HTTP scenario service over the CARMA experiment
+//! registry: `carma run` as a long-lived endpoint instead of a cold
+//! single-shot process. Design-space studies re-evaluate heavily
+//! overlapping scenario grids; with results stored in a
+//! content-addressed cache keyed by the resolved scenario's
+//! [`fingerprint`](carma_core::scenario::ResolvedScenario::fingerprint),
+//! a repeated sweep turns from minutes of GA into microsecond cache
+//! hits — across server restarts too, with the optional disk store.
+//!
+//! Everything is hand-rolled on `std::net` (the build is offline; no
+//! HTTP dependency exists in the workspace) and the JSON layer is the
+//! vendored `serde` shim the scenario API already uses.
+//!
+//! ## Endpoints
+//!
+//! | Endpoint | Meaning |
+//! |---|---|
+//! | `GET /healthz` | liveness + queue/cache counters |
+//! | `GET /experiments` | the experiment registry as JSON |
+//! | `POST /run` | run a [`ScenarioSpec`] body; `?async=true` enqueues and returns a job id |
+//! | `GET /jobs/:id` | job status; carries the report when done |
+//! | `POST /shutdown` | drain and stop the server |
+//!
+//! A `POST /run` response wraps the report as
+//! `{"cache":"hit"|"miss","fingerprint":"…","report":…}` where
+//! `report` is **byte-identical** to `carma run <spec> --out json`.
+//! The fingerprint covers everything that determines results —
+//! experiment, effective scale/model/nodes, constraint grid, library
+//! family/depth, GA budget and seed, objective, deployment profile —
+//! and deliberately excludes the thread count, which never changes
+//! results under the `carma-exec` determinism contract.
+//!
+//! ## Embedding
+//!
+//! ```no_run
+//! use carma_serve::{http, Server, ServerConfig};
+//!
+//! let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+//! let handle = server.spawn().unwrap();
+//! let health = http::http_request(handle.addr(), "GET", "/healthz", None).unwrap();
+//! assert_eq!(health.status, 200);
+//! handle.shutdown();
+//! ```
+//!
+//! [`ScenarioSpec`]: carma_core::scenario::ScenarioSpec
+
+pub mod cache;
+pub mod http;
+pub mod jobs;
+pub mod server;
+
+pub use cache::{CacheTier, ResultCache};
+pub use jobs::{JobQueue, JobSnapshot, JobStatus, Submit, SubmitOutcome};
+pub use server::{Server, ServerConfig, ServerHandle};

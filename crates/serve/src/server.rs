@@ -1,0 +1,393 @@
+//! The HTTP server: routing, the request→queue→cache flow, and
+//! lifecycle (spawn / clean shutdown).
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use carma_core::scenario::{ExperimentRegistry, ScenarioSpec};
+
+use crate::cache::ResultCache;
+use crate::http::{read_request, write_response, Request, RequestError};
+use crate::jobs::{JobQueue, JobSnapshot, JobStatus, RunnerFn, Submit, SubmitOutcome};
+
+/// Server tuning knobs; the defaults suit an interactive laptop
+/// session.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads draining the job queue.
+    pub workers: usize,
+    /// Bounded queue capacity; past it, `POST /run` answers 503.
+    pub queue_capacity: usize,
+    /// Optional on-disk cache directory (`None` = memory only).
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 64,
+            cache_dir: None,
+        }
+    }
+}
+
+struct ServeState {
+    registry: Arc<ExperimentRegistry>,
+    cache: Arc<ResultCache>,
+    queue: Arc<JobQueue>,
+    config: ServerConfig,
+    requests: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+/// A bound, not-yet-running scenario service.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServeState>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds to `addr` (`127.0.0.1:0` picks an ephemeral port) and
+    /// starts the worker pool; call [`Server::run`] or
+    /// [`Server::spawn`] to begin accepting requests.
+    pub fn bind<A: ToSocketAddrs>(addr: A, config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let cache = Arc::new(ResultCache::new(config.cache_dir.clone())?);
+        let queue = JobQueue::new(config.queue_capacity);
+        let registry = Arc::new(ExperimentRegistry::standard());
+
+        // The worker runner: execute through the registry, render the
+        // report, insert into the content-addressed cache. A `Done`
+        // job therefore always implies a warm cache entry.
+        let runner: RunnerFn = {
+            let cache = Arc::clone(&cache);
+            let registry = Arc::clone(&registry);
+            Arc::new(move |fingerprint: &str, spec: &ScenarioSpec| {
+                let report = registry.run(spec).map_err(|e| e.to_string())?;
+                Ok(cache.insert(fingerprint, report.to_json()))
+            })
+        };
+        let workers = queue.start_workers(config.workers.max(1), runner);
+
+        Ok(Server {
+            listener,
+            state: Arc::new(ServeState {
+                registry,
+                cache,
+                queue,
+                config,
+                requests: AtomicU64::new(0),
+                shutdown: AtomicBool::new(false),
+            }),
+            workers,
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Runs the accept loop on the calling thread until a shutdown
+    /// request arrives, then joins the worker pool.
+    pub fn run(self) -> io::Result<()> {
+        accept_loop(&self.listener, &self.state);
+        self.state.queue.shutdown();
+        for handle in self.workers {
+            let _ = handle.join();
+        }
+        Ok(())
+    }
+
+    /// Moves the accept loop onto a background thread and returns a
+    /// handle for tests and embedders.
+    pub fn spawn(self) -> io::Result<ServerHandle> {
+        let addr = self.listener.local_addr()?;
+        let state = Arc::clone(&self.state);
+        let accept = {
+            let state = Arc::clone(&self.state);
+            let listener = self.listener;
+            std::thread::Builder::new()
+                .name("carma-serve-accept".to_string())
+                .spawn(move || accept_loop(&listener, &state))?
+        };
+        Ok(ServerHandle {
+            addr,
+            state,
+            accept: Some(accept),
+            workers: self.workers,
+        })
+    }
+}
+
+/// A running scenario service (see [`Server::spawn`]); shut down via
+/// [`ServerHandle::shutdown`] or `POST /shutdown`.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServeState>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, wakes the queue, and joins every thread.
+    pub fn shutdown(mut self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        // The accept loop is blocked in accept(); a throwaway
+        // connection wakes it to observe the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        self.state.queue.shutdown();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, state: &Arc<ServeState>) {
+    for stream in listener.incoming() {
+        if state.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let state = Arc::clone(state);
+        let addr = listener.local_addr().ok();
+        // One short-lived thread per connection: every request closes
+        // its connection, and long-running work lives in the worker
+        // pool, so connection threads stay cheap and bounded by the
+        // client's own concurrency.
+        let _ = std::thread::Builder::new()
+            .name("carma-serve-conn".to_string())
+            .spawn(move || handle_connection(stream, &state, addr));
+    }
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    state: &Arc<ServeState>,
+    self_addr: Option<SocketAddr>,
+) {
+    let request = match read_request(&mut stream) {
+        Ok(request) => request,
+        Err(RequestError::Io(_)) => return, // client went away (incl. shutdown wake-ups)
+        Err(RequestError::HeadTooLarge) => {
+            let _ = respond_error(&mut stream, 400, "request head too large");
+            return;
+        }
+        Err(RequestError::BodyTooLarge) => {
+            let _ = respond_error(&mut stream, 413, "request body too large");
+            return;
+        }
+        Err(RequestError::Malformed(msg)) => {
+            let _ = respond_error(&mut stream, 400, msg);
+            return;
+        }
+    };
+    state.requests.fetch_add(1, Ordering::Relaxed);
+
+    let result = match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => handle_healthz(&mut stream, state),
+        ("GET", "/experiments") => handle_experiments(&mut stream, state),
+        ("POST", "/run") => handle_run(&mut stream, state, &request),
+        ("GET", path) if path.starts_with("/jobs/") => {
+            handle_job(&mut stream, state, &path["/jobs/".len()..])
+        }
+        ("POST", "/shutdown") => {
+            let _ = write_response(&mut stream, 200, "{\"status\":\"shutting down\"}", &[]);
+            state.shutdown.store(true, Ordering::SeqCst);
+            state.queue.shutdown();
+            // Wake the accept loop so it observes the flag.
+            if let Some(addr) = self_addr {
+                let _ = TcpStream::connect(addr);
+            }
+            Ok(())
+        }
+        ("GET" | "POST", _) => respond_error(&mut stream, 404, "no such endpoint"),
+        _ => respond_error(&mut stream, 405, "method not allowed"),
+    };
+    let _ = result;
+}
+
+fn respond_error(stream: &mut TcpStream, status: u16, message: &str) -> io::Result<()> {
+    let body = format!("{{\"error\":{}}}", serde::json::to_string(message));
+    write_response(stream, status, &body, &[])
+}
+
+fn handle_healthz(stream: &mut TcpStream, state: &Arc<ServeState>) -> io::Result<()> {
+    let (queued, running, completed) = state.queue.stats();
+    let (cache_hits, cache_misses) = state.cache.stats();
+    let body = format!(
+        "{{\"status\":\"ok\",\"experiments\":{},\"workers\":{},\"queue_capacity\":{},\
+         \"jobs_queued\":{queued},\"jobs_running\":{running},\"jobs_completed\":{completed},\
+         \"cache_entries\":{},\"cache_hits\":{cache_hits},\"cache_misses\":{cache_misses},\
+         \"requests\":{}}}",
+        state.registry.entries().len(),
+        state.config.workers.max(1),
+        state.config.queue_capacity,
+        state.cache.len(),
+        state.requests.load(Ordering::Relaxed),
+    );
+    write_response(stream, 200, &body, &[])
+}
+
+fn handle_experiments(stream: &mut TcpStream, state: &Arc<ServeState>) -> io::Result<()> {
+    let entries: Vec<String> = state
+        .registry
+        .entries()
+        .iter()
+        .map(|info| {
+            format!(
+                "{{\"name\":{},\"title\":{},\"index\":{},\"multi_node\":{},\
+                 \"multi_model\":{},\"objective_aware\":{}}}",
+                serde::json::to_string(info.name),
+                serde::json::to_string(info.title),
+                serde::json::to_string(info.index),
+                info.multi_node,
+                info.multi_model,
+                info.objective_aware,
+            )
+        })
+        .collect();
+    let body = format!("{{\"experiments\":[{}]}}", entries.join(","));
+    write_response(stream, 200, &body, &[])
+}
+
+/// The `POST /run` flow: parse → resolve → fingerprint → cache →
+/// queue. The `report` member of a 200 response is the report JSON
+/// *verbatim* — byte-identical to `carma run <spec> --out json`.
+fn handle_run(
+    stream: &mut TcpStream,
+    state: &Arc<ServeState>,
+    request: &Request,
+) -> io::Result<()> {
+    let Ok(text) = std::str::from_utf8(&request.body) else {
+        return respond_error(stream, 400, "body is not UTF-8");
+    };
+    let spec = match ScenarioSpec::from_json(text) {
+        Ok(spec) => spec,
+        Err(e) => return respond_error(stream, 400, &e.to_string()),
+    };
+    // Resolve with no CLI-level overrides: the spec (and the server's
+    // environment) fully determine the scenario, exactly as
+    // `carma run --spec` does.
+    let resolved = match spec.resolve(state.registry.as_ref(), None, None) {
+        Ok(resolved) => resolved,
+        Err(e) => return respond_error(stream, 422, &e.to_string()),
+    };
+    let fingerprint = resolved.fingerprint();
+
+    // Fast path: a warm entry answers without touching the queue.
+    if let Some((payload, _tier)) = state.cache.get(&fingerprint) {
+        return respond_run(stream, "hit", &fingerprint, &payload);
+    }
+
+    // Slow path: look up and submit atomically under the queue lock,
+    // so a job retiring between the check above and here is observed
+    // as the cache hit it just became rather than re-enqueued. The
+    // recheck peeks (memory-only, uncounted): the counted get above
+    // already covered disk, and a result materializing in between
+    // lands in memory first — /healthz stays at one count per request.
+    let submitted = state
+        .queue
+        .submit_or_lookup(&fingerprint, &resolved.name, &spec, || {
+            state.cache.peek(&fingerprint)
+        });
+    let submit = match submitted {
+        SubmitOutcome::Cached(payload) => {
+            return respond_run(stream, "hit", &fingerprint, &payload)
+        }
+        SubmitOutcome::Submitted(submit) => submit,
+    };
+    match submit {
+        Submit::QueueFull => {
+            let body = format!(
+                "{{\"error\":\"job queue full ({} pending)\",\"retry_after_s\":1}}",
+                state.config.queue_capacity
+            );
+            write_response(stream, 503, &body, &[("Retry-After", "1")])
+        }
+        Submit::Enqueued(id) | Submit::Coalesced(id) if request.wants_async() => {
+            let snapshot = state.queue.status(id);
+            let status = snapshot.map_or("queued", |s| s.status.as_str());
+            let body = format!(
+                "{{\"job\":{id},\"status\":{},\"fingerprint\":\"{fingerprint}\"}}",
+                serde::json::to_string(status)
+            );
+            let location = format!("/jobs/{id}");
+            write_response(stream, 202, &body, &[("Location", &location)])
+        }
+        Submit::Enqueued(id) | Submit::Coalesced(id) => {
+            let Some(done) = state.queue.wait(id) else {
+                return respond_error(stream, 500, "job vanished");
+            };
+            match done.status {
+                JobStatus::Done(payload) => respond_run(stream, "miss", &fingerprint, &payload),
+                JobStatus::Failed(msg) => respond_error(stream, 500, &msg),
+                _ => respond_error(stream, 500, "job did not complete"),
+            }
+        }
+    }
+}
+
+fn respond_run(
+    stream: &mut TcpStream,
+    cache: &str,
+    fingerprint: &str,
+    report_json: &str,
+) -> io::Result<()> {
+    // `report` is spliced verbatim: the cache stores exactly the bytes
+    // `Report::to_json` produced, so clients stripping the wrapper
+    // recover a byte-identical `carma run … --out json` document.
+    let body = format!(
+        "{{\"cache\":\"{cache}\",\"fingerprint\":\"{fingerprint}\",\"report\":{report_json}}}"
+    );
+    write_response(stream, 200, &body, &[("X-Carma-Cache", cache)])
+}
+
+fn handle_job(stream: &mut TcpStream, state: &Arc<ServeState>, id_text: &str) -> io::Result<()> {
+    let Ok(id) = id_text.parse::<u64>() else {
+        return respond_error(stream, 400, "job ids are integers");
+    };
+    let Some(snapshot) = state.queue.status(id) else {
+        return respond_error(stream, 404, "no such job");
+    };
+    let JobSnapshot {
+        id,
+        fingerprint,
+        experiment,
+        status,
+    } = snapshot;
+    let body = match status {
+        JobStatus::Done(payload) => format!(
+            "{{\"job\":{id},\"status\":\"done\",\"fingerprint\":\"{fingerprint}\",\
+             \"experiment\":{},\"report\":{payload}}}",
+            serde::json::to_string(&experiment)
+        ),
+        JobStatus::Failed(msg) => format!(
+            "{{\"job\":{id},\"status\":\"failed\",\"fingerprint\":\"{fingerprint}\",\
+             \"experiment\":{},\"error\":{}}}",
+            serde::json::to_string(&experiment),
+            serde::json::to_string(&msg)
+        ),
+        other => format!(
+            "{{\"job\":{id},\"status\":\"{}\",\"fingerprint\":\"{fingerprint}\",\
+             \"experiment\":{}}}",
+            other.as_str(),
+            serde::json::to_string(&experiment)
+        ),
+    };
+    write_response(stream, 200, &body, &[])
+}

@@ -20,7 +20,14 @@ USAGE:
   carma list                          show every experiment and what it reproduces
   carma run <name> [OPTIONS]          run a registered experiment
   carma run --spec <file> [OPTIONS]   run a JSON scenario spec
+  carma serve [SERVE OPTIONS]         serve experiments over HTTP with a result cache
   carma help                          show this message
+
+SERVE OPTIONS:
+  --addr <host:port>   listen address                     (default: 127.0.0.1:8337)
+  --workers <N>        job-queue worker threads           (default: 2)
+  --queue <N>          bounded job-queue capacity         (default: 64)
+  --cache-dir <dir>    persist the result cache to <dir>  (default: memory only)
 
 OPTIONS:
   --spec <file>        load a ScenarioSpec from JSON (spec fields win over flags)
@@ -32,6 +39,9 @@ OPTIONS:
   --seed <N>           GA seed override
   --out text|json|csv  output format (default: text)
   --output <path>      write the output to <path> instead of stdout
+  --fingerprint        print the scenario's result-cache fingerprint and exit
+                       (the content address `carma serve` memoizes under;
+                       invariant to --threads / $CARMA_THREADS)
 
 Results are deterministic for a given spec and scale — the thread count
 never changes them: every width reproduces the serial reference
@@ -50,6 +60,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("run") => run(&args[1..]),
+        Some("serve") => serve(&args[1..]),
         Some(other) => {
             eprintln!("error: unknown command `{other}`\n");
             eprint!("{USAGE}");
@@ -86,6 +97,7 @@ struct RunArgs {
     seed: Option<u64>,
     out: OutFormat,
     output: Option<String>,
+    fingerprint: bool,
 }
 
 fn usage_error(msg: &str) -> ExitCode {
@@ -106,6 +118,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
         seed: None,
         out: OutFormat::Text,
         output: None,
+        fingerprint: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -152,6 +165,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
                 };
             }
             "--output" => parsed.output = Some(value_for("--output")?),
+            "--fingerprint" => parsed.fingerprint = true,
             flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
             name => {
                 if parsed.name.replace(name.to_string()).is_some() {
@@ -166,17 +180,100 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
     Ok(parsed)
 }
 
+/// The `carma serve` entry point: boot the embedded HTTP scenario
+/// service and block until a `POST /shutdown` arrives.
+fn serve(args: &[String]) -> ExitCode {
+    let mut addr = "127.0.0.1:8337".to_string();
+    let mut config = carma_serve::ServerConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_for = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("`{flag}` needs a value"))
+        };
+        let parsed = match arg.as_str() {
+            "--addr" => value_for("--addr").map(|v| addr = v),
+            "--workers" => value_for("--workers").and_then(|v| {
+                v.parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .map(|n| config.workers = n)
+                    .ok_or_else(|| format!("`--workers` needs a positive integer (got `{v}`)"))
+            }),
+            "--queue" => value_for("--queue").and_then(|v| {
+                v.parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .map(|n| config.queue_capacity = n)
+                    .ok_or_else(|| format!("`--queue` needs a positive integer (got `{v}`)"))
+            }),
+            "--cache-dir" => value_for("--cache-dir").map(|v| config.cache_dir = Some(v.into())),
+            other => Err(format!("unknown serve argument `{other}`")),
+        };
+        if let Err(msg) = parsed {
+            return usage_error(&msg);
+        }
+    }
+
+    print_env_diagnostics();
+    let server = match carma_serve::Server::bind(&addr, config.clone()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: cannot bind `{addr}`: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        // The one stdout line is machine-harvestable: scripts (and the
+        // CI smoke job) read the bound address from it when the OS
+        // picked the port.
+        Ok(bound) => println!("carma-serve listening on http://{bound}"),
+        Err(_) => println!("carma-serve listening on http://{addr}"),
+    }
+    // Piped stdout is block-buffered; scripts wait on this line while
+    // the process keeps running, so push it out before blocking.
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    eprintln!(
+        "workers: {}, queue capacity: {}, cache: {}",
+        config.workers,
+        config.queue_capacity,
+        config
+            .cache_dir
+            .as_deref()
+            .map_or("memory only".to_string(), |d| d.display().to_string()),
+    );
+    eprintln!(
+        "endpoints: GET /healthz, GET /experiments, POST /run, GET /jobs/:id, POST /shutdown"
+    );
+    match server.run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Mistyped `CARMA_SCALE` / `CARMA_THREADS` would otherwise be
+/// silently swallowed by the lenient library fallbacks.
+fn print_env_diagnostics() {
+    if let Some(warning) = carma_core::scenario::scale_env_diagnostic() {
+        eprintln!("{warning}");
+    }
+    if let Some(warning) = carma_core::scenario::threads_env_diagnostic() {
+        eprintln!("{warning}");
+    }
+}
+
 fn run(args: &[String]) -> ExitCode {
     let parsed = match parse_run_args(args) {
         Ok(p) => p,
         Err(msg) => return usage_error(&msg),
     };
 
-    // A mistyped CARMA_SCALE would otherwise be silently read as
-    // quick scale by the lenient library fallback.
-    if let Some(warning) = carma_core::scenario::scale_env_diagnostic() {
-        eprintln!("{warning}");
-    }
+    print_env_diagnostics();
 
     // Build the spec: from file, or the named default. Spec fields win
     // over flags (spec > CLI > env), so flags only fill defaulted
@@ -228,6 +325,21 @@ fn run(args: &[String]) -> ExitCode {
     }
 
     let registry = ExperimentRegistry::standard();
+
+    // `--fingerprint` resolves without running: print the content
+    // address `carma serve` would cache this scenario under.
+    if parsed.fingerprint {
+        return match spec.resolve(&registry, parsed.scale, parsed.threads) {
+            Ok(resolved) => {
+                println!("{}", resolved.fingerprint());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
 
     // In machine-readable modes keep stdout pure; the banner goes to
     // stderr as a progress line.

@@ -680,6 +680,45 @@ fn cli_warns_on_unrecognized_carma_scale() {
 }
 
 #[test]
+fn cli_warns_on_unrecognized_carma_threads() {
+    // A value the engine cannot use (`fast`, `0`) must be named on
+    // stderr with the accepted form instead of being silently ignored;
+    // use an invalid experiment so the probe exits fast.
+    for bad in ["fast", "0", "-2", "1.5"] {
+        let out = carma_cli()
+            .args(["run", "fig9"])
+            .env("CARMA_THREADS", bad)
+            .output()
+            .expect("carma runs");
+        assert_eq!(out.status.code(), Some(2));
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("unrecognized CARMA_THREADS"),
+            "no warning for `{bad}`: {stderr}"
+        );
+        assert!(stderr.contains(bad), "{stderr}");
+        assert!(
+            stderr.contains("positive integer"),
+            "warning must name the accepted form: {stderr}"
+        );
+    }
+    // The no-false-positive side: valid widths and an unset/empty
+    // variable stay silent.
+    for good in ["1", "8", " 4 ", ""] {
+        let out = carma_cli()
+            .args(["run", "fig9"])
+            .env("CARMA_THREADS", good)
+            .output()
+            .expect("carma runs");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            !stderr.contains("CARMA_THREADS"),
+            "false warning for `{good}`: {stderr}"
+        );
+    }
+}
+
+#[test]
 fn cli_rejects_invalid_spec_with_exit_2() {
     let dir = std::env::temp_dir().join(format!("carma_cli_spec_{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("scratch dir");
@@ -721,4 +760,283 @@ fn cli_runs_spec_to_valid_json_on_clean_stdout() {
     let v = serde::json::parse(stdout.trim()).expect("stdout is pure JSON");
     assert_eq!(v.get("experiment").unwrap().as_str(), Some("table1"));
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ─── canonical spec serialization (the cache-key contract) ──────────
+
+/// A spec with every optional field populated, for serialization
+/// contract tests.
+fn fully_populated_spec() -> ScenarioSpec {
+    ScenarioSpec {
+        experiment: "fig2".to_string(),
+        model: "resnet50".to_string(),
+        node: "7nm".to_string(),
+        nodes: vec!["7nm".to_string(), "14nm".to_string()],
+        accuracy_classes: vec![0.005, 0.02],
+        fps_thresholds: vec![30.0],
+        family: "classic".to_string(),
+        library_depth: Some(2),
+        accuracy_samples: Some(48),
+        ga: Some(GaSpec {
+            population: Some(10),
+            generations: Some(6),
+            tournament: None,
+            crossover_rate: Some(0.9),
+            mutation_rate: None,
+            elites: None,
+            seed: Some(7),
+        }),
+        seed: Some(42),
+        scale: "quick".to_string(),
+        threads: Some(2),
+        objective: "cdp".to_string(),
+        deployment: Some(DeploymentSpec {
+            grid: "custom".to_string(),
+            grid_g_per_kwh: Some(123.5),
+            lifetime_hours: Some(8760.0),
+            utilization: Some(0.5),
+            package: "monolithic".to_string(),
+            dram_gb: Some(2.0),
+        }),
+    }
+}
+
+#[test]
+fn spec_json_field_order_matches_the_documented_contract() {
+    let json = fully_populated_spec().to_json();
+    let v = serde::json::parse(&json).expect("valid JSON");
+    let keys: Vec<&str> = v
+        .as_object()
+        .expect("spec serializes to an object")
+        .iter()
+        .map(|(k, _)| k.as_str())
+        .collect();
+    assert_eq!(
+        keys,
+        carma_core::scenario::SPEC_FIELD_ORDER.to_vec(),
+        "spec JSON keys drifted from SPEC_FIELD_ORDER"
+    );
+    let ga_keys: Vec<&str> = v
+        .get("ga")
+        .and_then(|ga| ga.as_object())
+        .expect("ga block")
+        .iter()
+        .map(|(k, _)| k.as_str())
+        .collect();
+    assert_eq!(ga_keys, carma_core::scenario::GA_FIELD_ORDER.to_vec());
+    let dep_keys: Vec<&str> = v
+        .get("deployment")
+        .and_then(|d| d.as_object())
+        .expect("deployment block")
+        .iter()
+        .map(|(k, _)| k.as_str())
+        .collect();
+    assert_eq!(
+        dep_keys,
+        carma_core::scenario::DEPLOYMENT_FIELD_ORDER.to_vec()
+    );
+}
+
+#[test]
+fn spec_json_bytes_are_pinned() {
+    // The golden byte-stability regression: a struct-field reorder (or
+    // an accidental serializer change) must fail here, visibly, rather
+    // than silently invalidating every cache key built on these bytes.
+    let expected = concat!(
+        "{\"experiment\":\"fig2\",\"model\":\"resnet50\",\"node\":\"7nm\",",
+        "\"nodes\":[\"7nm\",\"14nm\"],\"accuracy_classes\":[0.005,0.02],",
+        "\"fps_thresholds\":[30],\"family\":\"classic\",\"library_depth\":2,",
+        "\"accuracy_samples\":48,\"ga\":{\"population\":10,\"generations\":6,",
+        "\"tournament\":null,\"crossover_rate\":0.9,\"mutation_rate\":null,",
+        "\"elites\":null,\"seed\":7},\"seed\":42,\"scale\":\"quick\",\"threads\":2,",
+        "\"objective\":\"cdp\",\"deployment\":{\"grid\":\"custom\",",
+        "\"grid_g_per_kwh\":123.5,\"lifetime_hours\":8760,\"utilization\":0.5,",
+        "\"package\":\"monolithic\",\"dram_gb\":2}}"
+    );
+    assert_eq!(fully_populated_spec().to_json(), expected);
+}
+
+#[test]
+fn spec_json_round_trip_is_byte_stable() {
+    let spec = fully_populated_spec();
+    let json = spec.to_json();
+    let back = ScenarioSpec::from_json(&json).expect("round-trip parses");
+    assert_eq!(back, spec);
+    assert_eq!(
+        back.to_json(),
+        json,
+        "serialize → parse → serialize drifted"
+    );
+    // The minimal spec round-trips byte-stably too (None/empty fields).
+    let minimal = ScenarioSpec::named("table1");
+    let json = minimal.to_json();
+    let back = ScenarioSpec::from_json(&json).expect("parses");
+    assert_eq!(back.to_json(), json);
+}
+
+// ─── the resolved-scenario fingerprint (the content address) ────────
+
+#[test]
+fn fingerprint_is_invariant_to_thread_count() {
+    let base = small_fig2_spec();
+    let mut one = base.clone();
+    one.threads = Some(1);
+    let mut eight = base.clone();
+    eight.threads = Some(8);
+    let fp1 = one.resolve(registry(), None, None).expect("resolves");
+    let fp8 = eight.resolve(registry(), None, None).expect("resolves");
+    assert_eq!(fp1.fingerprint(), fp8.fingerprint());
+    // CLI-level width override: same invariance.
+    let cli1 = base.resolve(registry(), None, Some(1)).expect("resolves");
+    let cli8 = base.resolve(registry(), None, Some(8)).expect("resolves");
+    assert_eq!(cli1.fingerprint(), cli8.fingerprint());
+    assert_eq!(fp1.fingerprint(), cli1.fingerprint());
+    // The preimage simply has no width field.
+    assert!(
+        !fp1.canonical_json().contains("threads"),
+        "canonical JSON must not mention the engine width:\n{}",
+        fp1.canonical_json()
+    );
+}
+
+#[test]
+fn cli_fingerprint_is_invariant_to_carma_threads_env() {
+    // The env-level proof of the cache-key contract: the same spec at
+    // CARMA_THREADS=1 and =8 prints the same content address.
+    let fp_at = |threads: &str| {
+        let out = carma_cli()
+            .args(["run", "fig2", "--fingerprint"])
+            .env("CARMA_THREADS", threads)
+            .output()
+            .expect("carma runs");
+        assert!(
+            out.status.success(),
+            "stderr:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).trim().to_string()
+    };
+    let one = fp_at("1");
+    let eight = fp_at("8");
+    assert_eq!(one, eight, "fingerprint must not depend on CARMA_THREADS");
+    assert_eq!(one.len(), 32, "32 hex chars: {one}");
+    assert!(one.bytes().all(|b| b.is_ascii_hexdigit()));
+}
+
+#[test]
+fn fingerprint_canonicalizes_restated_defaults() {
+    // Spelling an experiment's defaults out explicitly is the same
+    // scenario, so it must hash to the same address.
+    let implicit = ScenarioSpec::named("fig2")
+        .resolve(registry(), Some(Scale::Quick), None)
+        .expect("resolves");
+    let explicit = ScenarioSpec::named("fig2")
+        .with_model("vgg16")
+        .with_node("7nm")
+        .with_scale(Scale::Quick)
+        .with_objective("cdp")
+        .resolve(registry(), None, None)
+        .expect("resolves");
+    assert_eq!(implicit.fingerprint(), explicit.fingerprint());
+
+    // A custom deployment grid at a preset's intensity is that preset.
+    let preset = {
+        let mut spec = small_deployment_spec();
+        spec.deployment = Some(DeploymentSpec {
+            grid: "world-average".to_string(),
+            lifetime_hours: Some(8760.0),
+            ..DeploymentSpec::default()
+        });
+        spec.resolve(registry(), None, None).expect("resolves")
+    };
+    let custom = {
+        let mut spec = small_deployment_spec();
+        spec.deployment = Some(DeploymentSpec {
+            grid_g_per_kwh: Some(475.0),
+            lifetime_hours: Some(8760.0),
+            ..DeploymentSpec::default()
+        });
+        spec.resolve(registry(), None, None).expect("resolves")
+    };
+    assert_eq!(preset.fingerprint(), custom.fingerprint());
+}
+
+#[test]
+fn fingerprint_distinguishes_result_changing_fields() {
+    let base = small_fig2_spec();
+    let base_fp = base
+        .resolve(registry(), None, None)
+        .expect("resolves")
+        .fingerprint();
+    let variants: Vec<(&str, ScenarioSpec)> = vec![
+        ("seed", base.clone().with_seed(43)),
+        ("model", base.clone().with_model("vgg16")),
+        ("node", base.clone().with_node("14nm")),
+        ("scale", base.clone().with_scale(Scale::Full)),
+        ("library depth", {
+            let mut spec = base.clone();
+            spec.library_depth = Some(3);
+            spec
+        }),
+        ("accuracy grid", {
+            let mut spec = base.clone();
+            spec.accuracy_classes = vec![0.005, 0.01];
+            spec
+        }),
+        ("fps grid", {
+            let mut spec = base.clone();
+            spec.fps_thresholds = vec![25.0, 40.0, 50.0];
+            spec
+        }),
+        ("ga budget", {
+            let mut spec = base.clone();
+            spec.ga = Some(GaSpec {
+                population: Some(12),
+                generations: Some(6),
+                ..GaSpec::default()
+            });
+            spec
+        }),
+    ];
+    for (what, spec) in variants {
+        let fp = spec
+            .resolve(registry(), None, None)
+            .expect("resolves")
+            .fingerprint();
+        assert_ne!(fp, base_fp, "changing {what} must change the fingerprint");
+    }
+    // Deployment knobs are part of the key too.
+    let dep = small_deployment_spec()
+        .resolve(registry(), None, None)
+        .expect("resolves")
+        .fingerprint();
+    let dep_longer = {
+        let mut spec = small_deployment_spec();
+        spec.deployment = Some(DeploymentSpec {
+            lifetime_hours: Some(9000.0),
+            ..spec.deployment.unwrap_or_default()
+        });
+        spec.resolve(registry(), None, None).expect("resolves")
+    }
+    .fingerprint();
+    assert_ne!(dep, dep_longer);
+}
+
+#[test]
+fn canonical_json_is_valid_json_with_effective_values() {
+    let resolved = small_fig2_spec()
+        .resolve(registry(), None, None)
+        .expect("resolves");
+    let v = serde::json::parse(&resolved.canonical_json()).expect("canonical form parses");
+    assert_eq!(v.get("experiment").unwrap().as_str(), Some("fig2"));
+    assert_eq!(v.get("scale").unwrap().as_str(), Some("quick"));
+    // Effective values, not raw spec fields: the defaulted family and
+    // the explicit depth/samples land resolved.
+    assert_eq!(v.get("family").unwrap().as_str(), Some("ladder"));
+    assert_eq!(v.get("library_depth").unwrap().as_f64(), Some(2.0));
+    assert_eq!(v.get("accuracy_samples").unwrap().as_f64(), Some(48.0));
+    assert_eq!(
+        v.get("ga").unwrap().get("seed").unwrap().as_f64(),
+        Some(42.0)
+    );
 }

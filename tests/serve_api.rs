@@ -1,0 +1,297 @@
+//! The `carma-serve` HTTP scenario service end to end: boot on an
+//! ephemeral port, prove byte-identical artifacts vs the registry
+//! (what `carma run … --out json` prints), cache-hit semantics
+//! in-process and across a restart with the disk store, fingerprint
+//! invariance to thread count, async job flow, concurrent-request
+//! determinism with single-flight coalescing, and the error paths.
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+use carma_core::scenario::{ExperimentRegistry, ScenarioSpec};
+use carma_serve::http::{http_request, HttpResponse};
+use carma_serve::{Server, ServerConfig, ServerHandle};
+
+fn registry() -> &'static ExperimentRegistry {
+    static REGISTRY: OnceLock<ExperimentRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(ExperimentRegistry::standard)
+}
+
+/// A cheap fig2 spec (depth-2 ladder, 48 samples, 10×6 GA), with a
+/// caller-chosen seed so each test owns distinct cache entries.
+fn small_spec_json(seed: u64) -> String {
+    format!(
+        r#"{{"experiment": "fig2", "model": "resnet50", "library_depth": 2,
+            "accuracy_samples": 48, "ga": {{"population": 10, "generations": 6}},
+            "seed": {seed}, "scale": "quick"}}"#
+    )
+}
+
+fn boot(config: ServerConfig) -> ServerHandle {
+    Server::bind("127.0.0.1:0", config)
+        .expect("bind ephemeral port")
+        .spawn()
+        .expect("spawn server")
+}
+
+fn post_run(addr: SocketAddr, body: &str) -> HttpResponse {
+    http_request(addr, "POST", "/run", Some(body)).expect("POST /run")
+}
+
+/// Strips the `{"cache":…,"fingerprint":…,"report":…}` wrapper,
+/// returning the verbatim report bytes.
+fn extract_report(body: &str) -> &str {
+    let idx = body
+        .find("\"report\":")
+        .expect("wrapper has a report member");
+    &body[idx + "\"report\":".len()..body.len() - 1]
+}
+
+fn cache_marker(response: &HttpResponse) -> &str {
+    response
+        .header("x-carma-cache")
+        .expect("cache marker header")
+}
+
+#[test]
+fn healthz_and_experiments_describe_the_service() {
+    let handle = boot(ServerConfig::default());
+    let health = http_request(handle.addr(), "GET", "/healthz", None).expect("GET /healthz");
+    assert_eq!(health.status, 200);
+    let v = serde::json::parse(&health.body).expect("healthz is JSON");
+    assert_eq!(v.get("status").unwrap().as_str(), Some("ok"));
+    assert_eq!(
+        v.get("experiments").unwrap().as_f64(),
+        Some(registry().entries().len() as f64)
+    );
+
+    let list = http_request(handle.addr(), "GET", "/experiments", None).expect("GET /experiments");
+    assert_eq!(list.status, 200);
+    let v = serde::json::parse(&list.body).expect("experiments is JSON");
+    let entries = v.get("experiments").unwrap().as_array().unwrap();
+    assert_eq!(entries.len(), registry().entries().len());
+    for name in registry().names() {
+        assert!(
+            entries
+                .iter()
+                .any(|e| e.get("name").and_then(|n| n.as_str()) == Some(name)),
+            "experiments listing misses `{name}`"
+        );
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn repeat_submission_hits_the_cache_with_bytes_identical_to_carma_run() {
+    let handle = boot(ServerConfig::default());
+    let spec_json = small_spec_json(42);
+
+    let first = post_run(handle.addr(), &spec_json);
+    assert_eq!(first.status, 200, "{}", first.body);
+    assert_eq!(cache_marker(&first), "miss");
+    assert!(first
+        .body
+        .starts_with("{\"cache\":\"miss\",\"fingerprint\":\""));
+
+    let second = post_run(handle.addr(), &spec_json);
+    assert_eq!(second.status, 200);
+    assert_eq!(cache_marker(&second), "hit");
+
+    // The two artifact payloads are byte-identical.
+    let report_a = extract_report(&first.body);
+    let report_b = extract_report(&second.body);
+    assert_eq!(report_a, report_b, "hit payload diverged from the miss");
+
+    // … and byte-identical to what `carma run --spec … --out json`
+    // prints (the CLI emits Report::to_json plus a trailing newline).
+    let spec = ScenarioSpec::from_json(&spec_json).expect("spec parses");
+    let direct = registry().run(&spec).expect("spec runs").to_json();
+    assert_eq!(report_a, direct, "serve artifact diverged from carma run");
+
+    handle.shutdown();
+}
+
+#[test]
+fn fingerprint_serves_across_thread_counts_from_one_entry() {
+    let handle = boot(ServerConfig::default());
+    // Same scenario, spec-pinned widths 1 and 8: the second request
+    // must be served from the first one's cache entry — the engine
+    // width is not part of the content address.
+    let narrow = small_spec_json(77).replace("\"scale\"", "\"threads\": 1, \"scale\"");
+    let wide = small_spec_json(77).replace("\"scale\"", "\"threads\": 8, \"scale\"");
+    let first = post_run(handle.addr(), &narrow);
+    assert_eq!(first.status, 200, "{}", first.body);
+    assert_eq!(cache_marker(&first), "miss");
+    let second = post_run(handle.addr(), &wide);
+    assert_eq!(second.status, 200);
+    assert_eq!(
+        cache_marker(&second),
+        "hit",
+        "widths 1 and 8 must share one cache entry"
+    );
+    assert_eq!(extract_report(&first.body), extract_report(&second.body));
+    handle.shutdown();
+}
+
+#[test]
+fn async_submission_returns_a_pollable_job() {
+    let handle = boot(ServerConfig::default());
+    let spec_json = small_spec_json(101);
+
+    let accepted = http_request(handle.addr(), "POST", "/run?async=true", Some(&spec_json))
+        .expect("POST /run?async=true");
+    assert_eq!(accepted.status, 202, "{}", accepted.body);
+    let v = serde::json::parse(&accepted.body).expect("202 body is JSON");
+    let job_id = v.get("job").unwrap().as_f64().expect("job id") as u64;
+    let location = accepted.header("location").expect("Location header");
+    assert_eq!(location, format!("/jobs/{job_id}"));
+
+    // Poll until done (the tiny spec takes well under a minute).
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let done = loop {
+        let status = http_request(handle.addr(), "GET", &format!("/jobs/{job_id}"), None)
+            .expect("GET /jobs/:id");
+        assert_eq!(status.status, 200, "{}", status.body);
+        let v = serde::json::parse(&status.body).expect("job body is JSON");
+        match v.get("status").unwrap().as_str().unwrap() {
+            "done" => break status,
+            "failed" => panic!("job failed: {}", status.body),
+            _ if Instant::now() > deadline => panic!("job never finished"),
+            _ => std::thread::sleep(Duration::from_millis(50)),
+        }
+    };
+
+    // The finished job carries the report, and a sync resubmission is
+    // now a cache hit with the same bytes.
+    let job_report = extract_report(&done.body);
+    let sync = post_run(handle.addr(), &spec_json);
+    assert_eq!(cache_marker(&sync), "hit");
+    assert_eq!(extract_report(&sync.body), job_report);
+    handle.shutdown();
+}
+
+#[test]
+fn disk_cache_survives_a_server_restart() {
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("carma-serve-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = ServerConfig {
+        cache_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    };
+    let spec_json = small_spec_json(202);
+
+    let first_server = boot(config.clone());
+    let miss = post_run(first_server.addr(), &spec_json);
+    assert_eq!(miss.status, 200, "{}", miss.body);
+    assert_eq!(cache_marker(&miss), "miss");
+    first_server.shutdown();
+
+    // A fresh process stands in for a restart: new server, same dir.
+    let second_server = boot(config);
+    let hit = post_run(second_server.addr(), &spec_json);
+    assert_eq!(hit.status, 200);
+    assert_eq!(
+        cache_marker(&hit),
+        "hit",
+        "restart lost the disk store: {}",
+        hit.body
+    );
+    assert_eq!(extract_report(&miss.body), extract_report(&hit.body));
+    second_server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn concurrent_identical_requests_coalesce_and_agree() {
+    let handle = boot(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr();
+    let spec_json = small_spec_json(303);
+
+    // Six clients race the same scenario; single-flight means the GA
+    // runs once and every response carries the same bytes.
+    let clients: Vec<_> = (0..6)
+        .map(|_| {
+            let spec_json = spec_json.clone();
+            std::thread::spawn(move || post_run(addr, &spec_json))
+        })
+        .collect();
+    let responses: Vec<HttpResponse> = clients
+        .into_iter()
+        .map(|c| c.join().expect("client thread"))
+        .collect();
+
+    let reference = extract_report(&responses[0].body).to_string();
+    for response in &responses {
+        assert_eq!(response.status, 200, "{}", response.body);
+        assert_eq!(
+            extract_report(&response.body),
+            reference,
+            "concurrent responses diverged"
+        );
+    }
+    // The queue completed exactly one job for the six requests.
+    let health = http_request(addr, "GET", "/healthz", None).expect("GET /healthz");
+    let v = serde::json::parse(&health.body).expect("healthz is JSON");
+    assert_eq!(
+        v.get("jobs_completed").unwrap().as_f64(),
+        Some(1.0),
+        "coalescing failed: {}",
+        health.body
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn error_paths_return_typed_statuses() {
+    let handle = boot(ServerConfig::default());
+    let addr = handle.addr();
+
+    // Not JSON at all.
+    let r = post_run(addr, "not json");
+    assert_eq!(r.status, 400, "{}", r.body);
+    assert!(r.body.contains("error"));
+    // Valid JSON, invalid scenario.
+    let r = post_run(addr, r#"{"experiment": "fig9"}"#);
+    assert_eq!(r.status, 422, "{}", r.body);
+    assert!(r.body.contains("unknown experiment"), "{}", r.body);
+    // A resolve-stage validation error, not just an unknown name.
+    let r = post_run(addr, r#"{"experiment": "fig2", "fps_thresholds": [0.0]}"#);
+    assert_eq!(r.status, 422, "{}", r.body);
+    // Unknown route and unknown job.
+    let r = http_request(addr, "GET", "/nope", None).expect("request");
+    assert_eq!(r.status, 404);
+    let r = http_request(addr, "GET", "/jobs/999999", None).expect("request");
+    assert_eq!(r.status, 404);
+    let r = http_request(addr, "GET", "/jobs/abc", None).expect("request");
+    assert_eq!(r.status, 400);
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_endpoint_stops_the_listener() {
+    let handle = boot(ServerConfig::default());
+    let addr = handle.addr();
+    let bye = http_request(addr, "POST", "/shutdown", None).expect("POST /shutdown");
+    assert_eq!(bye.status, 200);
+    assert!(bye.body.contains("shutting down"));
+    // The accept loop drains; connects start failing once the
+    // listener drops (give it a beat on slow machines).
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match std::net::TcpStream::connect_timeout(&addr, Duration::from_millis(200)) {
+            Err(_) => break,
+            Ok(_) if Instant::now() > deadline => {
+                panic!("listener still accepting 10 s after /shutdown")
+            }
+            Ok(_) => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+    // Idempotent from the handle side.
+    handle.shutdown();
+}
