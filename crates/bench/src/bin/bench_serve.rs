@@ -1,8 +1,18 @@
 //! Serving-path benchmark: boots the embedded `carma-serve` HTTP
 //! service on an ephemeral port and measures what the result cache
 //! buys — cold-miss latency (a real registry run) vs warm-hit latency
-//! (a content-addressed lookup) — plus request throughput on the hit
-//! path and `/healthz`. Emits `BENCH_serve.json`.
+//! (a content-addressed lookup) — plus hit-path throughput under the
+//! three client shapes the event-driven server distinguishes:
+//!
+//! - **connection-per-request** (`Connection: close`, the pre-v2
+//!   baseline shape): pays a TCP handshake per request;
+//! - **keep-alive serial**: one connection, request → response →
+//!   request;
+//! - **keep-alive pipelined**: one connection, a burst of requests
+//!   written back-to-back, responses drained in order — the headline
+//!   `run_hit_rps`.
+//!
+//! Emits `BENCH_serve.json`.
 //!
 //! ```text
 //! cargo run --release -p carma-bench --bin bench_serve            # full measurement
@@ -12,7 +22,7 @@
 use std::net::SocketAddr;
 use std::time::Instant;
 
-use carma_serve::http::http_request;
+use carma_serve::http::{http_request, HttpClient};
 use carma_serve::{Server, ServerConfig};
 
 /// The benched spec: a deliberately small fig2 scenario so the miss
@@ -27,7 +37,8 @@ const SPEC: &str = r#"{
     "scale": "quick"
 }"#;
 
-fn post_run(addr: SocketAddr) -> (f64, String) {
+/// One `Connection: close` request (its own TCP connection).
+fn post_run_close(addr: SocketAddr) -> (f64, String) {
     let start = Instant::now();
     let response = http_request(addr, "POST", "/run", Some(SPEC)).expect("POST /run");
     let wall_s = start.elapsed().as_secs_f64();
@@ -47,6 +58,7 @@ fn median(sorted: &mut [f64]) -> f64 {
 fn main() {
     let test_mode = std::env::args().any(|a| a == "--test");
     let iterations = if test_mode { 5 } else { 200 };
+    let (bursts, burst_size) = if test_mode { (2, 8) } else { (32, 512) };
 
     let server = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
     let handle = server.spawn().expect("spawn");
@@ -54,23 +66,57 @@ fn main() {
     println!("=== CARMA serving benchmark (carma-serve @ {addr}) ===\n");
 
     // Cold miss: the first submission computes through the registry.
-    let (miss_s, cache) = post_run(addr);
+    let (miss_s, cache) = post_run_close(addr);
     assert_eq!(cache, "miss", "first request must be a cache miss");
 
-    // Warm hits: identical spec, content-addressed lookup.
-    let mut hit_latencies: Vec<f64> = Vec::with_capacity(iterations);
-    let hits_start = Instant::now();
+    // Warm hits, connection per request (the pre-keep-alive shape).
+    let mut close_latencies: Vec<f64> = Vec::with_capacity(iterations);
+    let close_start = Instant::now();
     for _ in 0..iterations {
-        let (wall_s, cache) = post_run(addr);
+        let (wall_s, cache) = post_run_close(addr);
         assert_eq!(cache, "hit", "repeat request must be a cache hit");
-        hit_latencies.push(wall_s);
+        close_latencies.push(wall_s);
     }
-    let run_hit_rps = iterations as f64 / hits_start.elapsed().as_secs_f64();
+    let hit_close_rps = iterations as f64 / close_start.elapsed().as_secs_f64();
 
-    // Raw request throughput floor: /healthz does no cache work.
+    // Warm hits, serial over one kept-alive connection.
+    let mut client = HttpClient::connect(addr).expect("keep-alive connect");
+    let mut hit_latencies: Vec<f64> = Vec::with_capacity(iterations);
+    let serial_start = Instant::now();
+    for _ in 0..iterations {
+        let start = Instant::now();
+        let response = client
+            .request("POST", "/run", Some(SPEC))
+            .expect("keep-alive POST /run");
+        hit_latencies.push(start.elapsed().as_secs_f64());
+        assert_eq!(response.status, 200);
+        assert_eq!(response.header("x-carma-cache"), Some("hit"));
+    }
+    let hit_keepalive_rps = iterations as f64 / serial_start.elapsed().as_secs_f64();
+
+    // Warm hits, pipelined bursts over one kept-alive connection: the
+    // headline number. The whole burst is one write; the server
+    // answers every request from a single buffer pass.
+    let pipeline_start = Instant::now();
+    for _ in 0..bursts {
+        client
+            .send_burst("POST", "/run", Some(SPEC), burst_size)
+            .expect("pipelined burst");
+        for _ in 0..burst_size {
+            let response = client.recv().expect("pipelined response");
+            assert_eq!(response.status, 200);
+            assert_eq!(response.header("x-carma-cache"), Some("hit"));
+        }
+    }
+    let pipelined_total = (bursts * burst_size) as f64;
+    let hit_pipelined_rps = pipelined_total / pipeline_start.elapsed().as_secs_f64();
+
+    // Raw request floor: /healthz does no cache work (kept alive).
     let health_start = Instant::now();
     for _ in 0..iterations {
-        let response = http_request(addr, "GET", "/healthz", None).expect("GET /healthz");
+        let response = client
+            .request("GET", "/healthz", None)
+            .expect("GET /healthz");
         assert_eq!(response.status, 200);
     }
     let healthz_rps = iterations as f64 / health_start.elapsed().as_secs_f64();
@@ -79,13 +125,20 @@ fn main() {
 
     let hit_mean_s = hit_latencies.iter().sum::<f64>() / hit_latencies.len() as f64;
     let hit_p50_s = median(&mut hit_latencies);
+    let hit_close_p50_s = median(&mut close_latencies);
     let speedup = miss_s / hit_p50_s;
 
     let json = format!(
         "{{\n  \"spec\": \"fig2 (resnet50, depth 2, 48 samples, 10x6 GA)\",\n  \
-         \"iterations\": {iterations},\n  \"miss_latency_s\": {miss_s:.6},\n  \
+         \"iterations\": {iterations},\n  \"pipelined_requests\": {pipelined_total:.0},\n  \
+         \"miss_latency_s\": {miss_s:.6},\n  \
          \"hit_latency_mean_s\": {hit_mean_s:.6},\n  \"hit_latency_p50_s\": {hit_p50_s:.6},\n  \
-         \"run_hit_rps\": {run_hit_rps:.1},\n  \"healthz_rps\": {healthz_rps:.1},\n  \
+         \"hit_close_latency_p50_s\": {hit_close_p50_s:.6},\n  \
+         \"run_hit_rps\": {hit_pipelined_rps:.1},\n  \
+         \"run_hit_pipelined_rps\": {hit_pipelined_rps:.1},\n  \
+         \"run_hit_keepalive_rps\": {hit_keepalive_rps:.1},\n  \
+         \"run_hit_close_rps\": {hit_close_rps:.1},\n  \
+         \"healthz_rps\": {healthz_rps:.1},\n  \
          \"speedup_hit_vs_miss\": {speedup:.1}\n}}\n"
     );
     match std::fs::write("BENCH_serve.json", &json) {
@@ -95,6 +148,9 @@ fn main() {
     print!("{json}");
     println!(
         "\nnote: the miss pays one real registry run; hits are content-addressed \
-         lookups, so the ratio is the memoization payoff for overlapping sweeps"
+         lookups, so the ratio is the memoization payoff for overlapping sweeps. \
+         run_hit_rps is the pipelined keep-alive shape; *_keepalive_rps is serial \
+         request/response on one connection; *_close_rps opens a connection per \
+         request (the pre-v2 client shape)"
     );
 }

@@ -3,6 +3,12 @@
 //! mirrored to a directory so identical specs stay microsecond cache
 //! hits across server restarts.
 //!
+//! The in-memory map is split across [`CACHE_SHARDS`] lock shards
+//! (the same pattern as `CarmaContext`'s perf memo): the hit path is
+//! the hottest lock in the server once connections are kept alive, and
+//! sharding by fingerprint keeps concurrent hits on different keys
+//! from serializing on one mutex.
+//!
 //! [`fingerprint`]: carma_core::scenario::ResolvedScenario::fingerprint
 
 use std::collections::HashMap;
@@ -21,6 +27,9 @@ pub enum CacheTier {
     Disk,
 }
 
+/// Number of lock shards in the in-memory map.
+pub const CACHE_SHARDS: usize = 16;
+
 /// Content-addressed store of rendered report JSON.
 ///
 /// Keys are the 32-hex-char scenario fingerprints — *what* the result
@@ -28,10 +37,22 @@ pub enum CacheTier {
 /// needs invalidation: a key either means exactly one result or is
 /// absent.
 pub struct ResultCache {
-    mem: Mutex<HashMap<String, Arc<str>>>,
+    shards: [Mutex<HashMap<String, Arc<str>>>; CACHE_SHARDS],
     dir: Option<PathBuf>,
     hits: AtomicU64,
     misses: AtomicU64,
+}
+
+/// FNV-1a over the fingerprint bytes, for shard selection. (The
+/// fingerprint is itself a strong hash; folding it through FNV just
+/// turns hex text into an index cheaply.)
+fn shard_index(fingerprint: &str) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in fingerprint.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    (h % CACHE_SHARDS as u64) as usize
 }
 
 impl ResultCache {
@@ -43,11 +64,15 @@ impl ResultCache {
             std::fs::create_dir_all(d)?;
         }
         Ok(ResultCache {
-            mem: Mutex::new(HashMap::new()),
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
             dir,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         })
+    }
+
+    fn shard(&self, fingerprint: &str) -> &Mutex<HashMap<String, Arc<str>>> {
+        &self.shards[shard_index(fingerprint)]
     }
 
     fn disk_path(&self, fingerprint: &str) -> Option<PathBuf> {
@@ -65,14 +90,19 @@ impl ResultCache {
     /// Looks `fingerprint` up: memory first, then the disk store
     /// (promoting the entry to memory). Updates the hit/miss counters.
     pub fn get(&self, fingerprint: &str) -> Option<(Arc<str>, CacheTier)> {
-        if let Some(payload) = self.mem.lock().expect("cache lock").get(fingerprint) {
+        if let Some(payload) = self
+            .shard(fingerprint)
+            .lock()
+            .expect("cache lock")
+            .get(fingerprint)
+        {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Some((Arc::clone(payload), CacheTier::Memory));
         }
         if let Some(path) = self.disk_path(fingerprint) {
             if let Ok(text) = std::fs::read_to_string(&path) {
                 let payload: Arc<str> = Arc::from(text);
-                self.mem
+                self.shard(fingerprint)
                     .lock()
                     .expect("cache lock")
                     .insert(fingerprint.to_string(), Arc::clone(&payload));
@@ -91,7 +121,7 @@ impl ResultCache {
     /// memory, so skipping the disk keeps the recheck cheap and the
     /// stats one-count-per-request.
     pub fn peek(&self, fingerprint: &str) -> Option<Arc<str>> {
-        self.mem
+        self.shard(fingerprint)
             .lock()
             .expect("cache lock")
             .get(fingerprint)
@@ -112,16 +142,19 @@ impl ResultCache {
                 let _ = std::fs::rename(&tmp, &path);
             }
         }
-        self.mem
+        self.shard(fingerprint)
             .lock()
             .expect("cache lock")
             .insert(fingerprint.to_string(), Arc::clone(&payload));
         payload
     }
 
-    /// Number of in-memory entries.
+    /// Number of in-memory entries (sums the shards).
     pub fn len(&self) -> usize {
-        self.mem.lock().expect("cache lock").len()
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache lock").len())
+            .sum()
     }
 
     /// Whether the in-memory map is empty.
@@ -160,6 +193,27 @@ mod tests {
         assert_eq!(tier, CacheTier::Memory);
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.stats(), (1, 1));
+    }
+
+    #[test]
+    fn entries_spread_across_shards_and_len_sums_them() {
+        let cache = ResultCache::new(None).expect("no dir");
+        // 64 distinct keys land in more than one shard (FNV over
+        // distinct strings collapsing 64 keys into one shard of 16
+        // would be astronomically unlucky) and len() still counts all.
+        let mut indices = std::collections::HashSet::new();
+        for n in 0..64 {
+            let key = format!("{n:032x}");
+            indices.insert(shard_index(&key));
+            cache.insert(&key, format!("{{\"n\":{n}}}"));
+        }
+        assert!(indices.len() > 1, "all keys hashed to one shard");
+        assert_eq!(cache.len(), 64);
+        for n in 0..64 {
+            let key = format!("{n:032x}");
+            let (payload, _) = cache.get(&key).expect("present");
+            assert_eq!(&*payload, &format!("{{\"n\":{n}}}"));
+        }
     }
 
     #[test]

@@ -21,6 +21,11 @@ use carma_core::scenario::ScenarioSpec;
 /// before returning, so a `Done` job implies a warm cache).
 pub type RunnerFn = Arc<dyn Fn(&str, &ScenarioSpec) -> Result<Arc<str>, String> + Send + Sync>;
 
+/// Called (outside the queue lock) every time a job retires — the
+/// event loop registers its waker here so suspended connections get
+/// their responses re-armed the moment results land.
+pub type NotifyFn = Arc<dyn Fn() + Send + Sync>;
+
 /// Lifecycle state of one job.
 #[derive(Debug, Clone)]
 pub enum JobStatus {
@@ -107,7 +112,22 @@ struct QueueState {
     next_id: u64,
     running: usize,
     completed: u64,
+    failed: u64,
     shutdown: bool,
+}
+
+/// Point-in-time queue counters (see [`JobQueue::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Jobs waiting in the bounded queue.
+    pub queued: usize,
+    /// Jobs claimed by a worker right now.
+    pub running: usize,
+    /// Jobs that finished successfully, lifetime.
+    pub completed: u64,
+    /// Jobs that failed (runner error, panic, or shutdown
+    /// abandonment), lifetime.
+    pub failed: u64,
 }
 
 /// The bounded, single-flight job queue shared by the HTTP handlers
@@ -116,6 +136,7 @@ pub struct JobQueue {
     state: Mutex<QueueState>,
     cond: Condvar,
     capacity: usize,
+    notify: Mutex<Option<NotifyFn>>,
 }
 
 impl JobQueue {
@@ -125,7 +146,21 @@ impl JobQueue {
             state: Mutex::new(QueueState::default()),
             cond: Condvar::new(),
             capacity,
+            notify: Mutex::new(None),
         })
+    }
+
+    /// Registers `f` to be called (outside the queue lock) after every
+    /// job retires. At most one notifier; later calls replace it.
+    pub fn set_notify(&self, f: NotifyFn) {
+        *self.notify.lock().expect("notify lock") = Some(f);
+    }
+
+    fn notify_external(&self) {
+        let notify = self.notify.lock().expect("notify lock").clone();
+        if let Some(f) = notify {
+            f();
+        }
     }
 
     /// Submits a job, deduplicating against in-flight work by
@@ -221,17 +256,49 @@ impl JobQueue {
         }
     }
 
-    /// `(queued, running, completed)` counts.
-    pub fn stats(&self) -> (usize, usize, u64) {
+    /// Current queue counters.
+    pub fn stats(&self) -> QueueStats {
         let state = self.state.lock().expect("queue lock");
-        (state.pending.len(), state.running, state.completed)
+        QueueStats {
+            queued: state.pending.len(),
+            running: state.running,
+            completed: state.completed,
+            failed: state.failed,
+        }
     }
 
-    /// Wakes every worker and waiter and stops the pool; pending jobs
-    /// are abandoned (their waiters observe a failure).
+    /// Wakes every worker and waiter and stops the pool. Abandoned
+    /// jobs (queued or running) transition to `Failed` *in the job
+    /// table* — not just in the snapshots handed to waiters — so
+    /// [`JobQueue::status`] (and thus `GET /jobs/:id`) agrees with
+    /// what [`JobQueue::wait`] reports across a shutdown.
     pub fn shutdown(&self) {
-        self.state.lock().expect("queue lock").shutdown = true;
-        self.cond.notify_all();
+        {
+            let mut state = self.state.lock().expect("queue lock");
+            state.shutdown = true;
+            state.pending.clear();
+            state.inflight.clear();
+            let abandoned: Vec<u64> = state
+                .jobs
+                .iter()
+                .filter(|(_, job)| matches!(job.status, JobStatus::Queued | JobStatus::Running))
+                .map(|(&id, _)| id)
+                .collect();
+            for id in abandoned {
+                if let Some(job) = state.jobs.get_mut(&id) {
+                    job.status = JobStatus::Failed("server shutting down".to_string());
+                }
+                state.failed += 1;
+                state.finished.push_back(id);
+            }
+            while state.finished.len() > FINISHED_JOB_HISTORY {
+                if let Some(old) = state.finished.pop_front() {
+                    state.jobs.remove(&old);
+                }
+            }
+            self.cond.notify_all();
+        }
+        self.notify_external();
     }
 
     /// Spawns `workers` pool threads draining the queue through
@@ -285,24 +352,40 @@ impl JobQueue {
 
             let mut state = self.state.lock().expect("queue lock");
             state.running -= 1;
-            state.completed += 1;
             state.inflight.remove(&fingerprint);
-            if let Some(job) = state.jobs.get_mut(&id) {
-                job.status = match outcome {
-                    Ok(payload) => JobStatus::Done(payload),
-                    Err(msg) => JobStatus::Failed(msg),
-                };
-            }
-            // Bound the finished-job history so a long-lived server
-            // never accumulates unbounded metadata (late pollers of an
-            // evicted id get 404; the result stays in the cache).
-            state.finished.push_back(id);
-            while state.finished.len() > FINISHED_JOB_HISTORY {
-                if let Some(old) = state.finished.pop_front() {
-                    state.jobs.remove(&old);
+            // A shutdown that raced this job already marked it Failed,
+            // counted it, and pushed it into the finished history —
+            // don't flip a state waiters and pollers have observed.
+            let abandoned = state.shutdown
+                && matches!(
+                    state.jobs.get(&id).map(|j| &j.status),
+                    Some(JobStatus::Failed(_)) | None
+                );
+            if !abandoned {
+                match outcome {
+                    Ok(_) => state.completed += 1,
+                    Err(_) => state.failed += 1,
+                }
+                if let Some(job) = state.jobs.get_mut(&id) {
+                    job.status = match outcome {
+                        Ok(payload) => JobStatus::Done(payload),
+                        Err(msg) => JobStatus::Failed(msg),
+                    };
+                }
+                // Bound the finished-job history so a long-lived
+                // server never accumulates unbounded metadata (late
+                // pollers of an evicted id get 404; the result stays
+                // in the cache).
+                state.finished.push_back(id);
+                while state.finished.len() > FINISHED_JOB_HISTORY {
+                    if let Some(old) = state.finished.pop_front() {
+                        state.jobs.remove(&old);
+                    }
                 }
             }
             self.cond.notify_all();
+            drop(state);
+            self.notify_external();
         }
     }
 }
@@ -344,7 +427,7 @@ mod tests {
             other => panic!("expected Done, got {other:?}"),
         }
         assert_eq!(done.experiment, "fig2");
-        let (_, _, completed) = queue.stats();
+        let completed = queue.stats().completed;
         assert_eq!(completed, 1);
         queue.shutdown();
         for handle in workers {
@@ -456,7 +539,7 @@ mod tests {
             "oldest finished job must be evicted"
         );
         assert!(queue.status(last_id).is_some());
-        let (_, _, completed) = queue.stats();
+        let completed = queue.stats().completed;
         assert_eq!(completed, (FINISHED_JOB_HISTORY + 1) as u64);
         queue.shutdown();
         for handle in workers {
@@ -486,5 +569,34 @@ mod tests {
         queue.shutdown();
         let snapshot = waiter.join().expect("waiter exits").expect("job exists");
         assert!(matches!(snapshot.status, JobStatus::Failed(_)));
+    }
+
+    /// Regression: `wait` used to fabricate a `Failed` snapshot on
+    /// shutdown while `status` (what `GET /jobs/:id` serves) kept
+    /// reporting the same job as `queued` — a poller and a waiter
+    /// disagreed about the same id. Shutdown now transitions abandoned
+    /// jobs in the table itself, so both views agree.
+    #[test]
+    fn shutdown_job_status_agrees_with_wait() {
+        let queue = JobQueue::new(4);
+        // No workers: the job stays queued until shutdown abandons it.
+        let Submit::Enqueued(id) = queue.submit("feed", "fig2", &spec()) else {
+            panic!("enqueue");
+        };
+        let before = queue.status(id).expect("job exists");
+        assert!(matches!(before.status, JobStatus::Queued));
+        queue.shutdown();
+        // Poll the id across the shutdown: status and wait must both
+        // see Failed, with the shutdown message.
+        let polled = queue.status(id).expect("job still pollable");
+        match &polled.status {
+            JobStatus::Failed(msg) => assert!(msg.contains("shutting down"), "{msg}"),
+            other => panic!("status after shutdown is {other:?}, wait would say Failed"),
+        }
+        let waited = queue.wait(id).expect("job exists");
+        assert_eq!(waited.status.as_str(), polled.status.as_str());
+        // And the abandonment is visible in the failure counter.
+        assert_eq!(queue.stats().failed, 1);
+        assert_eq!(queue.stats().completed, 0);
     }
 }

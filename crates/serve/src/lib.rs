@@ -9,18 +9,28 @@
 //! a repeated sweep turns from minutes of GA into microsecond cache
 //! hits — across server restarts too, with the optional disk store.
 //!
-//! Everything is hand-rolled on `std::net` (the build is offline; no
-//! HTTP dependency exists in the workspace) and the JSON layer is the
-//! vendored `serde` shim the scenario API already uses.
+//! The connection engine is **event-driven** (the `event` module): one
+//! thread,
+//! `poll(2)` readiness, a state machine per connection, HTTP/1.1
+//! keep-alive and pipelining. Scenario computation never blocks the
+//! loop — misses suspend their connection on the [`jobs`] worker
+//! queue and the response is re-armed when the job retires. A
+//! thread-per-connection compat path remains for non-`poll` platforms
+//! (and [`ServerConfig::threaded`]). Everything is hand-rolled on
+//! `std::net` (the build is offline; no HTTP dependency exists in the
+//! workspace) and the JSON layer is the vendored `serde` shim the
+//! scenario API already uses.
 //!
 //! ## Endpoints
 //!
 //! | Endpoint | Meaning |
 //! |---|---|
-//! | `GET /healthz` | liveness + queue/cache counters |
+//! | `GET /healthz` | liveness + queue/cache/connection counters |
 //! | `GET /experiments` | the experiment registry as JSON |
 //! | `POST /run` | run a [`ScenarioSpec`] body; `?async=true` enqueues and returns a job id |
+//! | `POST /run` (array body) | batch: per-element results, deduplicated against cache and in-flight jobs |
 //! | `GET /jobs/:id` | job status; carries the report when done |
+//! | `GET /metrics` | Prometheus text: cache hit ratio, queue depth, p50/p99 latency, … |
 //! | `POST /shutdown` | drain and stop the server |
 //!
 //! A `POST /run` response wraps the report as
@@ -30,7 +40,14 @@
 //! experiment, effective scale/model/nodes, constraint grid, library
 //! family/depth, GA budget and seed, objective, deployment profile —
 //! and deliberately excludes the thread count, which never changes
-//! results under the `carma-exec` determinism contract.
+//! results under the `carma-exec` determinism contract. A JSON-array
+//! body runs as a batch: `{"results":[…]}` in element order, with
+//! identical elements coalesced onto one computation.
+//!
+//! Load shedding is two-level: the bounded job queue answers `503` +
+//! `Retry-After` when full, and connections over
+//! [`ServerConfig::max_conns`] are answered `503` and closed before
+//! they cost a table slot.
 //!
 //! ## Embedding
 //!
@@ -45,12 +62,17 @@
 //! ```
 //!
 //! [`ScenarioSpec`]: carma_core::scenario::ScenarioSpec
+//! [`ServerConfig::threaded`]: server::ServerConfig::threaded
+//! [`ServerConfig::max_conns`]: server::ServerConfig::max_conns
 
 pub mod cache;
+mod event;
 pub mod http;
 pub mod jobs;
+pub mod metrics;
 pub mod server;
 
-pub use cache::{CacheTier, ResultCache};
-pub use jobs::{JobQueue, JobSnapshot, JobStatus, Submit, SubmitOutcome};
+pub use cache::{CacheTier, ResultCache, CACHE_SHARDS};
+pub use jobs::{JobQueue, JobSnapshot, JobStatus, QueueStats, Submit, SubmitOutcome};
+pub use metrics::{LatencyHistogram, Metrics};
 pub use server::{Server, ServerConfig, ServerHandle};

@@ -1,18 +1,39 @@
 //! The HTTP server: routing, the request→queue→cache flow, and
 //! lifecycle (spawn / clean shutdown).
+//!
+//! Two connection models share one router:
+//!
+//! - the default **event-driven** path ([`crate::event`]): a single
+//!   poll-based loop multiplexing every connection with HTTP/1.1
+//!   keep-alive and pipelining, suspending `POST /run` misses while
+//!   the worker pool computes and re-arming the response when the job
+//!   retires;
+//! - a **threaded compat** path (thread per connection, also
+//!   keep-alive) for platforms without `poll(2)` or embedders that set
+//!   [`ServerConfig::threaded`].
+//!
+//! Long-running work always lives on the [`JobQueue`] worker pool;
+//! neither connection model ever computes a scenario inline.
 
-use std::io;
+use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
+use std::{io, thread};
 
 use carma_core::scenario::{ExperimentRegistry, ScenarioSpec};
 
 use crate::cache::ResultCache;
-use crate::http::{read_request, write_response, Request, RequestError};
+use crate::event;
+use crate::http::{write_response, BlockingReader, Request, RequestError, Response};
 use crate::jobs::{JobQueue, JobSnapshot, JobStatus, RunnerFn, Submit, SubmitOutcome};
+use crate::metrics::{self, Metrics};
+
+/// Most specs accepted in one batch `POST /run` body.
+pub const MAX_BATCH: usize = 64;
 
 /// Server tuning knobs; the defaults suit an interactive laptop
 /// session.
@@ -24,6 +45,12 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// Optional on-disk cache directory (`None` = memory only).
     pub cache_dir: Option<PathBuf>,
+    /// Maximum concurrently open client connections; past it, new
+    /// connections are answered 503 + `Retry-After` and closed.
+    pub max_conns: usize,
+    /// Force the thread-per-connection compat path instead of the
+    /// event loop (always used on platforms without `poll(2)`).
+    pub threaded: bool,
 }
 
 impl Default for ServerConfig {
@@ -32,17 +59,19 @@ impl Default for ServerConfig {
             workers: 2,
             queue_capacity: 64,
             cache_dir: None,
+            max_conns: 512,
+            threaded: false,
         }
     }
 }
 
-struct ServeState {
-    registry: Arc<ExperimentRegistry>,
-    cache: Arc<ResultCache>,
-    queue: Arc<JobQueue>,
-    config: ServerConfig,
-    requests: AtomicU64,
-    shutdown: AtomicBool,
+pub(crate) struct ServeState {
+    pub(crate) registry: Arc<ExperimentRegistry>,
+    pub(crate) cache: Arc<ResultCache>,
+    pub(crate) queue: Arc<JobQueue>,
+    pub(crate) config: ServerConfig,
+    pub(crate) metrics: Metrics,
+    pub(crate) shutdown: AtomicBool,
 }
 
 /// A bound, not-yet-running scenario service.
@@ -50,6 +79,12 @@ pub struct Server {
     listener: TcpListener,
     state: Arc<ServeState>,
     workers: Vec<JoinHandle<()>>,
+    /// Event-loop wake channel (absent on the threaded path).
+    wake: Option<(event::Waker, TcpStream)>,
+}
+
+fn use_threaded(config: &ServerConfig) -> bool {
+    config.threaded || !cfg!(unix)
 }
 
 impl Server {
@@ -75,6 +110,17 @@ impl Server {
         };
         let workers = queue.start_workers(config.workers.max(1), runner);
 
+        let wake = if use_threaded(&config) {
+            None
+        } else {
+            let (waker, rx) = event::wake_pair()?;
+            // Job completions must interrupt the poll wait so
+            // suspended responses are re-armed promptly.
+            let notify = waker.clone();
+            queue.set_notify(Arc::new(move || notify.wake()));
+            Some((waker, rx))
+        };
+
         Ok(Server {
             listener,
             state: Arc::new(ServeState {
@@ -82,10 +128,11 @@ impl Server {
                 cache,
                 queue,
                 config,
-                requests: AtomicU64::new(0),
+                metrics: Metrics::new(),
                 shutdown: AtomicBool::new(false),
             }),
             workers,
+            wake,
         })
     }
 
@@ -94,10 +141,21 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// Runs the accept loop on the calling thread until a shutdown
+    fn serve(
+        listener: TcpListener,
+        wake: Option<(event::Waker, TcpStream)>,
+        state: Arc<ServeState>,
+    ) {
+        match wake {
+            Some((_, wake_rx)) => event::event_loop(listener, wake_rx, &state),
+            None => accept_loop_threaded(&listener, &state),
+        }
+    }
+
+    /// Runs the connection loop on the calling thread until a shutdown
     /// request arrives, then joins the worker pool.
     pub fn run(self) -> io::Result<()> {
-        accept_loop(&self.listener, &self.state);
+        Self::serve(self.listener, self.wake, Arc::clone(&self.state));
         self.state.queue.shutdown();
         for handle in self.workers {
             let _ = handle.join();
@@ -105,23 +163,26 @@ impl Server {
         Ok(())
     }
 
-    /// Moves the accept loop onto a background thread and returns a
-    /// handle for tests and embedders.
+    /// Moves the connection loop onto a background thread and returns
+    /// a handle for tests and embedders.
     pub fn spawn(self) -> io::Result<ServerHandle> {
         let addr = self.listener.local_addr()?;
         let state = Arc::clone(&self.state);
+        let waker = self.wake.as_ref().map(|(w, _)| w.clone());
         let accept = {
             let state = Arc::clone(&self.state);
             let listener = self.listener;
-            std::thread::Builder::new()
-                .name("carma-serve-accept".to_string())
-                .spawn(move || accept_loop(&listener, &state))?
+            let wake = self.wake;
+            thread::Builder::new()
+                .name("carma-serve-loop".to_string())
+                .spawn(move || Self::serve(listener, wake, state))?
         };
         Ok(ServerHandle {
             addr,
             state,
             accept: Some(accept),
             workers: self.workers,
+            waker,
         })
     }
 }
@@ -133,6 +194,7 @@ pub struct ServerHandle {
     state: Arc<ServeState>,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    waker: Option<event::Waker>,
 }
 
 impl ServerHandle {
@@ -144,9 +206,16 @@ impl ServerHandle {
     /// Stops accepting, wakes the queue, and joins every thread.
     pub fn shutdown(mut self) {
         self.state.shutdown.store(true, Ordering::SeqCst);
-        // The accept loop is blocked in accept(); a throwaway
-        // connection wakes it to observe the flag.
-        let _ = TcpStream::connect(self.addr);
+        match &self.waker {
+            // The event loop blocks in poll(); the wake byte makes it
+            // observe the flag.
+            Some(waker) => waker.wake(),
+            // The threaded accept loop blocks in accept(); a throwaway
+            // connection wakes it.
+            None => {
+                let _ = TcpStream::connect(self.addr);
+            }
+        }
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
         }
@@ -157,93 +226,88 @@ impl ServerHandle {
     }
 }
 
-fn accept_loop(listener: &TcpListener, state: &Arc<ServeState>) {
-    for stream in listener.incoming() {
-        if state.shutdown.load(Ordering::SeqCst) {
-            break;
+// ---------------------------------------------------------------------------
+// Routing (shared by the event loop and the threaded compat path)
+// ---------------------------------------------------------------------------
+
+/// One batch element: either already answerable, or waiting on a job.
+pub(crate) enum BatchItem {
+    /// The rendered `{"…"}` JSON fragment for this element.
+    Ready(String),
+    /// The element coalesced onto / enqueued job `id`.
+    Pending { id: u64, fingerprint: String },
+}
+
+/// Where a routed request goes next.
+pub(crate) enum Routed {
+    /// Answer now.
+    Ready(Response),
+    /// A sync `POST /run` miss: answer when job `id` retires.
+    WaitJob { id: u64, fingerprint: String },
+    /// A batch `POST /run` with at least one pending element.
+    WaitBatch { items: Vec<BatchItem> },
+    /// `POST /shutdown`: send the response, then stop the server.
+    Shutdown(Response),
+}
+
+/// Routes one parsed request. Never blocks: cache hits, metadata and
+/// errors answer immediately; misses come back as `WaitJob` /
+/// `WaitBatch` for the connection model to suspend on.
+pub(crate) fn route(request: &Request, state: &ServeState) -> Routed {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => Routed::Ready(handle_healthz(state)),
+        ("GET", "/metrics") => Routed::Ready(handle_metrics(state)),
+        ("GET", "/experiments") => Routed::Ready(handle_experiments(state)),
+        ("POST", "/run") => handle_run(state, request),
+        ("GET", path) if path.starts_with("/jobs/") => {
+            Routed::Ready(handle_job(state, &path["/jobs/".len()..]))
         }
-        let Ok(stream) = stream else { continue };
-        let state = Arc::clone(state);
-        let addr = listener.local_addr().ok();
-        // One short-lived thread per connection: every request closes
-        // its connection, and long-running work lives in the worker
-        // pool, so connection threads stay cheap and bounded by the
-        // client's own concurrency.
-        let _ = std::thread::Builder::new()
-            .name("carma-serve-conn".to_string())
-            .spawn(move || handle_connection(stream, &state, addr));
+        ("POST", "/shutdown") => {
+            Routed::Shutdown(Response::json(200, "{\"status\":\"shutting down\"}"))
+        }
+        ("GET" | "POST", _) => Routed::Ready(Response::error(404, "no such endpoint")),
+        _ => Routed::Ready(Response::error(405, "method not allowed")),
     }
 }
 
-fn handle_connection(
-    mut stream: TcpStream,
-    state: &Arc<ServeState>,
-    self_addr: Option<SocketAddr>,
-) {
-    let request = match read_request(&mut stream) {
-        Ok(request) => request,
-        Err(RequestError::Io(_)) => return, // client went away (incl. shutdown wake-ups)
-        Err(RequestError::HeadTooLarge) => {
-            let _ = respond_error(&mut stream, 400, "request head too large");
-            return;
-        }
-        Err(RequestError::BodyTooLarge) => {
-            let _ = respond_error(&mut stream, 413, "request body too large");
-            return;
-        }
-        Err(RequestError::Malformed(msg)) => {
-            let _ = respond_error(&mut stream, 400, msg);
-            return;
-        }
-    };
-    state.requests.fetch_add(1, Ordering::Relaxed);
-
-    let result = match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => handle_healthz(&mut stream, state),
-        ("GET", "/experiments") => handle_experiments(&mut stream, state),
-        ("POST", "/run") => handle_run(&mut stream, state, &request),
-        ("GET", path) if path.starts_with("/jobs/") => {
-            handle_job(&mut stream, state, &path["/jobs/".len()..])
-        }
-        ("POST", "/shutdown") => {
-            let _ = write_response(&mut stream, 200, "{\"status\":\"shutting down\"}", &[]);
-            state.shutdown.store(true, Ordering::SeqCst);
-            state.queue.shutdown();
-            // Wake the accept loop so it observes the flag.
-            if let Some(addr) = self_addr {
-                let _ = TcpStream::connect(addr);
-            }
-            Ok(())
-        }
-        ("GET" | "POST", _) => respond_error(&mut stream, 404, "no such endpoint"),
-        _ => respond_error(&mut stream, 405, "method not allowed"),
-    };
-    let _ = result;
-}
-
-fn respond_error(stream: &mut TcpStream, status: u16, message: &str) -> io::Result<()> {
-    let body = format!("{{\"error\":{}}}", serde::json::to_string(message));
-    write_response(stream, status, &body, &[])
-}
-
-fn handle_healthz(stream: &mut TcpStream, state: &Arc<ServeState>) -> io::Result<()> {
-    let (queued, running, completed) = state.queue.stats();
+fn handle_healthz(state: &ServeState) -> Response {
+    let queue = state.queue.stats();
     let (cache_hits, cache_misses) = state.cache.stats();
-    let body = format!(
-        "{{\"status\":\"ok\",\"experiments\":{},\"workers\":{},\"queue_capacity\":{},\
-         \"jobs_queued\":{queued},\"jobs_running\":{running},\"jobs_completed\":{completed},\
-         \"cache_entries\":{},\"cache_hits\":{cache_hits},\"cache_misses\":{cache_misses},\
-         \"requests\":{}}}",
-        state.registry.entries().len(),
-        state.config.workers.max(1),
-        state.config.queue_capacity,
-        state.cache.len(),
-        state.requests.load(Ordering::Relaxed),
-    );
-    write_response(stream, 200, &body, &[])
+    Response::json(
+        200,
+        format!(
+            "{{\"status\":\"ok\",\"experiments\":{},\"workers\":{},\"queue_capacity\":{},\
+             \"jobs_queued\":{},\"jobs_running\":{},\"jobs_completed\":{},\"jobs_failed\":{},\
+             \"cache_entries\":{},\"cache_hits\":{cache_hits},\"cache_misses\":{cache_misses},\
+             \"connections\":{},\"requests\":{}}}",
+            state.registry.entries().len(),
+            state.config.workers.max(1),
+            state.config.queue_capacity,
+            queue.queued,
+            queue.running,
+            queue.completed,
+            queue.failed,
+            state.cache.len(),
+            state.metrics.connections_open(),
+            state.metrics.requests.load(Ordering::Relaxed),
+        ),
+    )
 }
 
-fn handle_experiments(stream: &mut TcpStream, state: &Arc<ServeState>) -> io::Result<()> {
+fn handle_metrics(state: &ServeState) -> Response {
+    let queue = state.queue.stats();
+    let (hits, misses) = state.cache.stats();
+    Response::text(
+        200,
+        metrics::render(
+            &state.metrics,
+            (hits, misses, state.cache.len()),
+            (queue.queued, queue.running, queue.completed, queue.failed),
+        ),
+    )
+}
+
+fn handle_experiments(state: &ServeState) -> Response {
     let entries: Vec<String> = state
         .registry
         .entries()
@@ -261,108 +325,15 @@ fn handle_experiments(stream: &mut TcpStream, state: &Arc<ServeState>) -> io::Re
             )
         })
         .collect();
-    let body = format!("{{\"experiments\":[{}]}}", entries.join(","));
-    write_response(stream, 200, &body, &[])
+    Response::json(200, format!("{{\"experiments\":[{}]}}", entries.join(",")))
 }
 
-/// The `POST /run` flow: parse → resolve → fingerprint → cache →
-/// queue. The `report` member of a 200 response is the report JSON
-/// *verbatim* — byte-identical to `carma run <spec> --out json`.
-fn handle_run(
-    stream: &mut TcpStream,
-    state: &Arc<ServeState>,
-    request: &Request,
-) -> io::Result<()> {
-    let Ok(text) = std::str::from_utf8(&request.body) else {
-        return respond_error(stream, 400, "body is not UTF-8");
-    };
-    let spec = match ScenarioSpec::from_json(text) {
-        Ok(spec) => spec,
-        Err(e) => return respond_error(stream, 400, &e.to_string()),
-    };
-    // Resolve with no CLI-level overrides: the spec (and the server's
-    // environment) fully determine the scenario, exactly as
-    // `carma run --spec` does.
-    let resolved = match spec.resolve(state.registry.as_ref(), None, None) {
-        Ok(resolved) => resolved,
-        Err(e) => return respond_error(stream, 422, &e.to_string()),
-    };
-    let fingerprint = resolved.fingerprint();
-
-    // Fast path: a warm entry answers without touching the queue.
-    if let Some((payload, _tier)) = state.cache.get(&fingerprint) {
-        return respond_run(stream, "hit", &fingerprint, &payload);
-    }
-
-    // Slow path: look up and submit atomically under the queue lock,
-    // so a job retiring between the check above and here is observed
-    // as the cache hit it just became rather than re-enqueued. The
-    // recheck peeks (memory-only, uncounted): the counted get above
-    // already covered disk, and a result materializing in between
-    // lands in memory first — /healthz stays at one count per request.
-    let submitted = state
-        .queue
-        .submit_or_lookup(&fingerprint, &resolved.name, &spec, || {
-            state.cache.peek(&fingerprint)
-        });
-    let submit = match submitted {
-        SubmitOutcome::Cached(payload) => {
-            return respond_run(stream, "hit", &fingerprint, &payload)
-        }
-        SubmitOutcome::Submitted(submit) => submit,
-    };
-    match submit {
-        Submit::QueueFull => {
-            let body = format!(
-                "{{\"error\":\"job queue full ({} pending)\",\"retry_after_s\":1}}",
-                state.config.queue_capacity
-            );
-            write_response(stream, 503, &body, &[("Retry-After", "1")])
-        }
-        Submit::Enqueued(id) | Submit::Coalesced(id) if request.wants_async() => {
-            let snapshot = state.queue.status(id);
-            let status = snapshot.map_or("queued", |s| s.status.as_str());
-            let body = format!(
-                "{{\"job\":{id},\"status\":{},\"fingerprint\":\"{fingerprint}\"}}",
-                serde::json::to_string(status)
-            );
-            let location = format!("/jobs/{id}");
-            write_response(stream, 202, &body, &[("Location", &location)])
-        }
-        Submit::Enqueued(id) | Submit::Coalesced(id) => {
-            let Some(done) = state.queue.wait(id) else {
-                return respond_error(stream, 500, "job vanished");
-            };
-            match done.status {
-                JobStatus::Done(payload) => respond_run(stream, "miss", &fingerprint, &payload),
-                JobStatus::Failed(msg) => respond_error(stream, 500, &msg),
-                _ => respond_error(stream, 500, "job did not complete"),
-            }
-        }
-    }
-}
-
-fn respond_run(
-    stream: &mut TcpStream,
-    cache: &str,
-    fingerprint: &str,
-    report_json: &str,
-) -> io::Result<()> {
-    // `report` is spliced verbatim: the cache stores exactly the bytes
-    // `Report::to_json` produced, so clients stripping the wrapper
-    // recover a byte-identical `carma run … --out json` document.
-    let body = format!(
-        "{{\"cache\":\"{cache}\",\"fingerprint\":\"{fingerprint}\",\"report\":{report_json}}}"
-    );
-    write_response(stream, 200, &body, &[("X-Carma-Cache", cache)])
-}
-
-fn handle_job(stream: &mut TcpStream, state: &Arc<ServeState>, id_text: &str) -> io::Result<()> {
+fn handle_job(state: &ServeState, id_text: &str) -> Response {
     let Ok(id) = id_text.parse::<u64>() else {
-        return respond_error(stream, 400, "job ids are integers");
+        return Response::error(400, "job ids are integers");
     };
     let Some(snapshot) = state.queue.status(id) else {
-        return respond_error(stream, 404, "no such job");
+        return Response::error(404, "no such job");
     };
     let JobSnapshot {
         id,
@@ -389,5 +360,390 @@ fn handle_job(stream: &mut TcpStream, state: &Arc<ServeState>, id_text: &str) ->
             serde::json::to_string(&experiment)
         ),
     };
-    write_response(stream, 200, &body, &[])
+    Response::json(200, body)
+}
+
+/// Body of a successful `POST /run`. The `report` member is spliced
+/// verbatim: the cache stores exactly the bytes `Report::to_json`
+/// produced, so clients stripping the wrapper recover a byte-identical
+/// `carma run … --out json` document.
+fn run_response(cache: &str, fingerprint: &str, report_json: &str) -> Response {
+    Response::json(
+        200,
+        format!(
+            "{{\"cache\":\"{cache}\",\"fingerprint\":\"{fingerprint}\",\"report\":{report_json}}}"
+        ),
+    )
+    .with_header("X-Carma-Cache", cache)
+}
+
+fn queue_full_response(state: &ServeState) -> Response {
+    state.metrics.queue_shed.fetch_add(1, Ordering::Relaxed);
+    Response::json(
+        503,
+        format!(
+            "{{\"error\":\"job queue full ({} pending)\",\"retry_after_s\":1}}",
+            state.config.queue_capacity
+        ),
+    )
+    .with_header("Retry-After", "1")
+}
+
+/// The `POST /run` flow: parse → resolve → fingerprint → cache →
+/// queue. A JSON array body is a batch (see [`handle_run_batch`]).
+fn handle_run(state: &ServeState, request: &Request) -> Routed {
+    let Ok(text) = std::str::from_utf8(&request.body) else {
+        return Routed::Ready(Response::error(400, "body is not UTF-8"));
+    };
+    if text.trim_start().starts_with('[') {
+        return handle_run_batch(state, text, request.wants_async());
+    }
+    let spec = match ScenarioSpec::from_json(text) {
+        Ok(spec) => spec,
+        Err(e) => return Routed::Ready(Response::error(400, &e.to_string())),
+    };
+    match submit_spec(state, &spec) {
+        SpecOutcome::Invalid(msg) => Routed::Ready(Response::error(422, &msg)),
+        SpecOutcome::Hit {
+            fingerprint,
+            payload,
+        } => Routed::Ready(run_response("hit", &fingerprint, &payload)),
+        SpecOutcome::QueueFull => Routed::Ready(queue_full_response(state)),
+        SpecOutcome::InFlight { id, fingerprint } if request.wants_async() => {
+            let status = state
+                .queue
+                .status(id)
+                .map_or("queued", |s| s.status.as_str());
+            Routed::Ready(
+                Response::json(
+                    202,
+                    format!(
+                        "{{\"job\":{id},\"status\":{},\"fingerprint\":\"{fingerprint}\"}}",
+                        serde::json::to_string(status)
+                    ),
+                )
+                .with_header("Location", &format!("/jobs/{id}")),
+            )
+        }
+        SpecOutcome::InFlight { id, fingerprint } => Routed::WaitJob { id, fingerprint },
+    }
+}
+
+/// What became of one spec pushed through cache + queue.
+enum SpecOutcome {
+    /// Resolve failed (the message is the scenario error).
+    Invalid(String),
+    /// Served from the cache.
+    Hit {
+        fingerprint: String,
+        payload: Arc<str>,
+    },
+    /// Enqueued or coalesced onto an in-flight job.
+    InFlight { id: u64, fingerprint: String },
+    /// The bounded queue is at capacity.
+    QueueFull,
+}
+
+/// Resolve → fingerprint → cache lookup → submit, deduplicating
+/// against both the cache and in-flight jobs in one pass (the
+/// under-the-lock recheck in [`JobQueue::submit_or_lookup`]).
+fn submit_spec(state: &ServeState, spec: &ScenarioSpec) -> SpecOutcome {
+    // Resolve with no CLI-level overrides: the spec (and the server's
+    // environment) fully determine the scenario, exactly as
+    // `carma run --spec` does.
+    let resolved = match spec.resolve(state.registry.as_ref(), None, None) {
+        Ok(resolved) => resolved,
+        Err(e) => return SpecOutcome::Invalid(e.to_string()),
+    };
+    let fingerprint = resolved.fingerprint();
+
+    // Fast path: a warm entry answers without touching the queue.
+    if let Some((payload, _tier)) = state.cache.get(&fingerprint) {
+        return SpecOutcome::Hit {
+            fingerprint,
+            payload,
+        };
+    }
+
+    // Slow path: look up and submit atomically under the queue lock,
+    // so a job retiring between the check above and here is observed
+    // as the cache hit it just became rather than re-enqueued. The
+    // recheck peeks (memory-only, uncounted): the counted get above
+    // already covered disk, and a result materializing in between
+    // lands in memory first — stats stay at one count per request.
+    let submitted = state
+        .queue
+        .submit_or_lookup(&fingerprint, &resolved.name, spec, || {
+            state.cache.peek(&fingerprint)
+        });
+    match submitted {
+        SubmitOutcome::Cached(payload) => SpecOutcome::Hit {
+            fingerprint,
+            payload,
+        },
+        SubmitOutcome::Submitted(Submit::QueueFull) => SpecOutcome::QueueFull,
+        SubmitOutcome::Submitted(Submit::Enqueued(id) | Submit::Coalesced(id)) => {
+            SpecOutcome::InFlight { id, fingerprint }
+        }
+    }
+}
+
+/// Batch `POST /run`: an array of specs, each fingerprinted and
+/// deduplicated against the cache and in-flight jobs in one pass —
+/// identical elements (and elements identical to running jobs)
+/// coalesce onto a single computation. Per-element outcomes come back
+/// as `{"results":[…]}` in order; one bad element never fails the
+/// batch.
+fn handle_run_batch(state: &ServeState, text: &str, wants_async: bool) -> Routed {
+    let parsed = match serde::json::parse(text) {
+        Ok(value) => value,
+        Err(e) => return Routed::Ready(Response::error(400, &e.to_string())),
+    };
+    let Some(elements) = parsed.as_array() else {
+        return Routed::Ready(Response::error(400, "batch body must be a JSON array"));
+    };
+    if elements.is_empty() {
+        return Routed::Ready(Response::error(400, "batch body is an empty array"));
+    }
+    if elements.len() > MAX_BATCH {
+        return Routed::Ready(Response::error(
+            400,
+            &format!(
+                "batch of {} specs exceeds the {MAX_BATCH} cap",
+                elements.len()
+            ),
+        ));
+    }
+
+    let mut items: Vec<BatchItem> = Vec::with_capacity(elements.len());
+    for element in elements {
+        let spec = match <ScenarioSpec as serde::de::Deserialize>::deserialize(element) {
+            Ok(spec) => spec,
+            Err(e) => {
+                items.push(BatchItem::Ready(error_fragment(&e.to_string(), None)));
+                continue;
+            }
+        };
+        items.push(match submit_spec(state, &spec) {
+            SpecOutcome::Invalid(msg) => BatchItem::Ready(error_fragment(&msg, None)),
+            SpecOutcome::Hit {
+                fingerprint,
+                payload,
+            } => BatchItem::Ready(format!(
+                "{{\"cache\":\"hit\",\"fingerprint\":\"{fingerprint}\",\"report\":{payload}}}"
+            )),
+            SpecOutcome::QueueFull => {
+                BatchItem::Ready("{\"error\":\"job queue full\",\"retry_after_s\":1}".to_string())
+            }
+            SpecOutcome::InFlight { id, fingerprint } if wants_async => BatchItem::Ready(format!(
+                "{{\"job\":{id},\"status\":\"queued\",\"fingerprint\":\"{fingerprint}\"}}"
+            )),
+            SpecOutcome::InFlight { id, fingerprint } => BatchItem::Pending { id, fingerprint },
+        });
+    }
+
+    if items.iter().all(|item| matches!(item, BatchItem::Ready(_))) {
+        Routed::Ready(batch_response(&items))
+    } else {
+        Routed::WaitBatch { items }
+    }
+}
+
+fn error_fragment(message: &str, fingerprint: Option<&str>) -> String {
+    match fingerprint {
+        Some(fp) => format!(
+            "{{\"fingerprint\":\"{fp}\",\"error\":{}}}",
+            serde::json::to_string(message)
+        ),
+        None => format!("{{\"error\":{}}}", serde::json::to_string(message)),
+    }
+}
+
+/// Composes the final batch response; every item must be `Ready`.
+pub(crate) fn batch_response(items: &[BatchItem]) -> Response {
+    let fragments: Vec<&str> = items
+        .iter()
+        .map(|item| match item {
+            BatchItem::Ready(json) => json.as_str(),
+            BatchItem::Pending { .. } => "{\"error\":\"job did not complete\"}",
+        })
+        .collect();
+    Response::json(200, format!("{{\"results\":[{}]}}", fragments.join(",")))
+}
+
+/// The final response for a sync-waited job, or `None` while it is
+/// still queued/running.
+pub(crate) fn job_outcome_response(
+    state: &ServeState,
+    id: u64,
+    fingerprint: &str,
+) -> Option<Response> {
+    let Some(snapshot) = state.queue.status(id) else {
+        // Evicted from the finished history before we observed it —
+        // only possible after hundreds of other jobs retired in
+        // between.
+        return Some(Response::error(500, "job vanished"));
+    };
+    match snapshot.status {
+        JobStatus::Done(payload) => Some(run_response("miss", fingerprint, &payload)),
+        JobStatus::Failed(msg) => Some(Response::error(500, &msg)),
+        JobStatus::Queued | JobStatus::Running => None,
+    }
+}
+
+/// The final JSON fragment for one batch element's job, or `None`
+/// while it is still in flight.
+pub(crate) fn batch_item_outcome(state: &ServeState, id: u64, fingerprint: &str) -> Option<String> {
+    let Some(snapshot) = state.queue.status(id) else {
+        return Some(error_fragment("job vanished", Some(fingerprint)));
+    };
+    match snapshot.status {
+        JobStatus::Done(payload) => Some(format!(
+            "{{\"cache\":\"miss\",\"fingerprint\":\"{fingerprint}\",\"report\":{payload}}}"
+        )),
+        JobStatus::Failed(msg) => Some(error_fragment(&msg, Some(fingerprint))),
+        JobStatus::Queued | JobStatus::Running => None,
+    }
+}
+
+/// The 4xx response for an unparseable request (after which the
+/// connection closes — the parse position is unrecoverable).
+pub(crate) fn request_error_response(error: &RequestError) -> Option<Response> {
+    match error {
+        RequestError::Io(_) | RequestError::Closed => None,
+        RequestError::HeadTooLarge => Some(Response::error(400, "request head too large")),
+        RequestError::BodyTooLarge => Some(Response::error(413, "request body too large")),
+        RequestError::Malformed(msg) => Some(Response::error(400, msg)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Threaded compat path
+// ---------------------------------------------------------------------------
+
+/// 503 sent inline from the accept thread when a connection cannot be
+/// handed to a handler (max-conns guard, or thread spawn failure).
+fn shed_connection(state: &ServeState, stream: &mut TcpStream, why: &str) {
+    state
+        .metrics
+        .connections_shed
+        .fetch_add(1, Ordering::Relaxed);
+    let response = Response::error(503, why)
+        .with_header("Retry-After", "1")
+        .closing();
+    let _ = stream.write_all(&response.encode());
+}
+
+fn accept_loop_threaded(listener: &TcpListener, state: &Arc<ServeState>) {
+    let self_addr = listener.local_addr().ok();
+    for stream in listener.incoming() {
+        if state.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(mut stream) = stream else { continue };
+        if state.metrics.connections_open() >= state.config.max_conns as u64 {
+            shed_connection(state, &mut stream, "connection limit reached");
+            continue;
+        }
+        state
+            .metrics
+            .connections_opened
+            .fetch_add(1, Ordering::Relaxed);
+        // Hand the stream over through a cell so a failed spawn can
+        // take it back and answer 503 inline — under thread
+        // exhaustion a silent drop would look like a network fault to
+        // the client.
+        let cell = Arc::new(Mutex::new(Some(stream)));
+        let spawned = {
+            let cell = Arc::clone(&cell);
+            let state = Arc::clone(state);
+            thread::Builder::new()
+                .name("carma-serve-conn".to_string())
+                .spawn(move || {
+                    let taken = cell.lock().expect("stream cell").take();
+                    if let Some(stream) = taken {
+                        handle_connection_threaded(stream, &state, self_addr);
+                    }
+                    state
+                        .metrics
+                        .connections_closed
+                        .fetch_add(1, Ordering::Relaxed);
+                })
+        };
+        if spawned.is_err() {
+            if let Some(mut stream) = cell.lock().expect("stream cell").take() {
+                shed_connection(state, &mut stream, "out of connection threads");
+            }
+            state
+                .metrics
+                .connections_closed
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// One connection on the compat path: blocking keep-alive
+/// request/response cycles, with sync misses parked on
+/// [`JobQueue::wait`].
+fn handle_connection_threaded(
+    mut stream: TcpStream,
+    state: &Arc<ServeState>,
+    self_addr: Option<SocketAddr>,
+) {
+    let mut reader = BlockingReader::new();
+    loop {
+        let request = match reader.read_request(&mut stream) {
+            Ok(request) => request,
+            Err(e) => {
+                if let Some(response) = request_error_response(&e) {
+                    let _ = write_response(&mut stream, &response.closing());
+                }
+                return;
+            }
+        };
+        state.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
+        let keep_alive = request.keep_alive;
+
+        let (mut response, stop) = match route(&request, state) {
+            Routed::Ready(response) => (response, false),
+            Routed::WaitJob { id, fingerprint } => {
+                // Blocking wait; the queue wakes us when the job
+                // retires (or shutdown abandons it).
+                let _ = state.queue.wait(id);
+                let response = job_outcome_response(state, id, &fingerprint)
+                    .unwrap_or_else(|| Response::error(500, "job did not complete"));
+                (response, false)
+            }
+            Routed::WaitBatch { mut items } => {
+                for item in &mut items {
+                    if let BatchItem::Pending { id, fingerprint } = item {
+                        let _ = state.queue.wait(*id);
+                        if let Some(json) = batch_item_outcome(state, *id, fingerprint) {
+                            *item = BatchItem::Ready(json);
+                        }
+                    }
+                }
+                (batch_response(&items), false)
+            }
+            Routed::Shutdown(response) => (response, true),
+        };
+        if !keep_alive || stop {
+            response.close = true;
+        }
+        state.metrics.latency.record(started.elapsed());
+        let write_ok = write_response(&mut stream, &response).is_ok();
+        if stop {
+            state.shutdown.store(true, Ordering::SeqCst);
+            state.queue.shutdown();
+            // Wake the blocking accept loop so it observes the flag.
+            if let Some(addr) = self_addr {
+                let _ = TcpStream::connect(addr);
+            }
+            return;
+        }
+        if !write_ok || response.close {
+            return;
+        }
+    }
 }

@@ -28,6 +28,8 @@ SERVE OPTIONS:
   --workers <N>        job-queue worker threads           (default: 2)
   --queue <N>          bounded job-queue capacity         (default: 64)
   --cache-dir <dir>    persist the result cache to <dir>  (default: memory only)
+  --max-conns <N>      open-connection limit; extras get a 503 + Retry-After
+                       (default: 512)
 
 OPTIONS:
   --spec <file>        load a ScenarioSpec from JSON (spec fields win over flags)
@@ -209,6 +211,13 @@ fn serve(args: &[String]) -> ExitCode {
                     .ok_or_else(|| format!("`--queue` needs a positive integer (got `{v}`)"))
             }),
             "--cache-dir" => value_for("--cache-dir").map(|v| config.cache_dir = Some(v.into())),
+            "--max-conns" => value_for("--max-conns").and_then(|v| {
+                v.parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .map(|n| config.max_conns = n)
+                    .ok_or_else(|| format!("`--max-conns` needs a positive integer (got `{v}`)"))
+            }),
             other => Err(format!("unknown serve argument `{other}`")),
         };
         if let Err(msg) = parsed {
@@ -236,16 +245,18 @@ fn serve(args: &[String]) -> ExitCode {
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
     eprintln!(
-        "workers: {}, queue capacity: {}, cache: {}",
+        "workers: {}, queue capacity: {}, max connections: {}, cache: {}",
         config.workers,
         config.queue_capacity,
+        config.max_conns,
         config
             .cache_dir
             .as_deref()
             .map_or("memory only".to_string(), |d| d.display().to_string()),
     );
     eprintln!(
-        "endpoints: GET /healthz, GET /experiments, POST /run, GET /jobs/:id, POST /shutdown"
+        "endpoints: GET /healthz, GET /experiments, GET /metrics, POST /run (spec or batch \
+         array), GET /jobs/:id, POST /shutdown"
     );
     match server.run() {
         Ok(()) => ExitCode::SUCCESS,

@@ -5,13 +5,14 @@
 //! invariance to thread count, async job flow, concurrent-request
 //! determinism with single-flight coalescing, and the error paths.
 
-use std::net::SocketAddr;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
 use std::path::PathBuf;
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 use carma_core::scenario::{ExperimentRegistry, ScenarioSpec};
-use carma_serve::http::{http_request, HttpResponse};
+use carma_serve::http::{http_request, HttpClient, HttpResponse};
 use carma_serve::{Server, ServerConfig, ServerHandle};
 
 fn registry() -> &'static ExperimentRegistry {
@@ -270,6 +271,302 @@ fn error_paths_return_typed_statuses() {
     assert_eq!(r.status, 404);
     let r = http_request(addr, "GET", "/jobs/abc", None).expect("request");
     assert_eq!(r.status, 400);
+    handle.shutdown();
+}
+
+/// Writes raw bytes on a fresh connection and returns everything the
+/// server sends back before closing (for wire-level parser checks).
+fn raw_roundtrip(addr: SocketAddr, bytes: &[u8]) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    stream.write_all(bytes).expect("write request bytes");
+    let mut out = Vec::new();
+    let _ = stream.read_to_end(&mut out);
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// The value of one Prometheus series in `/metrics` text.
+fn metric_value(text: &str, name: &str) -> f64 {
+    let prefix = format!("{name} ");
+    text.lines()
+        .find(|line| line.starts_with(&prefix))
+        .unwrap_or_else(|| panic!("series `{name}` missing from:\n{text}"))
+        .split_whitespace()
+        .nth(1)
+        .expect("series has a value")
+        .parse()
+        .expect("series value is numeric")
+}
+
+#[test]
+fn keepalive_connection_reuses_across_hit_miss_and_error() {
+    let handle = boot(ServerConfig::default());
+    let spec_json = small_spec_json(501);
+
+    // One connection: miss → hit → route error → parse error-free
+    // request again — all five exchanges ride the same TCP stream.
+    let mut client = HttpClient::connect(handle.addr()).expect("connect");
+    let miss = client
+        .request("POST", "/run", Some(&spec_json))
+        .expect("miss over keep-alive");
+    assert_eq!(miss.status, 200, "{}", miss.body);
+    assert_eq!(cache_marker(&miss), "miss");
+
+    let hit = client
+        .request("POST", "/run", Some(&spec_json))
+        .expect("hit over keep-alive");
+    assert_eq!(hit.status, 200);
+    assert_eq!(cache_marker(&hit), "hit");
+    assert_eq!(extract_report(&miss.body), extract_report(&hit.body));
+
+    // A 400 (bad body) and a 404 (bad route) must not drop the
+    // connection: they are application errors, not parse errors.
+    let bad = client
+        .request("POST", "/run", Some("not json"))
+        .expect("400 over keep-alive");
+    assert_eq!(bad.status, 400);
+    let lost = client
+        .request("GET", "/nope", None)
+        .expect("404 over keep-alive");
+    assert_eq!(lost.status, 404);
+
+    let again = client
+        .request("POST", "/run", Some(&spec_json))
+        .expect("hit after errors on the same connection");
+    assert_eq!(again.status, 200);
+    assert_eq!(cache_marker(&again), "hit");
+    handle.shutdown();
+}
+
+#[test]
+fn pipelined_requests_answer_in_order() {
+    let handle = boot(ServerConfig::default());
+    let mut client = HttpClient::connect(handle.addr()).expect("connect");
+
+    // Three different requests written back-to-back with no
+    // intervening reads; HTTP/1.1 requires the responses in order.
+    client.send("GET", "/healthz", None).expect("send 1");
+    client.send("GET", "/nope", None).expect("send 2");
+    client.send("GET", "/experiments", None).expect("send 3");
+    let first = client.recv().expect("recv 1");
+    let second = client.recv().expect("recv 2");
+    let third = client.recv().expect("recv 3");
+    assert_eq!(first.status, 200);
+    assert!(first.body.contains("\"status\":\"ok\""), "{}", first.body);
+    assert_eq!(second.status, 404);
+    assert_eq!(third.status, 200);
+    assert!(third.body.contains("\"experiments\""), "{}", third.body);
+
+    // An identical-request burst drains completely too.
+    client
+        .send_burst("GET", "/healthz", None, 64)
+        .expect("burst");
+    for _ in 0..64 {
+        assert_eq!(client.recv().expect("burst response").status, 200);
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn metrics_expose_cache_queue_and_latency_series() {
+    let handle = boot(ServerConfig::default());
+    let spec_json = small_spec_json(601);
+    let mut client = HttpClient::connect(handle.addr()).expect("connect");
+
+    let miss = client
+        .request("POST", "/run", Some(&spec_json))
+        .expect("miss");
+    assert_eq!(cache_marker(&miss), "miss");
+    let hit = client
+        .request("POST", "/run", Some(&spec_json))
+        .expect("hit");
+    assert_eq!(cache_marker(&hit), "hit");
+
+    let metrics = client.request("GET", "/metrics", None).expect("metrics");
+    assert_eq!(metrics.status, 200);
+    assert!(metrics
+        .header("content-type")
+        .is_some_and(|t| t.starts_with("text/plain")));
+    let text = &metrics.body;
+    assert!(
+        metric_value(text, "carma_cache_hits_total") >= 1.0,
+        "{text}"
+    );
+    assert!(metric_value(text, "carma_cache_misses_total") >= 1.0);
+    let ratio = metric_value(text, "carma_cache_hit_ratio");
+    assert!(ratio > 0.0 && ratio < 1.0, "hit ratio {ratio}");
+    assert_eq!(metric_value(text, "carma_queue_depth"), 0.0);
+    assert!(metric_value(text, "carma_jobs_completed_total") >= 1.0);
+    assert!(metric_value(text, "carma_requests_total") >= 3.0);
+    assert!(metric_value(text, "carma_connections_open") >= 1.0);
+    // The latency summary carries both quantiles and a count covering
+    // every *finished* request (the in-flight /metrics request itself
+    // records only after rendering).
+    assert!(text.contains("carma_request_latency_seconds{quantile=\"0.5\"}"));
+    assert!(text.contains("carma_request_latency_seconds{quantile=\"0.99\"}"));
+    assert!(metric_value(text, "carma_request_latency_seconds_count") >= 2.0);
+    handle.shutdown();
+}
+
+#[test]
+fn batch_run_deduplicates_and_reports_per_element() {
+    let handle = boot(ServerConfig::default());
+    let spec_a = small_spec_json(404);
+    let spec_b = small_spec_json(405);
+    // A twice (must coalesce to one computation), one invalid element
+    // (must not fail the batch), and B once.
+    let batch = format!("[{spec_a}, {spec_a}, {{\"experiment\": \"fig9\"}}, {spec_b}]");
+
+    let response = post_run(handle.addr(), &batch);
+    assert_eq!(response.status, 200, "{}", response.body);
+    let v = serde::json::parse(&response.body).expect("batch body is JSON");
+    let results = v.get("results").unwrap().as_array().expect("results array");
+    assert_eq!(results.len(), 4, "one result per element");
+
+    let fp = |i: usize| {
+        results[i]
+            .get("fingerprint")
+            .and_then(|f| f.as_str())
+            .unwrap_or_else(|| panic!("element {i} has no fingerprint: {}", response.body))
+            .to_string()
+    };
+    assert_eq!(fp(0), fp(1), "identical elements share a fingerprint");
+    assert_ne!(fp(0), fp(3));
+    assert!(
+        results[2].get("error").is_some(),
+        "invalid element must carry an error: {}",
+        response.body
+    );
+    assert!(results[0].get("report").is_some());
+    assert!(results[3].get("report").is_some());
+
+    // Deduplication is observable: four elements, two computations.
+    let health = http_request(handle.addr(), "GET", "/healthz", None).expect("GET /healthz");
+    let v = serde::json::parse(&health.body).expect("healthz is JSON");
+    assert_eq!(
+        v.get("jobs_completed").unwrap().as_f64(),
+        Some(2.0),
+        "batch dedupe failed: {}",
+        health.body
+    );
+
+    // Resubmitting the whole batch is now pure cache hits.
+    let again = post_run(handle.addr(), &batch);
+    assert_eq!(again.status, 200);
+    assert_eq!(again.body.matches("\"cache\":\"hit\"").count(), 3);
+    handle.shutdown();
+}
+
+#[test]
+fn smuggling_shaped_content_length_is_rejected_on_the_wire() {
+    let handle = boot(ServerConfig::default());
+    let addr = handle.addr();
+
+    // Duplicate Content-Length (even agreeing values).
+    let reply = raw_roundtrip(
+        addr,
+        b"POST /run HTTP/1.1\r\nHost: t\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\n{}",
+    );
+    assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
+    // A sign prefix is not a DIGIT sequence.
+    let reply = raw_roundtrip(
+        addr,
+        b"POST /run HTTP/1.1\r\nHost: t\r\nContent-Length: +2\r\n\r\n{}",
+    );
+    assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
+    // Transfer-Encoding is unsupported, never silently ignored.
+    let reply = raw_roundtrip(
+        addr,
+        b"POST /run HTTP/1.1\r\nHost: t\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n",
+    );
+    assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
+    // A clean request still works after the rejects.
+    let health = http_request(addr, "GET", "/healthz", None).expect("GET /healthz");
+    assert_eq!(health.status, 200);
+    handle.shutdown();
+}
+
+#[test]
+fn connections_over_the_limit_are_shed_with_retry_after() {
+    let handle = boot(ServerConfig {
+        max_conns: 2,
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr();
+
+    // Two clients occupy the table (a completed request proves each
+    // was accepted, not just SYN-queued).
+    let mut first = HttpClient::connect(addr).expect("first");
+    assert_eq!(
+        first.request("GET", "/healthz", None).expect("1").status,
+        200
+    );
+    let mut second = HttpClient::connect(addr).expect("second");
+    assert_eq!(
+        second.request("GET", "/healthz", None).expect("2").status,
+        200
+    );
+
+    // The third is answered 503 + Retry-After at accept time.
+    let mut shed = TcpStream::connect(addr).expect("third connect");
+    shed.set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    let mut reply = Vec::new();
+    let _ = shed.read_to_end(&mut reply);
+    let reply = String::from_utf8_lossy(&reply);
+    assert!(reply.starts_with("HTTP/1.1 503"), "{reply}");
+    assert!(
+        reply.to_ascii_lowercase().contains("retry-after: 1"),
+        "{reply}"
+    );
+
+    // Dropping one occupant frees a slot for a newcomer.
+    drop(first);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let mut next = HttpClient::connect(addr).expect("retry connect");
+        match next.request("GET", "/healthz", None) {
+            Ok(r) if r.status == 200 => break,
+            _ if Instant::now() > deadline => panic!("slot never freed after close"),
+            _ => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn threaded_compat_path_serves_the_same_api() {
+    let handle = boot(ServerConfig {
+        threaded: true,
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr();
+    let spec_json = small_spec_json(701);
+
+    // Keep-alive works on the compat path too.
+    let mut client = HttpClient::connect(addr).expect("connect");
+    let miss = client
+        .request("POST", "/run", Some(&spec_json))
+        .expect("miss");
+    assert_eq!(miss.status, 200, "{}", miss.body);
+    assert_eq!(cache_marker(&miss), "miss");
+    let hit = client
+        .request("POST", "/run", Some(&spec_json))
+        .expect("hit");
+    assert_eq!(cache_marker(&hit), "hit");
+    assert_eq!(extract_report(&miss.body), extract_report(&hit.body));
+
+    // Wire-level strictness is shared with the event path.
+    let reply = raw_roundtrip(
+        addr,
+        b"POST /run HTTP/1.1\r\nHost: t\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\n{}",
+    );
+    assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
+
+    let metrics = client.request("GET", "/metrics", None).expect("metrics");
+    assert!(metric_value(&metrics.body, "carma_cache_hits_total") >= 1.0);
     handle.shutdown();
 }
 
