@@ -8,8 +8,13 @@ use std::path::PathBuf;
 use std::process::Command;
 
 fn run_bin(exe: &str, name: &str) {
+    run_bin_with(exe, name, &[]);
+}
+
+fn run_bin_with(exe: &str, name: &str, args: &[&str]) {
     let dir = scratch_dir(name);
     let output = Command::new(exe)
+        .args(args)
         .current_dir(&dir)
         .env("CARMA_SCALE", "quick")
         .output()
@@ -79,4 +84,16 @@ fn bench_parallel_runs_to_completion() {
     // Also covers the binary's internal cross-width determinism
     // assertions; BENCH_parallel.json lands in the scratch dir.
     run_bin(env!("CARGO_BIN_EXE_bench_parallel"), "bench_parallel");
+}
+
+#[test]
+fn bench_incremental_runs_to_completion() {
+    // `--test` pins quick scale; the binary asserts the warm-overlap
+    // speedup floor, memo hit counters, and byte-identical reports
+    // internally. BENCH_incremental.json lands in the scratch dir.
+    run_bin_with(
+        env!("CARGO_BIN_EXE_bench_incremental"),
+        "bench_incremental",
+        &["--test"],
+    );
 }

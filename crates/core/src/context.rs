@@ -4,10 +4,12 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 use carma_carbon::{CarbonMass, CarbonModel, Cdp, DeploymentProfile, FootprintBreakdown};
 use carma_dataflow::{Accelerator, AreaModel, PerfModel};
 use carma_dnn::{AccuracyEvaluator, DnnModel, EvaluatorConfig};
+use carma_memo::{f64_from_hex, f64_hex, u64_hex, MemoStore, Stage};
 use carma_multiplier::MultiplierLibrary;
 use carma_netlist::{Area, TechNode};
 use parking_lot::Mutex;
@@ -143,6 +145,167 @@ impl PerfCache {
             per_model.push((model_name.to_string(), summary));
         }
     }
+
+    /// Every cached `(accelerator, model, summary)`, in a canonical
+    /// order (the shard layout and insertion order are
+    /// scheduling-dependent; the memoized payload must not be).
+    fn snapshot(&self) -> Vec<(Accelerator, String, PerfSummary)> {
+        let mut entries = Vec::new();
+        for shard in &self.shards {
+            for (accel, per_model) in shard.lock().iter() {
+                for (model, summary) in per_model {
+                    entries.push((*accel, model.clone(), *summary));
+                }
+            }
+        }
+        entries.sort_by(|(a, am, _), (b, bm, _)| perf_sort_key(a, am).cmp(&perf_sort_key(b, bm)));
+        entries
+    }
+}
+
+fn perf_sort_key<'m>(a: &Accelerator, model: &'m str) -> (u32, u32, u32, u32, String, &'m str) {
+    (
+        a.pe_width,
+        a.pe_height,
+        a.local_rf_bytes,
+        a.global_buffer_kib,
+        a.node.to_string(),
+        model,
+    )
+}
+
+/// The memoizable product of context construction: the accuracy-drop
+/// table (the expensive behavioural characterization) plus whatever
+/// performance summaries previous runs warmed. Model-independent —
+/// one seed serves every DNN evaluated on its node — and keyed by the
+/// **context** stage fingerprint (library key + node + evaluator
+/// calibration).
+pub(crate) struct ContextSeed {
+    drops: Vec<f64>,
+    perf: Vec<(Accelerator, String, PerfSummary)>,
+}
+
+impl ContextSeed {
+    /// Runs the behavioural accuracy characterization — the dominant
+    /// cost of context construction and the compute behind a context
+    /// stage miss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the library is not 8-bit (the behavioural engine's
+    /// datatype).
+    pub(crate) fn characterize(library: &MultiplierLibrary, evaluator: EvaluatorConfig) -> Self {
+        assert_eq!(library.width(), 8, "context requires an 8-bit library");
+        let drops = AccuracyEvaluator::new(evaluator)
+            .evaluate_library(library)
+            .into_iter()
+            .map(|(_, drop)| drop)
+            .collect();
+        ContextSeed {
+            drops,
+            perf: Vec::new(),
+        }
+    }
+
+    /// True when this seed can drive a context over `library` (a
+    /// decoded disk entry could be a corrupt-but-parseable payload of
+    /// the wrong shape; it must be recomputed, never served).
+    pub(crate) fn matches(&self, library: &MultiplierLibrary) -> bool {
+        self.drops.len() == library.len() && self.drops.iter().all(|d| (0.0..=1.0).contains(d))
+    }
+
+    /// Durable payload: drops and perf summaries as hex bits (see the
+    /// codec notes in `crate::memo`).
+    pub(crate) fn encode(&self) -> String {
+        let drops: Vec<String> = self
+            .drops
+            .iter()
+            .map(|&d| format!("\"{}\"", f64_hex(d)))
+            .collect();
+        let perf: Vec<String> = self
+            .perf
+            .iter()
+            .map(|(a, model, s)| {
+                format!(
+                    "{{\"pw\":{},\"ph\":{},\"rf\":{},\"gb\":{},\"node\":{},\"model\":{},\
+                     \"fps\":\"{}\",\"lat\":\"{}\",\"dram\":\"{}\",\"sram\":\"{}\",\"macs\":\"{}\"}}",
+                    a.pe_width,
+                    a.pe_height,
+                    a.local_rf_bytes,
+                    a.global_buffer_kib,
+                    serde::json::to_string(&a.node.to_string()),
+                    serde::json::to_string(model),
+                    f64_hex(s.fps),
+                    f64_hex(s.latency_s),
+                    u64_hex(s.dram_bytes),
+                    u64_hex(s.sram_bytes),
+                    u64_hex(s.macs),
+                )
+            })
+            .collect();
+        format!(
+            "{{\"v\":1,\"drops\":[{}],\"perf\":[{}]}}",
+            drops.join(","),
+            perf.join(",")
+        )
+    }
+
+    pub(crate) fn decode(text: &str) -> Option<Self> {
+        fn uint_field(v: &serde::json::Value, key: &str) -> Option<u32> {
+            let f = v.get(key)?.as_f64()?;
+            (f.is_finite() && (0.0..=u32::MAX as f64).contains(&f) && f.fract() == 0.0)
+                .then_some(f as u32)
+        }
+        let v = serde::json::parse(text).ok()?;
+        if v.get("v")?.as_f64()? != 1.0 {
+            return None;
+        }
+        let mut drops = Vec::new();
+        for d in v.get("drops")?.as_array()? {
+            drops.push(f64_from_hex(d.as_str()?)?);
+        }
+        let mut perf = Vec::new();
+        for p in v.get("perf")?.as_array()? {
+            let accel = Accelerator {
+                pe_width: uint_field(p, "pw")?,
+                pe_height: uint_field(p, "ph")?,
+                local_rf_bytes: uint_field(p, "rf")?,
+                global_buffer_kib: uint_field(p, "gb")?,
+                node: p.get("node")?.as_str()?.parse().ok()?,
+            };
+            let summary = PerfSummary {
+                fps: f64_from_hex(p.get("fps")?.as_str()?)?,
+                latency_s: f64_from_hex(p.get("lat")?.as_str()?)?,
+                dram_bytes: carma_memo::u64_from_hex(p.get("dram")?.as_str()?)?,
+                sram_bytes: carma_memo::u64_from_hex(p.get("sram")?.as_str()?)?,
+                macs: carma_memo::u64_from_hex(p.get("macs")?.as_str()?)?,
+            };
+            perf.push((accel, p.get("model")?.as_str()?.to_string(), summary));
+        }
+        Some(ContextSeed { drops, perf })
+    }
+}
+
+/// The memo handle a memo-built context carries: the store, the
+/// context-stage key (also the write-back address for the warmed perf
+/// cache on drop), and the precomputed **cell** key prefix binding
+/// `(context, carbon model)` — everything a cell lookup in `flow`
+/// needs besides its own tail.
+pub(crate) struct ContextMemo {
+    store: Arc<MemoStore>,
+    context_key: String,
+    cell_basis: String,
+}
+
+/// The shared prefix of every cell-stage canon evaluated on one
+/// context: the context key plus the current carbon model (the
+/// grid/yield ablations swap models between cells, so the model lives
+/// here, not in the context key).
+fn cell_basis(context_key: &str, carbon: &CarbonModel) -> String {
+    format!(
+        "\"ctx\":\"{context_key}\",\"carbon\":{}",
+        crate::memo::carbon_canon(carbon)
+    )
 }
 
 /// The CARMA evaluation context for one technology node.
@@ -158,11 +321,12 @@ impl PerfCache {
 /// concurrently (see [`evaluate_batch`](CarmaContext::evaluate_batch)).
 pub struct CarmaContext {
     node: TechNode,
-    library: MultiplierLibrary,
+    library: Arc<MultiplierLibrary>,
     accuracy_drops: Vec<f64>,
     carbon: CarbonModel,
     perf: PerfModel,
     perf_cache: PerfCache,
+    memo: Option<ContextMemo>,
 }
 
 // Compile-time guarantee: evaluation layers may share a context across
@@ -219,21 +383,56 @@ impl CarmaContext {
         library: MultiplierLibrary,
         evaluator: EvaluatorConfig,
     ) -> Self {
+        let library = Arc::new(library);
+        let seed = ContextSeed::characterize(&library, evaluator);
+        Self::assemble(node, library, &seed, None)
+    }
+
+    /// Assembles a context from an already-characterized seed — the
+    /// cheap half of construction, shared by [`Self::with_parts`]
+    /// (fresh seed, no memo) and the memo layer (seed read through the
+    /// context stage; `memo` carries the store and context key so cell
+    /// lookups and the drop-time perf write-back know their address).
+    pub(crate) fn assemble(
+        node: TechNode,
+        library: Arc<MultiplierLibrary>,
+        seed: &ContextSeed,
+        memo: Option<(Arc<MemoStore>, String)>,
+    ) -> Self {
         assert_eq!(library.width(), 8, "context requires an 8-bit library");
-        let eval = AccuracyEvaluator::new(evaluator);
-        let accuracy_drops = eval
-            .evaluate_library(&library)
-            .into_iter()
-            .map(|(_, drop)| drop)
-            .collect();
+        assert!(
+            seed.matches(&library),
+            "context seed does not fit the library"
+        );
+        let perf_cache = PerfCache::new();
+        for (accel, model, summary) in &seed.perf {
+            perf_cache.insert(*accel, model, *summary);
+        }
+        let carbon = CarbonModel::for_node(node);
+        let memo = memo.map(|(store, context_key)| ContextMemo {
+            cell_basis: cell_basis(&context_key, &carbon),
+            store,
+            context_key,
+        });
         CarmaContext {
             node,
             library,
-            accuracy_drops,
-            carbon: CarbonModel::for_node(node),
+            accuracy_drops: seed.drops.clone(),
+            carbon,
             perf: PerfModel::new(),
-            perf_cache: PerfCache::new(),
+            perf_cache,
+            memo,
         }
+    }
+
+    /// The cell-stage lookup handle: the store plus this context's
+    /// current cell-key prefix (context key + carbon model). `None`
+    /// when the context was built outside the memo layer — callers
+    /// fall through to direct computation.
+    pub(crate) fn cell_memo(&self) -> Option<(&MemoStore, &str)> {
+        self.memo
+            .as_ref()
+            .map(|m| (m.store.as_ref(), m.cell_basis.as_str()))
     }
 
     /// The technology node of this context.
@@ -251,9 +450,15 @@ impl CarmaContext {
         &self.carbon
     }
 
-    /// Replaces the carbon model (for yield/grid ablations).
+    /// Replaces the carbon model (for yield/grid ablations). Cell
+    /// keys derive from `(context, carbon model)`, so the cell-key
+    /// prefix moves with the model — each ablation arm addresses its
+    /// own cells.
     pub fn set_carbon_model(&mut self, model: CarbonModel) {
         self.carbon = model;
+        if let Some(m) = &mut self.memo {
+            m.cell_basis = cell_basis(&m.context_key, &self.carbon);
+        }
     }
 
     /// Accuracy drop of library entry `idx`.
@@ -358,6 +563,27 @@ impl CarmaContext {
     /// at any `CARMA_THREADS` setting.
     pub fn evaluate_batch(&self, points: &[DesignPoint], model: &DnnModel) -> Vec<DesignEval> {
         carma_exec::par_map(points, |point| self.evaluate(point, model))
+    }
+}
+
+impl Drop for CarmaContext {
+    /// Write-back of the warmed perf cache: a memo-built context
+    /// re-persists its seed on drop so the next run starts with every
+    /// performance summary this one computed. Purely an enrichment —
+    /// the drops are unchanged, and a lost write-back only costs
+    /// recomputation.
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            return;
+        }
+        if let Some(m) = self.memo.take() {
+            let seed = ContextSeed {
+                drops: std::mem::take(&mut self.accuracy_drops),
+                perf: self.perf_cache.snapshot(),
+            };
+            m.store
+                .put(Stage::Context, &m.context_key, seed, ContextSeed::encode);
+        }
     }
 }
 

@@ -74,7 +74,8 @@ pub fn fig2_scatter_with(
         let best = ga_cdp(
             ctx,
             model,
-            Constraints::new_unchecked(fps, *accuracy_classes.last().expect("non-empty")),
+            Constraints::new(fps, *accuracy_classes.last().expect("non-empty"))
+                .expect("validated thresholds"),
             ga.with_seed(ga.seed.wrapping_add(i as u64)),
         );
         rows.push(Fig2Row {
@@ -166,10 +167,11 @@ pub fn fig3_row(ctx: &CarmaContext, model: &DnnModel, ga: GaConfig) -> Fig3Row {
         ctx,
         model,
         ga,
-        Constraints::new_unchecked(
+        Constraints::new(
             FPS_THRESHOLDS[0],
             *ACCURACY_CLASSES.last().expect("non-empty"),
-        ),
+        )
+        .expect("paper thresholds are valid"),
     )
 }
 
@@ -211,10 +213,11 @@ pub fn fig3(contexts: &[CarmaContext], ga: GaConfig) -> Vec<Fig3Row> {
         contexts,
         ga,
         &DnnModel::paper_zoo(),
-        Constraints::new_unchecked(
+        Constraints::new(
             FPS_THRESHOLDS[0],
             *ACCURACY_CLASSES.last().expect("non-empty"),
-        ),
+        )
+        .expect("paper thresholds are valid"),
     )
 }
 

@@ -12,7 +12,9 @@
 use carma_carbon::{Cep, DeploymentProfile, Edp};
 use carma_dnn::DnnModel;
 use carma_ga::{Evaluation, GaConfig, GeneticAlgorithm, Problem};
+use carma_memo::Stage;
 use rand::Rng;
+use serde::json::to_string as js;
 
 use crate::context::{CarmaContext, DesignEval};
 use crate::space::DesignPoint;
@@ -184,6 +186,7 @@ impl Constraints {
     /// Panics if `min_fps` is not positive or `max_accuracy_drop` is
     /// outside `[0, 1]` (see [`Constraints::new`] for the fallible
     /// form).
+    #[deprecated(note = "use the fallible `Constraints::new` and handle the error")]
     pub fn new_unchecked(min_fps: f64, max_accuracy_drop: f64) -> Self {
         match Self::new(min_fps, max_accuracy_drop) {
             Ok(c) => c,
@@ -206,10 +209,42 @@ pub struct SweepPoint {
     pub eval: DesignEval,
 }
 
+/// A **cell**-stage lookup: on a memo-built context, read the result
+/// through the store under the cell basis (context key plus carbon
+/// model) joined with `tail`; on a plain context, just compute. The
+/// compute closure must be a pure function of exactly the named
+/// inputs — that contract is what makes a hit bit-identical to a
+/// recompute.
+fn memo_cell<T, E, D, C>(ctx: &CarmaContext, tail: &str, encode: E, decode: D, compute: C) -> T
+where
+    T: Clone + Send + Sync + 'static,
+    E: FnOnce(&T) -> String,
+    D: FnOnce(&str) -> Option<T>,
+    C: FnOnce() -> T,
+{
+    match ctx.cell_memo() {
+        Some((store, basis)) => {
+            let canon = format!("{{\"stage\":\"cell\",\"v\":1,{basis},{tail}}}");
+            (*store.get_or_compute(Stage::Cell, &canon, encode, decode, compute)).clone()
+        }
+        None => compute(),
+    }
+}
+
 /// Evaluates the paper's exact baseline: every NVDLA preset from 64 to
 /// 2048 MACs with the exact multiplier.
 pub fn exact_sweep(ctx: &CarmaContext, model: &DnnModel) -> Vec<SweepPoint> {
-    sweep(ctx, model, DesignPoint::nvdla_like)
+    let tail = format!(
+        "\"kind\":\"sweep\",\"model\":{},\"select\":\"exact\"",
+        js(model.name())
+    );
+    memo_cell(
+        ctx,
+        &tail,
+        |points| crate::memo::encode_sweep(points),
+        crate::memo::decode_sweep,
+        || sweep(ctx, model, DesignPoint::nvdla_like),
+    )
 }
 
 /// Evaluates one design point per NVDLA preset in parallel over the
@@ -233,12 +268,25 @@ fn sweep(
 /// Evaluates the approximate-only variant: identical architectures,
 /// with the smallest multiplier whose accuracy drop fits `max_drop`.
 pub fn approx_only_sweep(ctx: &CarmaContext, model: &DnnModel, max_drop: f64) -> Vec<SweepPoint> {
-    let mult_idx = ctx.best_mult_within_drop(max_drop) as u16;
-    sweep(ctx, model, |macs| {
-        let mut dp = DesignPoint::nvdla_like(macs);
-        dp.mult_idx = mult_idx;
-        dp
-    })
+    let tail = format!(
+        "\"kind\":\"sweep\",\"model\":{},\"select\":\"within-drop\",\"max_drop\":\"{}\"",
+        js(model.name()),
+        carma_memo::f64_hex(max_drop)
+    );
+    memo_cell(
+        ctx,
+        &tail,
+        |points| crate::memo::encode_sweep(points),
+        crate::memo::decode_sweep,
+        || {
+            let mult_idx = ctx.best_mult_within_drop(max_drop) as u16;
+            sweep(ctx, model, |macs| {
+                let mut dp = DesignPoint::nvdla_like(macs);
+                dp.mult_idx = mult_idx;
+                dp
+            })
+        },
+    )
 }
 
 /// The smallest exact NVDLA preset meeting `min_fps` (the paper's
@@ -265,6 +313,36 @@ impl GaFitness<'_> {
         match self {
             GaFitness::Metric(m) => m.objective(eval, constraints),
             GaFitness::Objective(o, profile) => o.value(eval, constraints, profile),
+        }
+    }
+
+    /// Canonical JSON of this fitness for the cell key. Two rules keep
+    /// the key minimal while staying exact: `Objective::Cdp` canonizes
+    /// to the service-CDP metric it delegates to (documented
+    /// bit-identical, so the cells may share), and the deployment
+    /// profile is named only under `total-carbon` — the one fitness
+    /// that reads it — so profile sweeps reuse every other objective's
+    /// cells.
+    fn canon(&self) -> String {
+        let metric = |m: FitnessMetric| {
+            format!(
+                "{{\"metric\":\"{}\"}}",
+                match m {
+                    FitnessMetric::ServiceCdp => "service-cdp",
+                    FitnessMetric::RawCdp => "raw-cdp",
+                    FitnessMetric::Carbon => "carbon",
+                    FitnessMetric::Edp => "edp",
+                }
+            )
+        };
+        match self {
+            GaFitness::Metric(m) => metric(*m),
+            GaFitness::Objective(Objective::Cdp, _) => metric(FitnessMetric::ServiceCdp),
+            GaFitness::Objective(Objective::TotalCarbon, profile) => format!(
+                "{{\"objective\":\"total-carbon\",\"profile\":{}}}",
+                crate::memo::profile_canon(profile)
+            ),
+            GaFitness::Objective(o, _) => format!("{{\"objective\":\"{}\"}}", o.as_str()),
         }
     }
 }
@@ -414,6 +492,29 @@ fn run_ga(
     config: GaConfig,
     fitness: GaFitness<'_>,
 ) -> DesignEval {
+    let tail = format!(
+        "\"kind\":\"ga\",\"model\":{},\"constraints\":{},\"ga\":{},\"fitness\":{}",
+        js(model.name()),
+        crate::memo::constraints_canon(&constraints),
+        crate::memo::ga_canon(&config),
+        fitness.canon()
+    );
+    memo_cell(
+        ctx,
+        &tail,
+        crate::memo::encode_eval,
+        crate::memo::decode_eval,
+        move || run_ga_uncached(ctx, model, constraints, config, fitness),
+    )
+}
+
+fn run_ga_uncached(
+    ctx: &CarmaContext,
+    model: &DnnModel,
+    constraints: Constraints,
+    config: GaConfig,
+    fitness: GaFitness<'_>,
+) -> DesignEval {
     let problem = GaCdpProblem {
         ctx,
         model,
@@ -512,7 +613,7 @@ mod tests {
     fn ga_cdp_beats_smallest_exact_baseline() {
         let ctx = ctx7();
         let model = DnnModel::resnet50();
-        let constraints = Constraints::new_unchecked(30.0, 0.05);
+        let constraints = Constraints::new(30.0, 0.05).unwrap();
         let baseline = smallest_exact_meeting(ctx, &model, constraints.min_fps);
         let best = ga_cdp(ctx, &model, constraints, fast_ga());
         assert!(constraints.satisfied_by(&best), "{best}");
@@ -531,13 +632,13 @@ mod tests {
         let relaxed = ga_cdp(
             ctx,
             &model,
-            Constraints::new_unchecked(10.0, 0.05),
+            Constraints::new(10.0, 0.05).unwrap(),
             fast_ga(),
         );
         let strict = ga_cdp(
             ctx,
             &model,
-            Constraints::new_unchecked(60.0, 0.05),
+            Constraints::new(60.0, 0.05).unwrap(),
             fast_ga(),
         );
         assert!(strict.fps >= 60.0 && relaxed.fps >= 10.0);
@@ -553,7 +654,7 @@ mod tests {
         let best = ga_cdp(
             ctx,
             &DnnModel::resnet50(),
-            Constraints::new_unchecked(20.0, 0.0),
+            Constraints::new(20.0, 0.0).unwrap(),
             fast_ga(),
         );
         assert_eq!(best.accuracy_drop, 0.0);
@@ -565,7 +666,7 @@ mod tests {
         // enum must not perturb the paper's GA-CDP results.
         let ctx = ctx7();
         let model = DnnModel::resnet50();
-        let constraints = Constraints::new_unchecked(30.0, 0.05);
+        let constraints = Constraints::new(30.0, 0.05).unwrap();
         let legacy = ga_cdp(ctx, &model, constraints, fast_ga());
         let via_objective = ga_cdp_with_objective(
             ctx,
@@ -582,7 +683,7 @@ mod tests {
     fn total_carbon_objective_finds_feasible_design() {
         let ctx = ctx7();
         let model = DnnModel::resnet50();
-        let constraints = Constraints::new_unchecked(30.0, 0.05);
+        let constraints = Constraints::new(30.0, 0.05).unwrap();
         let profile = DeploymentProfile::edge_default();
         let best = ga_cdp_with_objective(
             ctx,
@@ -606,7 +707,7 @@ mod tests {
     fn objective_values_match_their_newtypes() {
         let ctx = ctx7();
         let eval = ctx.evaluate(&DesignPoint::nvdla_like(256), &DnnModel::resnet50());
-        let constraints = Constraints::new_unchecked(30.0, 0.05);
+        let constraints = Constraints::new(30.0, 0.05).unwrap();
         let profile = DeploymentProfile::edge_default();
         assert_eq!(
             Objective::Cdp.value(&eval, &constraints, &profile),
@@ -631,7 +732,7 @@ mod tests {
         let ctx = ctx7();
         let model = DnnModel::resnet50();
         let sweep = exact_sweep(ctx, &model);
-        let constraints = Constraints::new_unchecked(30.0, 0.05);
+        let constraints = Constraints::new(30.0, 0.05).unwrap();
         let profile = DeploymentProfile::edge_default();
         let best = best_in_sweep(&sweep, Objective::Cdp, &constraints, &profile)
             .expect("some preset meets 30 FPS");
@@ -644,7 +745,7 @@ mod tests {
             "service-CDP must hug the threshold"
         );
         // An unmeetable floor yields no winner.
-        let impossible = Constraints::new_unchecked(1e9, 0.05);
+        let impossible = Constraints::new(1e9, 0.05).unwrap();
         assert!(best_in_sweep(&sweep, Objective::Cdp, &impossible, &profile).is_none());
     }
 
@@ -667,6 +768,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "min_fps must be positive")]
+    #[allow(deprecated)]
     fn new_unchecked_panics_on_bad_fps() {
         let _ = Constraints::new_unchecked(0.0, 0.01);
     }
@@ -677,7 +779,7 @@ mod tests {
         let _ = ga_cdp(
             ctx7(),
             &DnnModel::vgg16(),
-            Constraints::new_unchecked(1e6, 0.02),
+            Constraints::new(1e6, 0.02).unwrap(),
             GaConfig::default()
                 .with_population(8)
                 .with_generations(3)

@@ -39,11 +39,17 @@
 pub mod context;
 pub mod experiments;
 pub mod flow;
+pub mod memo;
 pub mod report;
 pub mod scenario;
 pub mod space;
 
 pub use context::{CarmaContext, DesignEval};
 pub use flow::{ConstraintError, Constraints, FitnessMetric, Objective, SweepPoint};
-pub use scenario::{ExperimentRegistry, Report, Scale, ScenarioError, ScenarioSpec};
+pub use memo::MemoLayer;
+pub use scenario::{ExperimentRegistry, Report, RunEnv, Scale, ScenarioError, ScenarioSpec};
 pub use space::DesignPoint;
+
+// Re-exported so downstream consumers (the CLI, `carma-serve`) can
+// read memo statistics without depending on `carma-memo` directly.
+pub use carma_memo::{MemoStats, Stage as MemoStage, StageCounts};

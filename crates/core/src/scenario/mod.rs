@@ -27,7 +27,7 @@ pub use artifact::{
     Artifact, DeploymentRow, FamilyRow, GridRow, MetricRow, ParallelRow, Report, SearchRow,
     YieldRow,
 };
-pub use registry::{ExperimentInfo, ExperimentRegistry, Runner};
+pub use registry::{ExperimentInfo, ExperimentRegistry, RunEnv, Runner};
 pub use spec::{
     DeploymentSpec, Family, GaSpec, ModelSel, ResolvedScenario, ScenarioSpec,
     DEPLOYMENT_FIELD_ORDER, DEPLOYMENT_GRIDS, DEPLOYMENT_LIFETIMES_H, GA_FIELD_ORDER,

@@ -23,7 +23,10 @@ use crate::flow::{
     best_in_sweep, exact_sweep, ga_cdp, ga_cdp_with_metric, ga_cdp_with_objective,
     smallest_exact_meeting, FitnessMetric,
 };
+use crate::memo::MemoLayer;
 use crate::space::DesignPoint;
+use carma_memo::MemoStats;
+use carma_netlist::TechNode;
 
 /// How an experiment's runner wants its evaluation context(s).
 #[derive(Clone, Copy)]
@@ -32,9 +35,77 @@ pub enum Runner {
     Single(fn(&ResolvedScenario, &CarmaContext) -> Report),
     /// Gets one context per node of the sweep.
     PerNode(fn(&ResolvedScenario, &[CarmaContext]) -> Report),
-    /// Builds its own contexts (mutates carbon models, times
-    /// construction, or compares libraries).
-    Custom(fn(&ResolvedScenario) -> Report),
+    /// Builds its own contexts through the run environment (mutates
+    /// carbon models, times construction, or compares libraries).
+    Custom(fn(&ResolvedScenario, &RunEnv) -> Report),
+}
+
+/// The execution environment of one scenario run: where contexts come
+/// from. The environment either reads construction through a
+/// [`MemoLayer`] — so overlapping scenarios share library
+/// characterization, context calibration and per-experiment cells — or
+/// builds everything directly (`bare`, the memo-off reference).
+///
+/// Cloning is cheap and shares the underlying store, which is how the
+/// CLI and `carma-serve` read hit/miss statistics after a run.
+#[derive(Clone, Default)]
+pub struct RunEnv {
+    memo: Option<MemoLayer>,
+}
+
+impl RunEnv {
+    /// The default environment: a fresh in-memory memo per
+    /// construction. Even with no `--memo-dir`, one run's scenarios
+    /// share stages (e.g. `table1`'s three node contexts share one
+    /// library characterization).
+    pub fn standard() -> Self {
+        RunEnv {
+            memo: Some(MemoLayer::in_memory()),
+        }
+    }
+
+    /// Memoization off: every context built from scratch. The
+    /// reference arm of the determinism suite.
+    pub fn bare() -> Self {
+        RunEnv { memo: None }
+    }
+
+    /// An environment over an explicit layer (e.g. one with a disk
+    /// tier, or shared across a server's workers).
+    pub fn with_memo(memo: MemoLayer) -> Self {
+        RunEnv { memo: Some(memo) }
+    }
+
+    /// Hit/miss counters per stage; `None` when memoization is off.
+    pub fn memo_stats(&self) -> Option<MemoStats> {
+        self.memo.as_ref().map(MemoLayer::stats)
+    }
+
+    /// The scenario's context on `node`, read through the memo when
+    /// one is configured.
+    pub fn context_for(&self, r: &ResolvedScenario, node: TechNode) -> CarmaContext {
+        match &self.memo {
+            Some(layer) => layer.context(r, node),
+            None => r.context_for(node),
+        }
+    }
+
+    /// The context of an explicit library `family` on the scenario's
+    /// primary node (the `ablation_family` arms).
+    pub fn context_with_family(&self, r: &ResolvedScenario, family: Family) -> CarmaContext {
+        match &self.memo {
+            Some(layer) => layer.context_with_family(r, family, r.node),
+            None => CarmaContext::with_parts(r.node, r.library_for(family), r.evaluator()),
+        }
+    }
+
+    /// One context per node of the sweep, in `r.nodes` order.
+    pub fn node_contexts(&self, r: &ResolvedScenario) -> Vec<CarmaContext> {
+        match &self.memo {
+            Some(layer) => carma_exec::par_map(&r.nodes, |&node| layer.context(r, node)),
+            None => r.node_contexts(),
+        }
+    }
 }
 
 /// One registered experiment.
@@ -227,6 +298,20 @@ impl ExperimentRegistry {
         cli_scale: Option<Scale>,
         cli_threads: Option<usize>,
     ) -> Result<Report, ScenarioError> {
+        self.run_with_env(spec, cli_scale, cli_threads, &RunEnv::standard())
+    }
+
+    /// [`ExperimentRegistry::run_with`] in an explicit [`RunEnv`] —
+    /// the full entry point: the CLI passes a disk-backed environment
+    /// under `--memo-dir`, `carma-serve` a process-wide one shared by
+    /// its workers, and the determinism suite [`RunEnv::bare`].
+    pub fn run_with_env(
+        &self,
+        spec: &ScenarioSpec,
+        cli_scale: Option<Scale>,
+        cli_threads: Option<usize>,
+        env: &RunEnv,
+    ) -> Result<Report, ScenarioError> {
         let resolved = spec.resolve(self, cli_scale, cli_threads)?;
         let info = self
             .get(&resolved.name)
@@ -234,14 +319,14 @@ impl ExperimentRegistry {
         let runner = info.runner;
         let go = || match runner {
             Runner::Single(f) => {
-                let ctx = resolved.context_for(resolved.node);
+                let ctx = env.context_for(&resolved, resolved.node);
                 f(&resolved, &ctx)
             }
             Runner::PerNode(f) => {
-                let ctxs = resolved.node_contexts();
+                let ctxs = env.node_contexts(&resolved);
                 f(&resolved, &ctxs)
             }
-            Runner::Custom(f) => f(&resolved),
+            Runner::Custom(f) => f(&resolved, env),
         };
         Ok(match resolved.threads {
             Some(n) => carma_exec::with_threads(n, go),
@@ -324,17 +409,15 @@ fn run_fig3(r: &ResolvedScenario, ctxs: &[CarmaContext]) -> Report {
     report(r, vec![Artifact::Fig3(rows)], notes)
 }
 
-fn run_ablation_family(r: &ResolvedScenario) -> Report {
+fn run_ablation_family(r: &ResolvedScenario, env: &RunEnv) -> Report {
     let model = r.single_model();
-    let evaluator = r.evaluator();
 
     let mut rows = Vec::new();
     // One arm per family, built by the same construction a
     // `family = "…"` spec resolves to.
     for family in [Family::Ladder, Family::Classic, Family::Evolved] {
-        let library = r.library_for(family);
-        let units = library.len();
-        let ctx = CarmaContext::with_parts(r.node, library, evaluator);
+        let ctx = env.context_with_family(r, family);
+        let units = ctx.library().len();
         let baseline = smallest_exact_meeting(&ctx, model, r.constraints.min_fps);
         let best = ga_cdp(&ctx, model, r.constraints, r.ga);
         rows.push(FamilyRow {
@@ -354,13 +437,15 @@ fn run_ablation_family(r: &ResolvedScenario) -> Report {
     report(r, vec![Artifact::Family(rows)], notes)
 }
 
-fn run_ablation_grid(r: &ResolvedScenario) -> Report {
+fn run_ablation_grid(r: &ResolvedScenario, env: &RunEnv) -> Report {
     let model = r.single_model();
     // One context serves every arm: the library characterization,
     // accuracy reference run and perf cache are grid-independent, and
     // swapping the carbon model is deterministic — rows are identical
-    // to the per-arm contexts the legacy binary built.
-    let mut ctx = r.context_for(r.node);
+    // to the per-arm contexts the legacy binary built. (Each arm still
+    // addresses its own memo cells: the cell-key prefix follows the
+    // carbon model.)
+    let mut ctx = env.context_for(r, r.node);
     let mut rows = Vec::new();
     for grid in [
         GridMix::Coal,
@@ -470,13 +555,13 @@ fn run_ablation_search(r: &ResolvedScenario, ctx: &CarmaContext) -> Report {
     report(r, vec![Artifact::Search(rows)], notes)
 }
 
-fn run_ablation_yield(r: &ResolvedScenario) -> Report {
+fn run_ablation_yield(r: &ResolvedScenario, env: &RunEnv) -> Report {
     let model = r.single_model();
     // One context per node, built in parallel on the shared engine:
     // the library characterization, accuracy reference run and perf
     // cache are yield-model independent, so the three ablation arms
     // share them.
-    let contexts = r.node_contexts();
+    let contexts = env.node_contexts(r);
     let mut rows = Vec::new();
     for (node, mut ctx) in r.nodes.iter().copied().zip(contexts) {
         for (name, ym) in [
@@ -603,7 +688,10 @@ fn speedup(rows: &[(usize, f64)]) -> f64 {
     }
 }
 
-fn run_bench_parallel(r: &ResolvedScenario) -> Report {
+fn run_bench_parallel(r: &ResolvedScenario, _env: &RunEnv) -> Report {
+    // The environment is deliberately unused: this runner times raw
+    // construction and evaluation, and reading them through the memo
+    // would measure the cache, not the engine.
     let host = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
@@ -666,10 +754,16 @@ fn run_bench_parallel(r: &ResolvedScenario) -> Report {
     let wide = carma_exec::with_threads(host, || ctx.evaluate_batch(&probe, model));
     assert_eq!(narrow, wide, "batch evaluation forked across widths");
 
+    let note = if host == 1 {
+        "host exposes a single core: wider widths just timeslice it, so speedups \
+         are ~1.0 by construction, not an engine regression"
+    } else {
+        "speedups compare the widest width against 1 thread on this host"
+    };
     let json = format!(
         "{{\n  \"host_threads\": {host},\n  \"scale\": \"{:?}\",\n  \
          \"library_characterization\": {},\n  \"ga_generation\": {},\n  \
-         \"speedup_library\": {:.3},\n  \"speedup_ga\": {:.3}\n}}\n",
+         \"speedup_library\": {:.3},\n  \"speedup_ga\": {:.3},\n  \"note\": \"{note}\"\n}}\n",
         r.scale,
         json_series(&library_rows),
         json_series(&ga_rows),

@@ -1,0 +1,549 @@
+//! Content-addressed, stage-level memoization for the CARMA flow.
+//!
+//! The serve-layer result cache only hits on *byte-identical* resolved
+//! scenarios; overlapping scenarios (`fig2` then `deployment` on the
+//! same node/model) share almost all of their real work but none of
+//! their cache entries. This crate provides the shared memo store that
+//! fixes that: results are keyed per *stage* of the compute graph —
+//!
+//! - **library** — `(family, width, depth/config)` → characterized
+//!   multiplier library,
+//! - **context** — `(library key, node, calibration)` → accuracy-drop
+//!   table + perf-cache seed,
+//! - **cell** — `(context key, carbon model, model, objective/GA spec,
+//!   seed)` → one sweep or GA result,
+//!
+//! each addressed by a 128-bit fingerprint of a canonical-JSON
+//! description of exactly the inputs that determine the stage's output
+//! (thread count excluded), the same discipline as
+//! `ResolvedScenario::fingerprint()`.
+//!
+//! The store is two-tier: a sharded in-memory map of `Arc<dyn Any>`
+//! values (zero serialization on the hot path) plus an optional disk
+//! tier (`<dir>/<stage>/<fingerprint>.json`, tmp+rename writes,
+//! hex-only key guard — the same safety rules as
+//! `carma-serve`'s result cache). Values are encoded/decoded by
+//! caller-supplied codecs so this crate stays dependency-free; a
+//! corrupt or unreadable disk entry simply decodes to `None` and is
+//! recomputed (and overwritten), never served.
+//!
+//! Everything memoized through this store must be a pure, deterministic
+//! function of its canonical key — then a hit is bit-identical to a
+//! recompute and the cache never needs invalidation.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The three stages of the memoized compute graph, in dependency
+/// order: a context key embeds its library key, a cell key embeds its
+/// context key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Characterized multiplier library (family × width × depth).
+    Library,
+    /// Per-node evaluation context seed: accuracy-drop table plus
+    /// performance-cache entries.
+    Context,
+    /// One experiment cell: a sweep or GA result for a concrete
+    /// (context, model, objective, GA spec, seed).
+    Cell,
+}
+
+impl Stage {
+    /// All stages, in display order.
+    pub const ALL: [Stage; 3] = [Stage::Library, Stage::Context, Stage::Cell];
+
+    /// Stable lowercase name — used as the on-disk subdirectory and in
+    /// metrics labels.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Stage::Library => "library",
+            Stage::Context => "context",
+            Stage::Cell => "cell",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Stage::Library => 0,
+            Stage::Context => 1,
+            Stage::Cell => 2,
+        }
+    }
+}
+
+/// Hit/miss counters for one stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageCounts {
+    /// Lookups served from the store (memory or disk).
+    pub hits: u64,
+    /// Lookups that fell through to a recompute.
+    pub misses: u64,
+    /// The subset of `hits` that came from the disk tier (and were
+    /// promoted to memory).
+    pub disk_hits: u64,
+}
+
+/// A point-in-time snapshot of the store's counters, per stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Library-stage counters.
+    pub library: StageCounts,
+    /// Context-stage counters.
+    pub context: StageCounts,
+    /// Cell-stage counters.
+    pub cell: StageCounts,
+}
+
+impl MemoStats {
+    /// Counters for `stage`.
+    pub fn stage(&self, stage: Stage) -> StageCounts {
+        match stage {
+            Stage::Library => self.library,
+            Stage::Context => self.context,
+            Stage::Cell => self.cell,
+        }
+    }
+}
+
+#[derive(Default)]
+struct StageAtomics {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    disk_hits: AtomicU64,
+}
+
+impl StageAtomics {
+    fn snapshot(&self) -> StageCounts {
+        StageCounts {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Number of lock shards in the in-memory tier (same shape as the
+/// serve result cache and the context perf memo).
+const MEMO_SHARDS: usize = 16;
+
+type MemoShard = HashMap<String, Arc<dyn Any + Send + Sync>>;
+
+/// FNV-1a 64-bit over `bytes`, from `basis`.
+fn fnv1a64(bytes: &[u8], basis: u64) -> u64 {
+    let mut h = basis;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// 128-bit content fingerprint of a canonical-JSON string: two
+/// independent FNV-1a passes rendered as 32 lowercase hex chars —
+/// the same derivation as `ResolvedScenario::fingerprint()`, so stage
+/// keys and whole-scenario keys live in one address-space discipline.
+pub fn fingerprint(canon: &str) -> String {
+    let lo = fnv1a64(canon.as_bytes(), 0xCBF2_9CE4_8422_2325);
+    let hi = fnv1a64(canon.as_bytes(), 0x9E37_79B9_7F4A_7C15);
+    format!("{hi:016x}{lo:016x}")
+}
+
+/// The two-tier content-addressed memo store.
+///
+/// Thread-safe (`&self` everywhere); concurrent misses on the same key
+/// are single-flighted so an expensive stage is computed once even
+/// when several workers want it at the same moment.
+pub struct MemoStore {
+    shards: [Mutex<MemoShard>; MEMO_SHARDS],
+    dir: Option<PathBuf>,
+    counters: [StageAtomics; 3],
+    in_flight: Mutex<HashMap<String, Arc<Mutex<()>>>>,
+}
+
+fn shard_index(key: &str) -> usize {
+    (fnv1a64(key.as_bytes(), 0xCBF2_9CE4_8422_2325) % MEMO_SHARDS as u64) as usize
+}
+
+impl MemoStore {
+    /// A memory-only store.
+    pub fn in_memory() -> Self {
+        Self::build(None).expect("no directory to create")
+    }
+
+    /// A store mirrored to `dir` (`<dir>/<stage>/<fingerprint>.json`;
+    /// the stage subdirectories are created if missing).
+    pub fn with_disk(dir: PathBuf) -> io::Result<Self> {
+        Self::build(Some(dir))
+    }
+
+    fn build(dir: Option<PathBuf>) -> io::Result<Self> {
+        if let Some(d) = &dir {
+            for stage in Stage::ALL {
+                std::fs::create_dir_all(d.join(stage.as_str()))?;
+            }
+        }
+        Ok(MemoStore {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            dir,
+            counters: std::array::from_fn(|_| StageAtomics::default()),
+            in_flight: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Whether this store has a disk tier.
+    pub fn has_disk(&self) -> bool {
+        self.dir.is_some()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> MemoStats {
+        MemoStats {
+            library: self.counters[Stage::Library.index()].snapshot(),
+            context: self.counters[Stage::Context.index()].snapshot(),
+            cell: self.counters[Stage::Cell.index()].snapshot(),
+        }
+    }
+
+    fn shard(&self, key: &str) -> &Mutex<MemoShard> {
+        &self.shards[shard_index(key)]
+    }
+
+    fn disk_path(&self, stage: Stage, fp: &str) -> Option<PathBuf> {
+        // Fingerprints are produced internally, but refuse anything
+        // that is not plain lowercase hex before touching the
+        // filesystem with it (same guard as the serve result cache).
+        let dir = self.dir.as_ref()?;
+        let is_hex = !fp.is_empty()
+            && fp
+                .bytes()
+                .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b));
+        is_hex.then(|| dir.join(stage.as_str()).join(format!("{fp}.json")))
+    }
+
+    fn write_disk(&self, stage: Stage, fp: &str, payload: &str) {
+        if let Some(path) = self.disk_path(stage, fp) {
+            // Write-then-rename so a concurrent reader (or a second
+            // process sharing the memo dir) never sees a torn file.
+            // Best-effort: a full or read-only disk degrades the store
+            // to memory-only rather than failing the computation.
+            let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+            if std::fs::write(&tmp, payload.as_bytes()).is_ok() {
+                let _ = std::fs::rename(&tmp, &path);
+            }
+        }
+    }
+
+    fn memory_get<T: Send + Sync + 'static>(&self, key: &str) -> Option<Arc<T>> {
+        self.shard(key)
+            .lock()
+            .expect("memo lock")
+            .get(key)
+            .and_then(|any| Arc::clone(any).downcast::<T>().ok())
+    }
+
+    fn memory_put<T: Send + Sync + 'static>(&self, key: String, value: Arc<T>) {
+        self.shard(&key)
+            .lock()
+            .expect("memo lock")
+            .insert(key, value as Arc<dyn Any + Send + Sync>);
+    }
+
+    /// Looks up `canon`'s fingerprint in `stage`, recomputing on miss.
+    ///
+    /// `encode`/`decode` translate the value to/from its durable JSON
+    /// payload; they are only invoked when a disk tier is configured.
+    /// `decode` returning `None` (corrupt or stale entry) counts as a
+    /// miss: the value is recomputed and the entry overwritten.
+    ///
+    /// `compute` must be a pure function of the canonical key — that
+    /// is the whole contract that makes hits bit-identical to
+    /// recomputes.
+    pub fn get_or_compute<T, E, D, C>(
+        &self,
+        stage: Stage,
+        canon: &str,
+        encode: E,
+        decode: D,
+        compute: C,
+    ) -> Arc<T>
+    where
+        T: Send + Sync + 'static,
+        E: FnOnce(&T) -> String,
+        D: FnOnce(&str) -> Option<T>,
+        C: FnOnce() -> T,
+    {
+        self.get_or_compute_keyed(stage, &fingerprint(canon), encode, decode, compute)
+    }
+
+    /// [`get_or_compute`](Self::get_or_compute) with a pre-derived
+    /// fingerprint (for callers that cache the key alongside the
+    /// value, e.g. the context's write-back handle).
+    pub fn get_or_compute_keyed<T, E, D, C>(
+        &self,
+        stage: Stage,
+        fp: &str,
+        encode: E,
+        decode: D,
+        compute: C,
+    ) -> Arc<T>
+    where
+        T: Send + Sync + 'static,
+        E: FnOnce(&T) -> String,
+        D: FnOnce(&str) -> Option<T>,
+        C: FnOnce() -> T,
+    {
+        let counters = &self.counters[stage.index()];
+        let key = format!("{}/{}", stage.as_str(), fp);
+        if let Some(v) = self.memory_get::<T>(&key) {
+            counters.hits.fetch_add(1, Ordering::Relaxed);
+            return v;
+        }
+        // Single-flight: one lock per key; losers of the race block
+        // here, then find the winner's value in the memory recheck.
+        let gate = Arc::clone(
+            self.in_flight
+                .lock()
+                .expect("in-flight lock")
+                .entry(key.clone())
+                .or_default(),
+        );
+        let _guard = gate.lock().expect("in-flight key lock");
+        if let Some(v) = self.memory_get::<T>(&key) {
+            counters.hits.fetch_add(1, Ordering::Relaxed);
+            return v;
+        }
+        if let Some(path) = self.disk_path(stage, fp) {
+            if let Ok(text) = std::fs::read_to_string(&path) {
+                if let Some(value) = decode(&text) {
+                    let value = Arc::new(value);
+                    self.memory_put(key, Arc::clone(&value));
+                    counters.hits.fetch_add(1, Ordering::Relaxed);
+                    counters.disk_hits.fetch_add(1, Ordering::Relaxed);
+                    return value;
+                }
+            }
+        }
+        let value = Arc::new(compute());
+        if self.dir.is_some() {
+            self.write_disk(stage, fp, &encode(&value));
+        }
+        self.memory_put(key, Arc::clone(&value));
+        counters.misses.fetch_add(1, Ordering::Relaxed);
+        value
+    }
+
+    /// Unconditionally (over)writes `fp` in `stage` — the write-back
+    /// path for values enriched after first computation (a context's
+    /// warmed perf cache). Leaves the hit/miss counters alone.
+    pub fn put<T, E>(&self, stage: Stage, fp: &str, value: T, encode: E) -> Arc<T>
+    where
+        T: Send + Sync + 'static,
+        E: FnOnce(&T) -> String,
+    {
+        let value = Arc::new(value);
+        if self.dir.is_some() {
+            self.write_disk(stage, fp, &encode(&value));
+        }
+        self.memory_put(format!("{}/{}", stage.as_str(), fp), Arc::clone(&value));
+        value
+    }
+}
+
+/// Bit-exact f64 encoding for durable payloads: the IEEE-754 bits as
+/// 16 lowercase hex chars. (The vendored JSON value type stores
+/// numbers as f64 via decimal text, which is not a bit-exact
+/// round-trip for every value; hex bits are.)
+pub fn f64_hex(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+/// Inverse of [`f64_hex`].
+pub fn f64_from_hex(s: &str) -> Option<f64> {
+    (s.len() == 16)
+        .then(|| u64::from_str_radix(s, 16).ok().map(f64::from_bits))
+        .flatten()
+}
+
+/// u64 as 16 lowercase hex chars (JSON numbers are f64, exact only to
+/// 2^53).
+pub fn u64_hex(v: u64) -> String {
+    format!("{v:016x}")
+}
+
+/// Inverse of [`u64_hex`].
+pub fn u64_from_hex(s: &str) -> Option<u64> {
+    (s.len() == 16)
+        .then(|| u64::from_str_radix(s, 16).ok())
+        .flatten()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("carma-memo-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn encode_u32(v: &u32) -> String {
+        v.to_string()
+    }
+
+    fn decode_u32(s: &str) -> Option<u32> {
+        s.trim().parse().ok()
+    }
+
+    #[test]
+    fn fingerprints_are_stable_hex_and_input_sensitive() {
+        let a = fingerprint("{\"x\":1}");
+        let b = fingerprint("{\"x\":1}");
+        let c = fingerprint("{\"x\":2}");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 32);
+        assert!(a
+            .bytes()
+            .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b)));
+    }
+
+    #[test]
+    fn memory_tier_computes_once_and_counts() {
+        let store = MemoStore::in_memory();
+        let mut computes = 0;
+        for _ in 0..3 {
+            let v = store.get_or_compute(Stage::Library, "canon-a", encode_u32, decode_u32, || {
+                computes += 1;
+                41 + computes
+            });
+            assert_eq!(*v, 42);
+        }
+        assert_eq!(computes, 1);
+        let stats = store.stats();
+        assert_eq!(
+            stats.library,
+            StageCounts {
+                hits: 2,
+                misses: 1,
+                disk_hits: 0
+            }
+        );
+        assert_eq!(stats.context, StageCounts::default());
+    }
+
+    #[test]
+    fn stages_do_not_share_an_address_space() {
+        let store = MemoStore::in_memory();
+        let a = store.get_or_compute(Stage::Library, "same", encode_u32, decode_u32, || 1u32);
+        let b = store.get_or_compute(Stage::Cell, "same", encode_u32, decode_u32, || 2u32);
+        assert_eq!((*a, *b), (1, 2));
+    }
+
+    #[test]
+    fn disk_tier_survives_a_fresh_store() {
+        let dir = tempdir("survive");
+        let first = MemoStore::with_disk(dir.clone()).expect("create dirs");
+        first.get_or_compute(Stage::Context, "ctx", encode_u32, decode_u32, || 7u32);
+
+        let second = MemoStore::with_disk(dir.clone()).expect("reopen dirs");
+        let v = second.get_or_compute(Stage::Context, "ctx", encode_u32, decode_u32, || {
+            panic!("must be served from disk")
+        });
+        assert_eq!(*v, 7);
+        let stats = second.stats();
+        assert_eq!(
+            stats.context,
+            StageCounts {
+                hits: 1,
+                misses: 0,
+                disk_hits: 1
+            }
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_disk_entry_is_recomputed_and_overwritten() {
+        let dir = tempdir("poison");
+        let store = MemoStore::with_disk(dir.clone()).expect("create dirs");
+        let fp = fingerprint("poisoned");
+        let path = dir.join("cell").join(format!("{fp}.json"));
+        std::fs::write(&path, "{ not json at all").expect("poison the entry");
+
+        let v = store.get_or_compute(Stage::Cell, "poisoned", encode_u32, decode_u32, || 99u32);
+        assert_eq!(*v, 99, "corrupt entry must be recomputed, never served");
+        assert_eq!(
+            store.stats().cell,
+            StageCounts {
+                hits: 0,
+                misses: 1,
+                disk_hits: 0
+            }
+        );
+        // The overwrite repaired the entry: a fresh store decodes it.
+        let repaired = std::fs::read_to_string(&path).expect("entry rewritten");
+        assert_eq!(decode_u32(&repaired), Some(99));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn put_overwrites_and_skips_counters() {
+        let dir = tempdir("put");
+        let store = MemoStore::with_disk(dir.clone()).expect("create dirs");
+        let fp = fingerprint("wb");
+        store.get_or_compute_keyed(Stage::Context, &fp, encode_u32, decode_u32, || 1u32);
+        store.put(Stage::Context, &fp, 2u32, encode_u32);
+        let v = store.get_or_compute_keyed(Stage::Context, &fp, encode_u32, decode_u32, || {
+            panic!("present in memory")
+        });
+        assert_eq!(*v, 2);
+        let on_disk = std::fs::read_to_string(dir.join("context").join(format!("{fp}.json")))
+            .expect("written through");
+        assert_eq!(on_disk, "2");
+        assert_eq!(
+            store.stats().context,
+            StageCounts {
+                hits: 1,
+                misses: 1,
+                disk_hits: 0
+            }
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn non_hex_fingerprints_never_touch_disk() {
+        let dir = tempdir("nonhex");
+        let store = MemoStore::with_disk(dir.clone()).expect("create dirs");
+        store.put(Stage::Library, "../escape", 1u32, encode_u32);
+        store.put(Stage::Library, "UPPER", 1u32, encode_u32);
+        for stage in Stage::ALL {
+            let entries: Vec<_> = std::fs::read_dir(dir.join(stage.as_str()))
+                .expect("stage dir exists")
+                .collect();
+            assert!(entries.is_empty(), "disk write for a non-hex key");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn number_codecs_round_trip_bit_exactly() {
+        for v in [0.0, -0.0, 1.5, f64::MIN_POSITIVE, 1.0 / 3.0, f64::INFINITY] {
+            let back = f64_from_hex(&f64_hex(v)).expect("round trip");
+            assert_eq!(v.to_bits(), back.to_bits());
+        }
+        let nan = f64_from_hex(&f64_hex(f64::NAN)).expect("round trip");
+        assert!(nan.is_nan());
+        for v in [0u64, 1, u64::MAX, (1 << 53) + 1] {
+            assert_eq!(u64_from_hex(&u64_hex(v)), Some(v));
+        }
+        assert_eq!(f64_from_hex("xyz"), None);
+        assert_eq!(u64_from_hex("123"), None, "length-guarded");
+    }
+}

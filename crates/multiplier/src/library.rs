@@ -16,6 +16,75 @@ use crate::approx::{ApproxGenome, Prune, PruneAction};
 use crate::error::ErrorProfile;
 use crate::exact::{MultiplierCircuit, ReductionKind};
 
+/// How a library entry's circuit was derived from the exact base —
+/// enough provenance to rebuild the circuit deterministically without
+/// re-running the search or sweep that found it. This is what makes a
+/// characterized library durable: `(name, recipe, profile)` triples
+/// round-trip through [`MultiplierLibrary::from_parts`] while the
+/// circuits themselves are regenerated on load.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CircuitRecipe {
+    /// The exact base circuit, untouched.
+    Exact,
+    /// Operand truncation of depths `(a, b)`.
+    Truncation {
+        /// Truncation depth of operand A.
+        a: u8,
+        /// Truncation depth of operand B.
+        b: u8,
+    },
+    /// Broken-array multiplier omitting the `omit` least-significant
+    /// carry-save columns.
+    BrokenArray {
+        /// Number of omitted columns.
+        omit: u32,
+    },
+    /// Truncated multiplier with constant error correction at break
+    /// line `omit`.
+    TruncCorrect {
+        /// Break-line position.
+        omit: u32,
+    },
+    /// An NSGA-II-evolved genome (truncation + gate prunes).
+    Genome(ApproxGenome),
+}
+
+impl CircuitRecipe {
+    /// Rebuilds the circuit this recipe describes over `base` (the
+    /// exact `width`-bit circuit of reduction `kind`).
+    pub fn build(
+        &self,
+        base: &MultiplierCircuit,
+        width: u32,
+        kind: ReductionKind,
+    ) -> MultiplierCircuit {
+        match self {
+            CircuitRecipe::Exact => base.clone(),
+            CircuitRecipe::Truncation { a, b } => ApproxGenome::truncation(*a, *b).apply(base),
+            CircuitRecipe::BrokenArray { omit } => {
+                crate::families::broken_array(width, *omit, kind)
+            }
+            CircuitRecipe::TruncCorrect { omit } => {
+                crate::families::truncated_with_correction(width, *omit, kind)
+            }
+            CircuitRecipe::Genome(g) => g.apply(base),
+        }
+    }
+
+    /// The genome recorded on an entry rebuilt from this recipe —
+    /// mirrors what the original constructors stored (BAM/TCC units
+    /// are not genome-derived, so they carry the identity genome).
+    pub fn genome(&self) -> ApproxGenome {
+        match self {
+            CircuitRecipe::Exact
+            | CircuitRecipe::BrokenArray { .. }
+            | CircuitRecipe::TruncCorrect { .. } => ApproxGenome::exact(),
+            CircuitRecipe::Truncation { a, b } => ApproxGenome::truncation(*a, *b),
+            CircuitRecipe::Genome(g) => g.clone(),
+        }
+    }
+}
+
 /// One library member: an approximate (or exact) multiplier circuit
 /// with its characterized error profile.
 #[derive(Debug, Clone)]
@@ -26,6 +95,9 @@ pub struct MultiplierEntry {
     pub circuit: MultiplierCircuit,
     /// The genome that produced the circuit (identity for exact).
     pub genome: ApproxGenome,
+    /// How the circuit derives from the exact base (durable
+    /// provenance; see [`CircuitRecipe`]).
+    pub recipe: CircuitRecipe,
     /// Characterized error statistics.
     pub profile: ErrorProfile,
 }
@@ -137,6 +209,7 @@ impl MultiplierLibrary {
                 name: format!("trunc{width}_{ta}_{tb}"),
                 circuit,
                 genome,
+                recipe: CircuitRecipe::Truncation { a: ta, b: tb },
                 profile,
             }
         });
@@ -175,21 +248,28 @@ impl MultiplierLibrary {
             candidates.push(Candidate::Tcc(omit));
         }
         let characterized = carma_exec::par_map(&candidates, |candidate| {
-            let (name, circuit, genome) = match *candidate {
+            let (name, circuit, genome, recipe) = match *candidate {
                 Candidate::Trunc(t) => {
                     let genome = ApproxGenome::truncation(t, t);
                     let circuit = genome.apply(&base);
-                    (format!("trunc{width}_{t}_{t}"), circuit, genome)
+                    (
+                        format!("trunc{width}_{t}_{t}"),
+                        circuit,
+                        genome,
+                        CircuitRecipe::Truncation { a: t, b: t },
+                    )
                 }
                 Candidate::Bam(omit) => (
                     format!("bam{width}_{omit}"),
                     crate::families::broken_array(width, omit, ReductionKind::Dadda),
                     ApproxGenome::exact(), // not genome-derived
+                    CircuitRecipe::BrokenArray { omit },
                 ),
                 Candidate::Tcc(omit) => (
                     format!("tcc{width}_{omit}"),
                     crate::families::truncated_with_correction(width, omit, ReductionKind::Dadda),
                     ApproxGenome::exact(),
+                    CircuitRecipe::TruncCorrect { omit },
                 ),
             };
             let profile = ErrorProfile::exhaustive(&circuit);
@@ -200,6 +280,7 @@ impl MultiplierLibrary {
                     name,
                     circuit,
                     genome,
+                    recipe,
                     profile,
                 },
             )
@@ -235,6 +316,7 @@ impl MultiplierLibrary {
                 name: format!("carma{}_{i:03}", config.width),
                 circuit,
                 genome: p.genome.clone(),
+                recipe: CircuitRecipe::Genome(p.genome.clone()),
                 profile,
             }
         });
@@ -243,6 +325,40 @@ impl MultiplierLibrary {
         // the canonical exact entry is already present.
         entries.extend(characterized.into_iter().filter(|e| e.profile.mred > 0.0));
         Self::from_entries(config.width, entries)
+    }
+
+    /// Rebuilds a library from durable `(name, recipe, profile)`
+    /// triples in stored order — the decode path of the stage-level
+    /// memo. Circuits are regenerated from their recipes over the
+    /// exact base (cheap: one netlist sweep each, no error
+    /// characterization and no search); the stored order is preserved
+    /// verbatim because the parts came from an already
+    /// sorted/deduplicated library whose entry *indices* downstream
+    /// accuracy tables key on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or a rebuilt circuit's width
+    /// disagrees with `width`.
+    pub fn from_parts(
+        width: u32,
+        kind: ReductionKind,
+        parts: Vec<(String, CircuitRecipe, ErrorProfile)>,
+    ) -> Self {
+        assert!(!parts.is_empty(), "library cannot be empty");
+        let base = MultiplierCircuit::generate(width, kind);
+        let entries = carma_exec::par_map(&parts, |(name, recipe, profile)| {
+            let circuit = recipe.build(&base, width, kind);
+            assert_eq!(circuit.width(), width, "width mismatch in `{name}`");
+            MultiplierEntry {
+                name: name.clone(),
+                circuit,
+                genome: recipe.genome(),
+                recipe: recipe.clone(),
+                profile: *profile,
+            }
+        });
+        MultiplierLibrary { width, entries }
     }
 
     /// Builds a library from pre-characterized entries, deduplicating
@@ -350,6 +466,7 @@ fn exact_entry(base: &MultiplierCircuit, width: u32) -> MultiplierEntry {
         name: format!("exact{width}"),
         circuit: base.clone(),
         genome: ApproxGenome::exact(),
+        recipe: CircuitRecipe::Exact,
         profile: ErrorProfile::zero(width),
     }
 }
@@ -583,5 +700,60 @@ mod tests {
     #[should_panic(expected = "library cannot be empty")]
     fn empty_library_rejected() {
         let _ = MultiplierLibrary::from_entries(8, Vec::new());
+    }
+
+    #[test]
+    fn from_parts_round_trips_every_family() {
+        // classic_families covers Exact, Truncation, BrokenArray and
+        // TruncCorrect recipes in one library.
+        let original = MultiplierLibrary::classic_families(8, 2);
+        let parts: Vec<(String, CircuitRecipe, ErrorProfile)> = original
+            .entries()
+            .iter()
+            .map(|e| (e.name.clone(), e.recipe.clone(), e.profile))
+            .collect();
+        let rebuilt = MultiplierLibrary::from_parts(8, ReductionKind::Dadda, parts);
+        assert_eq!(rebuilt.len(), original.len());
+        for (a, b) in original.entries().iter().zip(rebuilt.entries()) {
+            assert_eq!(a.name, b.name, "order must be preserved verbatim");
+            assert_eq!(a.transistors(), b.transistors());
+            assert_eq!(a.genome, b.genome);
+            assert_eq!(a.recipe, b.recipe);
+            assert_eq!(a.profile, b.profile);
+        }
+    }
+
+    #[test]
+    fn genome_recipe_rebuilds_evolved_entries() {
+        let config = LibraryConfig {
+            width: 4,
+            max_truncation: 2,
+            max_prunes: 6,
+            nsga: Nsga2Config::default()
+                .with_population(12)
+                .with_generations(6)
+                .with_seed(21),
+            ..LibraryConfig::default()
+        };
+        let original = MultiplierLibrary::evolve(config);
+        let parts: Vec<(String, CircuitRecipe, ErrorProfile)> = original
+            .entries()
+            .iter()
+            .map(|e| (e.name.clone(), e.recipe.clone(), e.profile))
+            .collect();
+        let rebuilt = MultiplierLibrary::from_parts(4, config.kind, parts);
+        for (a, b) in original.entries().iter().zip(rebuilt.entries()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.transistors(), b.transistors());
+            // The rebuilt circuit is functionally identical: an
+            // exhaustive re-characterization reproduces the stored
+            // profile bit-for-bit.
+            let recheck = if b.genome.is_exact() && b.profile.mred == 0.0 {
+                ErrorProfile::zero(4)
+            } else {
+                ErrorProfile::exhaustive(&b.circuit)
+            };
+            assert_eq!(recheck, a.profile);
+        }
     }
 }

@@ -119,11 +119,13 @@ impl Metrics {
 /// Renders the Prometheus text exposition for `GET /metrics`.
 ///
 /// `cache` is `(hits, misses, entries)`, `queue` is
-/// `(queued, running, completed, failed)`.
+/// `(queued, running, completed, failed)`, `memo` is the stage-level
+/// memo counters (library/context/cell hits and misses).
 pub fn render(
     metrics: &Metrics,
     cache: (u64, u64, usize),
     queue: (usize, usize, u64, u64),
+    memo: carma_core::MemoStats,
 ) -> String {
     let (hits, misses, entries) = cache;
     let (queued, running, completed, failed) = queue;
@@ -135,7 +137,7 @@ pub fn render(
     };
     let p50 = metrics.latency.quantile(0.50).unwrap_or(0.0);
     let p99 = metrics.latency.quantile(0.99).unwrap_or(0.0);
-    format!(
+    let mut text = format!(
         "# TYPE carma_requests_total counter\n\
          carma_requests_total {requests}\n\
          # TYPE carma_connections_total counter\n\
@@ -174,7 +176,26 @@ pub fn render(
         queue_shed = metrics.queue_shed.load(Ordering::Relaxed),
         sum = metrics.latency.sum_seconds(),
         count = metrics.latency.count(),
-    )
+    );
+    text.push_str("# TYPE carma_memo_hits_total counter\n");
+    for stage in carma_core::MemoStage::ALL {
+        let c = memo.stage(stage);
+        text.push_str(&format!(
+            "carma_memo_hits_total{{stage=\"{}\"}} {}\n",
+            stage.as_str(),
+            c.hits
+        ));
+    }
+    text.push_str("# TYPE carma_memo_misses_total counter\n");
+    for stage in carma_core::MemoStage::ALL {
+        let c = memo.stage(stage);
+        text.push_str(&format!(
+            "carma_memo_misses_total{{stage=\"{}\"}} {}\n",
+            stage.as_str(),
+            c.misses
+        ));
+    }
+    text
 }
 
 #[cfg(test)]
@@ -217,7 +238,10 @@ mod tests {
         let m = Metrics::new();
         m.requests.fetch_add(3, Ordering::Relaxed);
         m.latency.record(Duration::from_micros(50));
-        let text = render(&m, (2, 1, 1), (0, 0, 1, 0));
+        let mut memo = carma_core::MemoStats::default();
+        memo.library.hits = 4;
+        memo.context.misses = 2;
+        let text = render(&m, (2, 1, 1), (0, 0, 1, 0), memo);
         for needle in [
             "carma_requests_total 3",
             "carma_cache_hits_total 2",
@@ -225,6 +249,9 @@ mod tests {
             "carma_cache_hit_ratio 0.666667",
             "carma_queue_depth 0",
             "carma_jobs_completed_total 1",
+            "carma_memo_hits_total{stage=\"library\"} 4",
+            "carma_memo_hits_total{stage=\"cell\"} 0",
+            "carma_memo_misses_total{stage=\"context\"} 2",
             "carma_request_latency_seconds{quantile=\"0.5\"}",
             "carma_request_latency_seconds{quantile=\"0.99\"}",
             "carma_request_latency_seconds_count 1",

@@ -24,7 +24,8 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 use std::{io, thread};
 
-use carma_core::scenario::{ExperimentRegistry, ScenarioSpec};
+use carma_core::scenario::{ExperimentRegistry, RunEnv, ScenarioSpec};
+use carma_core::MemoLayer;
 
 use crate::cache::ResultCache;
 use crate::event;
@@ -51,6 +52,13 @@ pub struct ServerConfig {
     /// Force the thread-per-connection compat path instead of the
     /// event loop (always used on platforms without `poll(2)`).
     pub threaded: bool,
+    /// Optional directory for the stage-level memo store shared by all
+    /// workers (`None` = in-memory memoization only). Distinct from
+    /// [`ServerConfig::cache_dir`], which caches whole rendered
+    /// reports: the memo store caches intermediate stages (multiplier
+    /// libraries, characterized contexts, sweep/GA cells), so scenarios
+    /// that merely *overlap* still reuse work.
+    pub memo_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -61,6 +69,7 @@ impl Default for ServerConfig {
             cache_dir: None,
             max_conns: 512,
             threaded: false,
+            memo_dir: None,
         }
     }
 }
@@ -71,6 +80,9 @@ pub(crate) struct ServeState {
     pub(crate) queue: Arc<JobQueue>,
     pub(crate) config: ServerConfig,
     pub(crate) metrics: Metrics,
+    /// Shared stage-memo environment every worker runs through;
+    /// `/metrics` reads its hit/miss counters.
+    pub(crate) env: RunEnv,
     pub(crate) shutdown: AtomicBool,
 }
 
@@ -97,14 +109,26 @@ impl Server {
         let queue = JobQueue::new(config.queue_capacity);
         let registry = Arc::new(ExperimentRegistry::standard());
 
+        // One memo environment shared by every worker: overlapping
+        // scenarios reuse each other's libraries, characterized
+        // contexts, and sweep/GA cells across the whole server
+        // lifetime (and across restarts when `memo_dir` is set).
+        let env = match &config.memo_dir {
+            Some(dir) => RunEnv::with_memo(MemoLayer::with_disk(dir.clone())?),
+            None => RunEnv::standard(),
+        };
+
         // The worker runner: execute through the registry, render the
         // report, insert into the content-addressed cache. A `Done`
         // job therefore always implies a warm cache entry.
         let runner: RunnerFn = {
             let cache = Arc::clone(&cache);
             let registry = Arc::clone(&registry);
+            let env = env.clone();
             Arc::new(move |fingerprint: &str, spec: &ScenarioSpec| {
-                let report = registry.run(spec).map_err(|e| e.to_string())?;
+                let report = registry
+                    .run_with_env(spec, None, None, &env)
+                    .map_err(|e| e.to_string())?;
                 Ok(cache.insert(fingerprint, report.to_json()))
             })
         };
@@ -129,6 +153,7 @@ impl Server {
                 queue,
                 config,
                 metrics: Metrics::new(),
+                env,
                 shutdown: AtomicBool::new(false),
             }),
             workers,
@@ -303,6 +328,7 @@ fn handle_metrics(state: &ServeState) -> Response {
             &state.metrics,
             (hits, misses, state.cache.len()),
             (queue.queued, queue.running, queue.completed, queue.failed),
+            state.env.memo_stats().unwrap_or_default(),
         ),
     )
 }

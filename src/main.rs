@@ -28,6 +28,7 @@ SERVE OPTIONS:
   --workers <N>        job-queue worker threads           (default: 2)
   --queue <N>          bounded job-queue capacity         (default: 64)
   --cache-dir <dir>    persist the result cache to <dir>  (default: memory only)
+  --memo-dir <dir>     persist the stage memo to <dir> (shared by all workers)
   --max-conns <N>      open-connection limit; extras get a 503 + Retry-After
                        (default: 512)
 
@@ -41,6 +42,10 @@ OPTIONS:
   --seed <N>           GA seed override
   --out text|json|csv  output format (default: text)
   --output <path>      write the output to <path> instead of stdout
+  --memo-dir <dir>     persist the stage memo (library / context / cell results)
+                       to <dir>; overlapping later runs reuse the shared stages
+  --memo-stats         print per-stage memo hit/miss counters to stderr after
+                       the run
   --fingerprint        print the scenario's result-cache fingerprint and exit
                        (the content address `carma serve` memoizes under;
                        invariant to --threads / $CARMA_THREADS)
@@ -99,6 +104,8 @@ struct RunArgs {
     seed: Option<u64>,
     out: OutFormat,
     output: Option<String>,
+    memo_dir: Option<String>,
+    memo_stats: bool,
     fingerprint: bool,
 }
 
@@ -120,6 +127,8 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
         seed: None,
         out: OutFormat::Text,
         output: None,
+        memo_dir: None,
+        memo_stats: false,
         fingerprint: false,
     };
     let mut it = args.iter();
@@ -167,6 +176,8 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
                 };
             }
             "--output" => parsed.output = Some(value_for("--output")?),
+            "--memo-dir" => parsed.memo_dir = Some(value_for("--memo-dir")?),
+            "--memo-stats" => parsed.memo_stats = true,
             "--fingerprint" => parsed.fingerprint = true,
             flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
             name => {
@@ -211,6 +222,7 @@ fn serve(args: &[String]) -> ExitCode {
                     .ok_or_else(|| format!("`--queue` needs a positive integer (got `{v}`)"))
             }),
             "--cache-dir" => value_for("--cache-dir").map(|v| config.cache_dir = Some(v.into())),
+            "--memo-dir" => value_for("--memo-dir").map(|v| config.memo_dir = Some(v.into())),
             "--max-conns" => value_for("--max-conns").and_then(|v| {
                 v.parse::<usize>()
                     .ok()
@@ -251,6 +263,13 @@ fn serve(args: &[String]) -> ExitCode {
         config.max_conns,
         config
             .cache_dir
+            .as_deref()
+            .map_or("memory only".to_string(), |d| d.display().to_string()),
+    );
+    eprintln!(
+        "stage memo: {}",
+        config
+            .memo_dir
             .as_deref()
             .map_or("memory only".to_string(), |d| d.display().to_string()),
     );
@@ -373,13 +392,41 @@ fn run(args: &[String]) -> ExitCode {
         }
     }
 
-    let report = match registry.run_with(&spec, parsed.scale, parsed.threads) {
+    // The run environment: always memoized within the run; `--memo-dir`
+    // adds the disk tier that carries stages across runs.
+    let env = match &parsed.memo_dir {
+        Some(dir) => match carma_core::MemoLayer::with_disk(dir.into()) {
+            Ok(layer) => carma_core::RunEnv::with_memo(layer),
+            Err(e) => {
+                eprintln!("error: cannot open memo dir `{dir}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => carma_core::RunEnv::standard(),
+    };
+
+    let report = match registry.run_with_env(&spec, parsed.scale, parsed.threads, &env) {
         Ok(report) => report,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::from(2);
         }
     };
+
+    if parsed.memo_stats {
+        if let Some(stats) = env.memo_stats() {
+            for stage in carma_core::MemoStage::ALL {
+                let c = stats.stage(stage);
+                eprintln!(
+                    "memo {}: hits={} misses={} disk_hits={}",
+                    stage.as_str(),
+                    c.hits,
+                    c.misses,
+                    c.disk_hits
+                );
+            }
+        }
+    }
 
     let payload = match parsed.out {
         OutFormat::Text => format!("{}{}", report.tables_text(), report.notes_text()),

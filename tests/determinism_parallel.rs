@@ -114,7 +114,7 @@ fn ga_cdp_flow_is_thread_invariant() {
         let best = flow::ga_cdp(
             &ctx,
             &model,
-            Constraints::new_unchecked(30.0, 0.05),
+            Constraints::new(30.0, 0.05).unwrap(),
             GaConfig::default()
                 .with_population(16)
                 .with_generations(8)

@@ -41,7 +41,7 @@ fn ga_cdp_beats_exact_baseline_at_scale() {
     let min_fps = 30.0;
 
     let baseline = smallest_exact_meeting(&ctx, &model, min_fps);
-    let best = ga_cdp(&ctx, &model, Constraints::new_unchecked(min_fps, 0.02), ga);
+    let best = ga_cdp(&ctx, &model, Constraints::new(min_fps, 0.02).unwrap(), ga);
 
     assert!(best.fps >= min_fps, "GA design misses FPS: {}", best.fps);
     assert!(
