@@ -1,0 +1,257 @@
+//! Sound static worst-case error bounds for approximate multipliers.
+//!
+//! Both circuits are canonicalized into one shared [`CanonTable`]
+//! (input leaves matched by port name), then per output bit the
+//! analysis derives a known-zero/known-one/unknown verdict and an
+//! arithmetic interval on the bit difference. Summing the weighted
+//! per-bit intervals yields an interval on `approx − exact` that is
+//! guaranteed to contain the true difference for *every* input vector
+//! — without simulating a single one. The bound is sound but not
+//! tight: structural canonicalization may miss equivalences (widening
+//! the interval), it can never shrink it below the truth.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use carma_netlist::Netlist;
+
+use crate::canon::CanonTable;
+
+/// Errors from [`static_error_bound`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoundError {
+    /// The two netlists do not expose the same output port names.
+    OutputMismatch {
+        /// A port present in one netlist but not the other.
+        port: String,
+    },
+    /// More output bits than the i64 weight accumulator can hold.
+    TooWide {
+        /// Number of output bits requested.
+        bits: usize,
+    },
+}
+
+impl fmt::Display for BoundError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoundError::OutputMismatch { port } => {
+                write!(f, "output port `{port}` missing from one of the netlists")
+            }
+            BoundError::TooWide { bits } => {
+                write!(f, "{bits} output bits exceed the 62-bit weight range")
+            }
+        }
+    }
+}
+
+impl Error for BoundError {}
+
+/// Result of [`static_error_bound`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaticBound {
+    /// Sound bound on `max |approx − exact|` over all inputs.
+    pub worst_abs: u64,
+    /// Lower end of the signed interval on `approx − exact`.
+    pub lo: i64,
+    /// Upper end of the signed interval on `approx − exact`.
+    pub hi: i64,
+    /// Output bits of the approximate circuit statically known to be 0
+    /// (bit k of the mask ↔ the output at declaration position k).
+    pub known_zero: u64,
+    /// Output bits of the approximate circuit statically known to be 1.
+    pub known_one: u64,
+    /// Output bits proven identical to the exact reference.
+    pub equal_bits: u64,
+    /// Number of output bits analyzed.
+    pub bits: usize,
+}
+
+/// Per-bit value interval in `{[0,0], [1,1], [0,1]}`.
+fn bit_interval(table: &CanonTable, id: crate::canon::CanonId) -> (i64, i64) {
+    match table.as_const(id) {
+        Some(false) => (0, 0),
+        Some(true) => (1, 1),
+        None => (0, 1),
+    }
+}
+
+/// Derives a sound worst-case error bound for `approx` against the
+/// reference `exact`, entirely statically.
+///
+/// Output ports are matched by name; the weight of a bit is `2^k`
+/// where `k` is its declaration position in `exact` (the multiplier
+/// convention declares `p0..p{2n-1}` LSB first). Inputs are matched by
+/// name through the shared canonical table, so both circuits see the
+/// same symbolic operands.
+///
+/// # Errors
+///
+/// [`BoundError::OutputMismatch`] if the port-name sets differ, and
+/// [`BoundError::TooWide`] beyond 62 output bits.
+pub fn static_error_bound(approx: &Netlist, exact: &Netlist) -> Result<StaticBound, BoundError> {
+    let bits = exact.output_count();
+    if approx.output_count() != bits {
+        let port = exact
+            .output_ports()
+            .iter()
+            .map(|(n, _)| n.clone())
+            .chain(approx.output_ports().iter().map(|(n, _)| n.clone()))
+            .next()
+            .unwrap_or_default();
+        return Err(BoundError::OutputMismatch { port });
+    }
+    if bits > 62 {
+        return Err(BoundError::TooWide { bits });
+    }
+
+    let mut table = CanonTable::new();
+    let exact_ids = table.add_netlist(exact);
+    let approx_ids = table.add_netlist(approx);
+
+    let approx_by_name: HashMap<&str, crate::canon::CanonId> = approx
+        .output_ports()
+        .iter()
+        .map(|(name, node)| (name.as_str(), approx_ids[node.index()]))
+        .collect();
+
+    let mut lo: i64 = 0;
+    let mut hi: i64 = 0;
+    let mut known_zero: u64 = 0;
+    let mut known_one: u64 = 0;
+    let mut equal_bits: u64 = 0;
+    for (k, (name, node)) in exact.output_ports().iter().enumerate() {
+        let e = exact_ids[node.index()];
+        let a = *approx_by_name
+            .get(name.as_str())
+            .ok_or_else(|| BoundError::OutputMismatch { port: name.clone() })?;
+        let weight = 1i64 << k;
+        match table.as_const(a) {
+            Some(false) => known_zero |= 1 << k,
+            Some(true) => known_one |= 1 << k,
+            None => {}
+        }
+        let diff = table.xor(a, e);
+        if table.as_const(diff) == Some(false) {
+            // Bits proven equal contribute exactly 0.
+            equal_bits |= 1 << k;
+            continue;
+        }
+        let (lo_a, hi_a) = bit_interval(&table, a);
+        let (lo_e, hi_e) = bit_interval(&table, e);
+        lo += (lo_a - hi_e) * weight;
+        hi += (hi_a - lo_e) * weight;
+    }
+
+    let worst_abs = hi.max(-lo).max(0) as u64;
+    Ok(StaticBound {
+        worst_abs,
+        lo,
+        hi,
+        known_zero,
+        known_one,
+        equal_bits,
+        bits,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use carma_netlist::BinOp;
+
+    /// 1-bit multiplier: p0 = a0 AND b0, p1 = 0.
+    fn exact_1bit() -> Netlist {
+        let mut n = Netlist::new("mul1");
+        let a0 = n.input("a0");
+        let b0 = n.input("b0");
+        let p0 = n.binary(BinOp::And, a0, b0);
+        n.output("p0", p0);
+        let c0 = n.constant(false);
+        n.output("p1", c0);
+        n
+    }
+
+    #[test]
+    fn exact_vs_itself_is_zero() {
+        let e = exact_1bit();
+        let b = static_error_bound(&e, &e).unwrap();
+        assert_eq!(b.worst_abs, 0);
+        assert_eq!((b.lo, b.hi), (0, 0));
+        assert_eq!(b.equal_bits, 0b11);
+        assert_eq!(b.known_zero, 0b10, "p1 is constant 0");
+    }
+
+    #[test]
+    fn structurally_distinct_but_equivalent_is_zero() {
+        let e = exact_1bit();
+        let mut a = Netlist::new("mul1_nand");
+        let a0 = a.input("a0");
+        let b0 = a.input("b0");
+        let nand = a.binary(BinOp::Nand, a0, b0);
+        let p0 = a.unary(carma_netlist::UnOp::Not, nand);
+        a.output("p0", p0);
+        let c0 = a.constant(false);
+        a.output("p1", c0);
+        let b = static_error_bound(&a, &e).unwrap();
+        assert_eq!(b.worst_abs, 0, "NOT(NAND) canonicalizes to AND");
+    }
+
+    #[test]
+    fn truncated_bit_bounds_its_weight() {
+        let e = exact_1bit();
+        // Approximation: p0 forced to 0 — may err by at most 1.
+        let mut a = Netlist::new("mul1_trunc");
+        a.input("a0");
+        a.input("b0");
+        let c0 = a.constant(false);
+        a.output("p0", c0);
+        a.output("p1", c0);
+        let b = static_error_bound(&a, &e).unwrap();
+        assert_eq!(b.worst_abs, 1);
+        assert_eq!((b.lo, b.hi), (-1, 0), "forcing a bit to 0 only undershoots");
+        assert_eq!(b.known_zero, 0b11);
+        // And the bound is sound vs exhaustive simulation.
+        let mut max_err = 0i64;
+        for a0 in [false, true] {
+            for b0 in [false, true] {
+                let ev = e.eval_bits(&[a0, b0]);
+                let av = a.eval_bits(&[a0, b0]);
+                let to_num = |v: &[bool]| -> i64 {
+                    v.iter().enumerate().map(|(k, &b)| i64::from(b) << k).sum()
+                };
+                max_err = max_err.max((to_num(&av) - to_num(&ev)).abs());
+            }
+        }
+        assert!(b.worst_abs >= max_err as u64);
+    }
+
+    #[test]
+    fn forced_one_bit_overshoots() {
+        let e = exact_1bit();
+        let mut a = Netlist::new("mul1_one");
+        a.input("a0");
+        a.input("b0");
+        let c1 = a.constant(true);
+        let c0 = a.constant(false);
+        a.output("p0", c1);
+        a.output("p1", c0);
+        let b = static_error_bound(&a, &e).unwrap();
+        assert_eq!((b.lo, b.hi), (0, 1), "forcing a bit to 1 only overshoots");
+        assert_eq!(b.known_one, 0b01);
+    }
+
+    #[test]
+    fn mismatched_ports_error() {
+        let e = exact_1bit();
+        let mut a = Netlist::new("odd");
+        let x = a.input("a0");
+        a.output("q0", x);
+        a.output("q1", x);
+        assert!(matches!(
+            static_error_bound(&a, &e),
+            Err(BoundError::OutputMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,328 @@
+//! A hash-consed canonical structural table (a small AIG-style
+//! normal form) shared by the lint pass and the static error bound.
+//!
+//! Every netlist node maps to a [`CanonId`] inside one [`CanonTable`].
+//! Smart constructors normalize aggressively — constant folding,
+//! idempotence, annihilators and identities, complement rules, double
+//! negation, commutative operand ordering, and De Morgan lowering of
+//! NAND/NOR/XNOR to NOT-of-base-op — so *equal ids imply equal Boolean
+//! functions*. The converse does not hold (the table is structural,
+//! not a SAT solver), which makes every analysis built on it sound but
+//! conservative: it may miss an equivalence, it never invents one.
+
+use std::collections::HashMap;
+
+use carma_netlist::{BinOp, Netlist, Node, UnOp};
+
+/// Index of a canonical node inside a [`CanonTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CanonId(u32);
+
+impl CanonId {
+    /// Raw index, for map keys and displays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Canonical node forms. Operands of the commutative forms are stored
+/// in sorted id order; XOR operands are additionally polarity-stripped
+/// (never `Not`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum CNode {
+    Const(bool),
+    /// Primary input, by interned port name.
+    Input(u32),
+    Not(CanonId),
+    And(CanonId, CanonId),
+    Or(CanonId, CanonId),
+    Xor(CanonId, CanonId),
+}
+
+/// Hash-consed canonical table. Canonicalize several netlists into the
+/// *same* table (inputs are matched by port name) to compare their
+/// functions structurally.
+#[derive(Debug, Default)]
+pub struct CanonTable {
+    nodes: Vec<CNode>,
+    dedup: HashMap<CNode, CanonId>,
+    input_names: HashMap<String, u32>,
+}
+
+impl CanonTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct canonical nodes interned so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn intern(&mut self, node: CNode) -> CanonId {
+        if let Some(&id) = self.dedup.get(&node) {
+            return id;
+        }
+        let id = CanonId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.dedup.insert(node, id);
+        id
+    }
+
+    /// The constant node for `value`.
+    pub fn constant(&mut self, value: bool) -> CanonId {
+        self.intern(CNode::Const(value))
+    }
+
+    /// The input leaf for port `name`. Two netlists canonicalized into
+    /// the same table share leaves for identically named ports.
+    pub fn input(&mut self, name: &str) -> CanonId {
+        let next = self.input_names.len() as u32;
+        let sym = *self.input_names.entry(name.to_string()).or_insert(next);
+        self.intern(CNode::Input(sym))
+    }
+
+    /// If `id` is a known constant, its value.
+    pub fn as_const(&self, id: CanonId) -> Option<bool> {
+        match self.nodes[id.index()] {
+            CNode::Const(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Canonical NOT.
+    pub fn not(&mut self, a: CanonId) -> CanonId {
+        match self.nodes[a.index()] {
+            CNode::Const(v) => self.constant(!v),
+            CNode::Not(x) => x,
+            _ => self.intern(CNode::Not(a)),
+        }
+    }
+
+    /// Strips any `Not` wrapper, returning the base node and whether
+    /// the polarity was inverted. `Not` never nests (double negation
+    /// collapses in [`Self::not`]), so one step suffices.
+    fn strip_not(&self, a: CanonId) -> (CanonId, bool) {
+        match self.nodes[a.index()] {
+            CNode::Not(x) => (x, true),
+            _ => (a, false),
+        }
+    }
+
+    fn complementary(&self, a: CanonId, b: CanonId) -> bool {
+        let (ba, pa) = self.strip_not(a);
+        let (bb, pb) = self.strip_not(b);
+        ba == bb && pa != pb
+    }
+
+    /// Canonical AND.
+    pub fn and(&mut self, a: CanonId, b: CanonId) -> CanonId {
+        match (self.as_const(a), self.as_const(b)) {
+            (Some(false), _) | (_, Some(false)) => return self.constant(false),
+            (Some(true), _) => return b,
+            (_, Some(true)) => return a,
+            _ => {}
+        }
+        if a == b {
+            return a;
+        }
+        if self.complementary(a, b) {
+            return self.constant(false);
+        }
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        self.intern(CNode::And(lo, hi))
+    }
+
+    /// Canonical OR.
+    pub fn or(&mut self, a: CanonId, b: CanonId) -> CanonId {
+        match (self.as_const(a), self.as_const(b)) {
+            (Some(true), _) | (_, Some(true)) => return self.constant(true),
+            (Some(false), _) => return b,
+            (_, Some(false)) => return a,
+            _ => {}
+        }
+        if a == b {
+            return a;
+        }
+        if self.complementary(a, b) {
+            return self.constant(true);
+        }
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        self.intern(CNode::Or(lo, hi))
+    }
+
+    /// Canonical XOR. Operand polarity is stripped into an output
+    /// inversion, so `x ^ !y == !(x ^ y)` normalizes to one node.
+    pub fn xor(&mut self, a: CanonId, b: CanonId) -> CanonId {
+        let (a, pa) = self.strip_not(a);
+        let (b, pb) = self.strip_not(b);
+        let mut invert = pa ^ pb;
+        let base = match (self.as_const(a), self.as_const(b)) {
+            (Some(x), Some(y)) => self.constant(x ^ y),
+            (Some(x), None) => {
+                invert ^= x;
+                b
+            }
+            (None, Some(y)) => {
+                invert ^= y;
+                a
+            }
+            (None, None) => {
+                if a == b {
+                    self.constant(false)
+                } else {
+                    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                    self.intern(CNode::Xor(lo, hi))
+                }
+            }
+        };
+        if invert {
+            self.not(base)
+        } else {
+            base
+        }
+    }
+
+    /// Canonicalizes every node of `nl` into this table, returning the
+    /// [`CanonId`] of each node in `nl`'s topological node order.
+    ///
+    /// NAND/NOR/XNOR lower to `Not` of their base op; `Buf` is the
+    /// identity. Input leaves are shared across calls by port name.
+    pub fn add_netlist(&mut self, nl: &Netlist) -> Vec<CanonId> {
+        let mut ids: Vec<CanonId> = Vec::with_capacity(nl.nodes().len());
+        for node in nl.nodes() {
+            let id = match node {
+                Node::Input { name } => self.input(name),
+                Node::Const { value } => self.constant(*value),
+                Node::Unary { op, a } => {
+                    let a = ids[a.index()];
+                    match op {
+                        UnOp::Buf => a,
+                        UnOp::Not => self.not(a),
+                    }
+                }
+                Node::Binary { op, a, b } => {
+                    let a = ids[a.index()];
+                    let b = ids[b.index()];
+                    match op {
+                        BinOp::And => self.and(a, b),
+                        BinOp::Or => self.or(a, b),
+                        BinOp::Xor => self.xor(a, b),
+                        BinOp::Nand => {
+                            let x = self.and(a, b);
+                            self.not(x)
+                        }
+                        BinOp::Nor => {
+                            let x = self.or(a, b);
+                            self.not(x)
+                        }
+                        BinOp::Xnor => {
+                            let x = self.xor(a, b);
+                            self.not(x)
+                        }
+                    }
+                }
+            };
+            ids.push(id);
+        }
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_fold() {
+        let mut t = CanonTable::new();
+        let c0 = t.constant(false);
+        let c1 = t.constant(true);
+        assert_eq!(t.not(c0), c1);
+        assert_eq!(t.and(c0, c1), c0);
+        assert_eq!(t.or(c0, c1), c1);
+        assert_eq!(t.xor(c1, c1), c0);
+        assert_eq!(t.as_const(c1), Some(true));
+    }
+
+    #[test]
+    fn idempotence_and_complements() {
+        let mut t = CanonTable::new();
+        let x = t.input("x");
+        let nx = t.not(x);
+        assert_eq!(t.and(x, x), x);
+        assert_eq!(t.or(x, x), x);
+        let xx = t.xor(x, x);
+        assert_eq!(t.as_const(xx), Some(false));
+        let and_c = t.and(x, nx);
+        assert_eq!(t.as_const(and_c), Some(false));
+        let or_c = t.or(x, nx);
+        assert_eq!(t.as_const(or_c), Some(true));
+        let xor_c = t.xor(x, nx);
+        assert_eq!(t.as_const(xor_c), Some(true));
+        assert_eq!(t.not(nx), x, "double negation collapses");
+    }
+
+    #[test]
+    fn commutativity_is_canonical() {
+        let mut t = CanonTable::new();
+        let x = t.input("x");
+        let y = t.input("y");
+        assert_eq!(t.and(x, y), t.and(y, x));
+        assert_eq!(t.or(x, y), t.or(y, x));
+        assert_eq!(t.xor(x, y), t.xor(y, x));
+    }
+
+    #[test]
+    fn xor_polarity_normalizes() {
+        let mut t = CanonTable::new();
+        let x = t.input("x");
+        let y = t.input("y");
+        let ny = t.not(y);
+        let a = t.xor(x, ny);
+        let b = t.xor(x, y);
+        assert_eq!(a, t.not(b), "x ^ !y == !(x ^ y)");
+        let c1 = t.constant(true);
+        assert_eq!(t.xor(x, c1), t.not(x));
+    }
+
+    #[test]
+    fn inverted_gates_lower_structurally() {
+        let mut nl_a = Netlist::new("nand");
+        let a = nl_a.input("a");
+        let b = nl_a.input("b");
+        let g = nl_a.binary(BinOp::Nand, a, b);
+        nl_a.output("o", g);
+
+        let mut nl_b = Netlist::new("not_and");
+        let a = nl_b.input("a");
+        let b = nl_b.input("b");
+        let g = nl_b.binary(BinOp::And, a, b);
+        let n = nl_b.unary(UnOp::Not, g);
+        nl_b.output("o", n);
+
+        let mut t = CanonTable::new();
+        let ids_a = t.add_netlist(&nl_a);
+        let ids_b = t.add_netlist(&nl_b);
+        let out_a = ids_a[nl_a.output_ports()[0].1.index()];
+        let out_b = ids_b[nl_b.output_ports()[0].1.index()];
+        assert_eq!(out_a, out_b, "NAND == NOT(AND) across netlists");
+    }
+
+    #[test]
+    fn input_leaves_shared_by_name() {
+        let mut t = CanonTable::new();
+        let x1 = t.input("x");
+        let x2 = t.input("x");
+        let y = t.input("y");
+        assert_eq!(x1, x2);
+        assert_ne!(x1, y);
+    }
+}

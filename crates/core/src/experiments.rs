@@ -267,7 +267,10 @@ pub fn format_table(header: &[&str], rows: &[Vec<String>]) -> String {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    let header_cells: Vec<String> = header
+        .iter()
+        .map(std::string::ToString::to_string)
+        .collect();
     out.push_str(&fmt_row(&header_cells, &widths));
     out.push('\n');
     out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));

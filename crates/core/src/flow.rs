@@ -178,22 +178,6 @@ impl Constraints {
         })
     }
 
-    /// Creates a constraint set from values known to be valid — the
-    /// panicking shim for callers with literal in-range thresholds.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `min_fps` is not positive or `max_accuracy_drop` is
-    /// outside `[0, 1]` (see [`Constraints::new`] for the fallible
-    /// form).
-    #[deprecated(note = "use the fallible `Constraints::new` and handle the error")]
-    pub fn new_unchecked(min_fps: f64, max_accuracy_drop: f64) -> Self {
-        match Self::new(min_fps, max_accuracy_drop) {
-            Ok(c) => c,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
     /// Whether `eval` satisfies both constraints.
     pub fn satisfied_by(&self, eval: &DesignEval) -> bool {
         eval.fps >= self.min_fps && eval.accuracy_drop <= self.max_accuracy_drop
@@ -764,13 +748,6 @@ mod tests {
             Err(ConstraintError::DropOutOfRange(1.5))
         );
         assert!(Constraints::new(30.0, 0.02).is_ok());
-    }
-
-    #[test]
-    #[should_panic(expected = "min_fps must be positive")]
-    #[allow(deprecated)]
-    fn new_unchecked_panics_on_bad_fps() {
-        let _ = Constraints::new_unchecked(0.0, 0.01);
     }
 
     #[test]

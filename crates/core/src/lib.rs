@@ -47,7 +47,9 @@ pub mod space;
 pub use context::{CarmaContext, DesignEval};
 pub use flow::{ConstraintError, Constraints, FitnessMetric, Objective, SweepPoint};
 pub use memo::MemoLayer;
-pub use scenario::{ExperimentRegistry, Report, RunEnv, Scale, ScenarioError, ScenarioSpec};
+pub use scenario::{
+    fixture_lint_report, ExperimentRegistry, Report, RunEnv, Scale, ScenarioError, ScenarioSpec,
+};
 pub use space::DesignPoint;
 
 // Re-exported so downstream consumers (the CLI, `carma-serve`) can

@@ -434,7 +434,7 @@ pub(crate) fn decode_library(text: &str) -> Option<MultiplierLibrary> {
     Some(MultiplierLibrary::from_parts(
         width,
         ReductionKind::Dadda,
-        parts,
+        &parts,
     ))
 }
 

@@ -136,6 +136,54 @@ pub struct ParallelRow {
     pub wall_s: f64,
 }
 
+/// One circuit's summary line of the `lint` experiment: structural
+/// stats, diagnostic counts, and the static error bound next to the
+/// dynamically measured worst-case error it must dominate.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct LintRow {
+    /// Library family the circuit belongs to.
+    pub family: String,
+    /// Circuit (library entry) name.
+    pub circuit: String,
+    /// Gate count.
+    pub gates: usize,
+    /// Transistor count (the area proxy).
+    pub transistors: u64,
+    /// Logic depth in gate levels.
+    pub depth: usize,
+    /// Error-severity diagnostics.
+    pub errors: usize,
+    /// Warning-severity diagnostics.
+    pub warnings: usize,
+    /// Info-severity diagnostics.
+    pub infos: usize,
+    /// Sound static bound on `max |approx − exact|`.
+    pub static_bound: u64,
+    /// Exhaustively measured worst-case absolute error.
+    pub measured_wce: u64,
+    /// Whether `static_bound >= measured_wce` (must always hold).
+    pub sound: bool,
+}
+
+/// One diagnostic of the `lint` experiment, flattened for reporting.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct LintFindingRow {
+    /// Library family the circuit belongs to.
+    pub family: String,
+    /// Circuit (library entry) name.
+    pub circuit: String,
+    /// Severity label (`info`, `warning`, `error`).
+    pub severity: String,
+    /// Machine-readable lint code (`dead-gate`, `floating-input`, …).
+    pub code: String,
+    /// Node the finding anchors to (`n42`), or `-`.
+    pub node: String,
+    /// Port the finding anchors to, or `-`.
+    pub port: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
 /// A typed experiment result table — one variant per row family,
 /// unifying everything the nine legacy binaries printed.
 #[derive(Debug, Clone, PartialEq)]
@@ -160,6 +208,10 @@ pub enum Artifact {
     Deployment(Vec<DeploymentRow>),
     /// `bench_parallel` measurements.
     Parallel(Vec<ParallelRow>),
+    /// `lint` per-circuit summaries.
+    Lint(Vec<LintRow>),
+    /// `lint` per-diagnostic findings.
+    LintFinding(Vec<LintFindingRow>),
 }
 
 fn opt(v: Option<f64>, fmt: impl Fn(f64) -> String, none: &str) -> String {
@@ -180,6 +232,8 @@ impl Artifact {
             Artifact::Yield(_) => "yield",
             Artifact::Deployment(_) => "deployment",
             Artifact::Parallel(_) => "parallel",
+            Artifact::Lint(_) => "lint",
+            Artifact::LintFinding(_) => "lint_finding",
         }
     }
 
@@ -196,6 +250,8 @@ impl Artifact {
             Artifact::Yield(r) => r.len(),
             Artifact::Deployment(r) => r.len(),
             Artifact::Parallel(r) => r.len(),
+            Artifact::Lint(r) => r.len(),
+            Artifact::LintFinding(r) => r.len(),
         }
     }
 
@@ -207,7 +263,7 @@ impl Artifact {
     /// Column header of the rendered table (matches what the legacy
     /// binaries printed).
     pub fn header(&self) -> Vec<String> {
-        let own = |cols: &[&str]| cols.iter().map(|c| c.to_string()).collect();
+        let own = |cols: &[&str]| cols.iter().map(std::string::ToString::to_string).collect();
         match self {
             Artifact::Fig2(_) => own(&["series", "MACs", "FPS", "carbon [gCO2]"]),
             Artifact::Reduction(rows) => {
@@ -264,13 +320,29 @@ impl Artifact {
                 "crossover [h]",
             ]),
             Artifact::Parallel(_) => own(&["stage", "threads", "wall [s]"]),
+            Artifact::Lint(_) => own(&[
+                "family",
+                "circuit",
+                "gates",
+                "transistors",
+                "depth",
+                "err",
+                "warn",
+                "info",
+                "static bound",
+                "measured WCE",
+                "sound",
+            ]),
+            Artifact::LintFinding(_) => own(&[
+                "family", "circuit", "severity", "code", "node", "port", "message",
+            ]),
         }
     }
 
     /// Machine-readable column names for the CSV sink (snake_case;
     /// matches the headers the legacy `fig2`/`fig3` binaries wrote).
     pub fn csv_header(&self) -> Vec<String> {
-        let own = |cols: &[&str]| cols.iter().map(|c| c.to_string()).collect();
+        let own = |cols: &[&str]| cols.iter().map(std::string::ToString::to_string).collect();
         match self {
             Artifact::Fig2(_) => own(&["series", "macs", "fps", "carbon_g"]),
             Artifact::Reduction(rows) => {
@@ -327,6 +399,22 @@ impl Artifact {
                 "crossover_h",
             ]),
             Artifact::Parallel(_) => own(&["stage", "threads", "wall_s"]),
+            Artifact::Lint(_) => own(&[
+                "family",
+                "circuit",
+                "gates",
+                "transistors",
+                "depth",
+                "errors",
+                "warnings",
+                "infos",
+                "static_bound",
+                "measured_wce",
+                "sound",
+            ]),
+            Artifact::LintFinding(_) => own(&[
+                "family", "circuit", "severity", "code", "node", "port", "message",
+            ]),
         }
     }
 
@@ -478,6 +566,38 @@ impl Artifact {
                     ]
                 })
                 .collect(),
+            Artifact::Lint(rows) => rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.family.clone(),
+                        r.circuit.clone(),
+                        r.gates.to_string(),
+                        r.transistors.to_string(),
+                        r.depth.to_string(),
+                        r.errors.to_string(),
+                        r.warnings.to_string(),
+                        r.infos.to_string(),
+                        r.static_bound.to_string(),
+                        r.measured_wce.to_string(),
+                        if r.sound { "yes" } else { "NO" }.to_string(),
+                    ]
+                })
+                .collect(),
+            Artifact::LintFinding(rows) => rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.family.clone(),
+                        r.circuit.clone(),
+                        r.severity.clone(),
+                        r.code.clone(),
+                        r.node.clone(),
+                        r.port.clone(),
+                        r.message.clone(),
+                    ]
+                })
+                .collect(),
         }
     }
 
@@ -510,6 +630,8 @@ impl Artifact {
             Artifact::Yield(r) => serde::json::to_string(r),
             Artifact::Deployment(r) => serde::json::to_string(r),
             Artifact::Parallel(r) => serde::json::to_string(r),
+            Artifact::Lint(r) => serde::json::to_string(r),
+            Artifact::LintFinding(r) => serde::json::to_string(r),
         }
     }
 }

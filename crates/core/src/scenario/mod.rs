@@ -24,10 +24,10 @@ mod registry;
 mod spec;
 
 pub use artifact::{
-    Artifact, DeploymentRow, FamilyRow, GridRow, MetricRow, ParallelRow, Report, SearchRow,
-    YieldRow,
+    Artifact, DeploymentRow, FamilyRow, GridRow, LintFindingRow, LintRow, MetricRow, ParallelRow,
+    Report, SearchRow, YieldRow,
 };
-pub use registry::{ExperimentInfo, ExperimentRegistry, RunEnv, Runner};
+pub use registry::{fixture_lint_report, ExperimentInfo, ExperimentRegistry, RunEnv, Runner};
 pub use spec::{
     DeploymentSpec, Family, GaSpec, ModelSel, ResolvedScenario, ScenarioSpec,
     DEPLOYMENT_FIELD_ORDER, DEPLOYMENT_GRIDS, DEPLOYMENT_LIFETIMES_H, GA_FIELD_ORDER,

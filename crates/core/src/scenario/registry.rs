@@ -8,12 +8,13 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use carma_analyze::{lint, static_error_bound, LintOptions, LintProfile, LintReport, Severity};
 use carma_carbon::{CarbonModel, GridMix, YieldModel};
-use carma_multiplier::MultiplierLibrary;
+use carma_multiplier::{MultiplierCircuit, MultiplierLibrary, ReductionKind};
 
 use super::artifact::{
-    Artifact, DeploymentRow, FamilyRow, GridRow, MetricRow, ParallelRow, Report, SearchRow,
-    YieldRow,
+    Artifact, DeploymentRow, FamilyRow, GridRow, LintFindingRow, LintRow, MetricRow, ParallelRow,
+    Report, SearchRow, YieldRow,
 };
 use super::spec::{Family, ResolvedScenario, ScenarioSpec};
 use super::{Scale, ScenarioError};
@@ -104,6 +105,21 @@ impl RunEnv {
         match &self.memo {
             Some(layer) => carma_exec::par_map(&r.nodes, |&node| layer.context(r, node)),
             None => r.node_contexts(),
+        }
+    }
+
+    /// The scenario's multiplier library of `family`, read through the
+    /// memo's library stage when one is configured (the `lint` runner
+    /// shares characterization with every other experiment that built
+    /// the same family).
+    pub fn library_for(
+        &self,
+        r: &ResolvedScenario,
+        family: Family,
+    ) -> std::sync::Arc<MultiplierLibrary> {
+        match &self.memo {
+            Some(layer) => layer.library(r, family),
+            None => std::sync::Arc::new(r.library_for(family)),
         }
     }
 }
@@ -261,6 +277,17 @@ impl ExperimentRegistry {
                 objective_aware: false,
                 csv_artifact: None,
                 runner: Runner::Custom(run_bench_parallel),
+            },
+            ExperimentInfo {
+                name: "lint",
+                title: "Static analysis — structural lints and sound error bounds",
+                index: "Static analysis: netlist lints + static-vs-measured error bound per family",
+                multi_node: false,
+                multi_model: false,
+                zoo_default: false,
+                objective_aware: false,
+                csv_artifact: None,
+                runner: Runner::Custom(run_lint),
             },
         ];
         ExperimentRegistry { entries }
@@ -784,12 +811,139 @@ fn run_bench_parallel(r: &ResolvedScenario, _env: &RunEnv) -> Report {
     report(r, vec![Artifact::Parallel(rows)], notes)
 }
 
+/// Flattens one circuit's lint findings into report rows.
+fn lint_finding_rows(family: &str, circuit: &str, lr: &LintReport) -> Vec<LintFindingRow> {
+    lr.diagnostics
+        .iter()
+        .map(|d| LintFindingRow {
+            family: family.to_string(),
+            circuit: circuit.to_string(),
+            severity: d.severity.label().to_string(),
+            code: d.code.label().to_string(),
+            node: d.node.map_or_else(|| "-".to_string(), |n| n.to_string()),
+            port: d.port.clone().unwrap_or_else(|| "-".to_string()),
+            message: d.message.clone(),
+        })
+        .collect()
+}
+
+/// Longest input→output path of the linted netlist, in gate levels.
+fn lint_depth(lr: &LintReport) -> usize {
+    lr.output_stats.iter().map(|s| s.depth).max().unwrap_or(0)
+}
+
+fn run_lint(r: &ResolvedScenario, env: &RunEnv) -> Report {
+    let families = match r.family {
+        Some(f) => vec![f],
+        None => vec![Family::Ladder, Family::Classic, Family::Evolved],
+    };
+    // The exact Dadda reference every static bound is taken against —
+    // the same base circuit the library generators start from.
+    let exact = MultiplierCircuit::generate(8, ReductionKind::Dadda);
+    let opts = LintOptions {
+        profile: LintProfile::Trusted,
+        multiplier_width: Some(8),
+    };
+
+    let mut rows = Vec::new();
+    let mut findings = Vec::new();
+    for family in families {
+        let lib = env.library_for(r, family);
+        for entry in lib.entries() {
+            let nl = entry.circuit.netlist();
+            let lr = lint(nl, &opts);
+            let bound = static_error_bound(nl, exact.netlist())
+                .expect("library entries follow the 8-bit port convention");
+            rows.push(LintRow {
+                family: family.as_str().to_string(),
+                circuit: entry.name.clone(),
+                gates: nl.gate_count(),
+                transistors: nl.transistor_count(),
+                depth: lint_depth(&lr),
+                errors: lr.count(Severity::Error),
+                warnings: lr.count(Severity::Warning),
+                infos: lr.count(Severity::Info),
+                static_bound: bound.worst_abs,
+                measured_wce: entry.profile.wce,
+                sound: bound.worst_abs >= entry.profile.wce,
+            });
+            findings.extend(lint_finding_rows(family.as_str(), &entry.name, &lr));
+        }
+    }
+
+    let circuits = rows.len();
+    let errors: usize = rows.iter().map(|row| row.errors).sum();
+    let warnings: usize = rows.iter().map(|row| row.warnings).sum();
+    let unsound: Vec<&str> = rows
+        .iter()
+        .filter(|row| !row.sound)
+        .map(|row| row.circuit.as_str())
+        .collect();
+    let mut notes = vec![format!(
+        "{circuits} circuits linted (trusted profile): {errors} errors, {warnings} warnings"
+    )];
+    if unsound.is_empty() {
+        notes.push(
+            "static bound ≥ measured WCE for every circuit (interval analysis is sound)"
+                .to_string(),
+        );
+    } else {
+        notes.push(format!(
+            "UNSOUND static bound for: {} — interval analysis bug",
+            unsound.join(", ")
+        ));
+    }
+    report(
+        r,
+        vec![Artifact::Lint(rows), Artifact::LintFinding(findings)],
+        notes,
+    )
+}
+
+/// Lints the deliberately corrupted fixture netlist under the strict
+/// profile — the `carma lint --fixture corrupted` path, which must
+/// produce error-severity findings (and a non-zero CLI exit).
+pub fn fixture_lint_report(scale: Scale) -> Report {
+    let nl = carma_analyze::corrupted_fixture();
+    let opts = LintOptions {
+        profile: LintProfile::Strict,
+        multiplier_width: None,
+    };
+    let lr = lint(&nl, &opts);
+    let rows = vec![LintRow {
+        family: "fixture".to_string(),
+        circuit: "corrupted".to_string(),
+        gates: nl.gate_count(),
+        transistors: nl.transistor_count(),
+        depth: lint_depth(&lr),
+        errors: lr.count(Severity::Error),
+        warnings: lr.count(Severity::Warning),
+        infos: lr.count(Severity::Info),
+        // Not a multiplier: no error bound is defined for the fixture.
+        static_bound: 0,
+        measured_wce: 0,
+        sound: true,
+    }];
+    let findings = lint_finding_rows("fixture", "corrupted", &lr);
+    Report {
+        experiment: "lint".to_string(),
+        title: "Static analysis — corrupted fixture (strict profile)".to_string(),
+        scale,
+        artifacts: vec![Artifact::Lint(rows), Artifact::LintFinding(findings)],
+        notes: vec![
+            "fixture plants a floating input, a dead cone, a duplicate gate and a \
+             constant-foldable gate; the strict profile must flag errors"
+                .to_string(),
+        ],
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn registry_knows_all_ten_experiments() {
+    fn registry_knows_all_eleven_experiments() {
         let registry = ExperimentRegistry::standard();
         let names: Vec<&str> = registry.names().collect();
         assert_eq!(
@@ -805,6 +959,7 @@ mod tests {
                 "ablation_yield",
                 "deployment",
                 "bench_parallel",
+                "lint",
             ]
         );
         assert!(registry.get("fig2").is_some());

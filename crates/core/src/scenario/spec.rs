@@ -574,8 +574,8 @@ impl ScenarioSpec {
             self.fps_thresholds.clone()
         };
         // Every threshold must form valid constraints with the binding
-        // class; checking them all up front keeps runner-side
-        // `Constraints::new_unchecked` honest.
+        // class; checking them all up front means runners can assume
+        // any (threshold, class) pair they combine is in range.
         let binding_class = *accuracy_classes.last().expect("non-empty after default");
         let mut constraints = None;
         for &fps in &fps_thresholds {
@@ -876,7 +876,11 @@ impl ResolvedScenario {
         use serde::json::to_string as js;
 
         let model_names: Vec<String> = self.models().iter().map(|m| m.name().to_string()).collect();
-        let node_names: Vec<String> = self.nodes.iter().map(|n| n.to_string()).collect();
+        let node_names: Vec<String> = self
+            .nodes
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
         let family = self.family.unwrap_or(Family::Ladder).as_str();
         let package = match self.deployment.package {
             Package::Monolithic => "monolithic",

@@ -307,7 +307,7 @@ mod tests {
     #[test]
     fn paper_zoo_has_four_models() {
         let zoo = DnnModel::paper_zoo();
-        let names: Vec<&str> = zoo.iter().map(|m| m.name()).collect();
+        let names: Vec<&str> = zoo.iter().map(super::DnnModel::name).collect();
         assert_eq!(names, vec!["vgg16", "resnet152", "resnet50", "vgg19"]);
     }
 

@@ -519,7 +519,7 @@ mod tests {
         }
 
         fn mutate(&self, g: &mut Vec<f64>, rng: &mut dyn Rng) {
-            Sphere { dims: self.dims }.mutate(g, rng)
+            Sphere { dims: self.dims }.mutate(g, rng);
         }
 
         fn evaluate(&self, g: &Vec<f64>) -> Evaluation {

@@ -516,7 +516,7 @@ mod tests {
         }
 
         fn mutate(&self, g: &mut f64, rng: &mut dyn Rng) {
-            Schaffer.mutate(g, rng)
+            Schaffer.mutate(g, rng);
         }
 
         fn evaluate(&self, g: &f64) -> Vec<f64> {

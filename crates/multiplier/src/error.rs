@@ -214,7 +214,7 @@ impl Accumulator {
 
     /// Folds `other` into `self` (field-wise sums, max of worst
     /// cases).
-    fn absorb(&mut self, other: Accumulator) {
+    fn absorb(&mut self, other: &Accumulator) {
         debug_assert_eq!(self.width, other.width);
         self.count += other.count;
         self.errors += other.errors;
@@ -231,7 +231,7 @@ impl Accumulator {
     fn merge_in_order(width: u32, partials: Vec<Accumulator>) -> Accumulator {
         let mut total = Accumulator::new(width);
         for p in partials {
-            total.absorb(p);
+            total.absorb(&p);
         }
         total
     }

@@ -47,5 +47,7 @@ pub use approx::{ApproxGenome, Prune, PruneAction};
 pub use behavioral::{DrumMultiplier, MitchellMultiplier};
 pub use error::ErrorProfile;
 pub use exact::{MultiplierCircuit, ReductionKind};
-pub use library::{CircuitRecipe, LibraryConfig, MultiplierEntry, MultiplierLibrary};
+pub use library::{
+    prescreen_circuit, CircuitRecipe, LibraryConfig, MultiplierEntry, MultiplierLibrary,
+};
 pub use lut::{ExactMultiplier, LutMultiplier, Multiplier};

@@ -140,6 +140,13 @@ pub struct LibraryConfig {
     pub max_prunes: usize,
     /// NSGA-II hyper-parameters.
     pub nsga: Nsga2Config,
+    /// Statically pre-screen every Pareto-front circuit with
+    /// [`prescreen_circuit`] before spending exhaustive
+    /// characterization time on it. Rejections are structural defects
+    /// (port-convention or validity violations) that no recipe-derived
+    /// circuit should exhibit, so the flag changes results only when
+    /// something is genuinely broken.
+    pub prescreen: bool,
 }
 
 impl Default for LibraryConfig {
@@ -150,8 +157,41 @@ impl Default for LibraryConfig {
             max_truncation: 4,
             max_prunes: 24,
             nsga: Nsga2Config::default(),
+            prescreen: true,
         }
     }
+}
+
+/// Statically certifies a multiplier circuit before characterization:
+/// runs the [`carma_analyze`] lint pass under the trusted profile with
+/// the n-bit port convention enforced, and rejects on any
+/// error-severity finding (invalid structure, or port names/width/
+/// ordering that would silently corrupt LUT indexing downstream).
+///
+/// Dead gates, floating inputs and foldable cones are *not* rejected:
+/// truncation and pruning produce those by design.
+///
+/// # Errors
+///
+/// Returns every error-severity diagnostic message, joined with `"; "`.
+pub fn prescreen_circuit(circuit: &MultiplierCircuit) -> Result<(), String> {
+    let report = carma_analyze::lint(
+        circuit.netlist(),
+        &carma_analyze::LintOptions {
+            profile: carma_analyze::LintProfile::Trusted,
+            multiplier_width: Some(circuit.width()),
+        },
+    );
+    if !report.has_errors() {
+        return Ok(());
+    }
+    let msgs: Vec<String> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == carma_analyze::Severity::Error)
+        .map(|d| d.message.clone())
+        .collect();
+    Err(msgs.join("; "))
 }
 
 /// A family of approximate multipliers sharing one operand width,
@@ -200,6 +240,11 @@ impl MultiplierLibrary {
         let entries = carma_exec::par_map(&rungs, |&(ta, tb)| {
             let genome = ApproxGenome::truncation(ta, tb);
             let circuit = genome.apply(&base);
+            debug_assert!(
+                prescreen_circuit(&circuit).is_ok(),
+                "ladder rung ({ta},{tb}) failed static pre-screen: {:?}",
+                prescreen_circuit(&circuit)
+            );
             let profile = if genome.is_exact() {
                 ErrorProfile::zero(width)
             } else {
@@ -272,6 +317,11 @@ impl MultiplierLibrary {
                     CircuitRecipe::TruncCorrect { omit },
                 ),
             };
+            debug_assert!(
+                prescreen_circuit(&circuit).is_ok(),
+                "classic candidate `{name}` failed static pre-screen: {:?}",
+                prescreen_circuit(&circuit)
+            );
             let profile = ErrorProfile::exhaustive(&circuit);
             let keep_even_if_exact = matches!(candidate, Candidate::Trunc(_));
             (
@@ -306,6 +356,14 @@ impl MultiplierLibrary {
             config,
         };
         let front = Nsga2::new(problem, config.nsga).run();
+
+        // Static pre-screen: drop structurally defective candidates
+        // (a cheap sweep + lint each) before spending exhaustive
+        // characterization time on them.
+        let front: Vec<_> = front
+            .into_iter()
+            .filter(|p| !config.prescreen || prescreen_circuit(&p.genome.apply(&base)).is_ok())
+            .collect();
 
         // Re-characterize the whole front in parallel (the NSGA-II run
         // cached only objective values, not profiles).
@@ -343,13 +401,18 @@ impl MultiplierLibrary {
     pub fn from_parts(
         width: u32,
         kind: ReductionKind,
-        parts: Vec<(String, CircuitRecipe, ErrorProfile)>,
+        parts: &[(String, CircuitRecipe, ErrorProfile)],
     ) -> Self {
         assert!(!parts.is_empty(), "library cannot be empty");
         let base = MultiplierCircuit::generate(width, kind);
-        let entries = carma_exec::par_map(&parts, |(name, recipe, profile)| {
+        let entries = carma_exec::par_map(parts, |(name, recipe, profile)| {
             let circuit = recipe.build(&base, width, kind);
             assert_eq!(circuit.width(), width, "width mismatch in `{name}`");
+            debug_assert!(
+                prescreen_circuit(&circuit).is_ok(),
+                "rebuilt entry `{name}` failed static pre-screen: {:?}",
+                prescreen_circuit(&circuit)
+            );
             MultiplierEntry {
                 name: name.clone(),
                 circuit,
@@ -703,6 +766,31 @@ mod tests {
     }
 
     #[test]
+    fn prescreen_accepts_every_builtin_recipe() {
+        let base = MultiplierCircuit::generate(8, ReductionKind::Dadda);
+        prescreen_circuit(&base).unwrap();
+        prescreen_circuit(&ApproxGenome::truncation(2, 3).apply(&base)).unwrap();
+        prescreen_circuit(&crate::families::broken_array(8, 3, ReductionKind::Dadda)).unwrap();
+        prescreen_circuit(&crate::families::truncated_with_correction(
+            8,
+            3,
+            ReductionKind::Dadda,
+        ))
+        .unwrap();
+    }
+
+    #[test]
+    fn prescreen_rejects_misnamed_ports() {
+        let mut base = MultiplierCircuit::generate(4, ReductionKind::Dadda);
+        base.netlist_mut().set_name("renamed");
+        // Corrupt the port convention by appending a ninth output.
+        let extra = base.netlist_mut().constant(false);
+        base.netlist_mut().output("p_extra", extra);
+        let err = prescreen_circuit(&base).unwrap_err();
+        assert!(err.contains("outputs"), "{err}");
+    }
+
+    #[test]
     fn from_parts_round_trips_every_family() {
         // classic_families covers Exact, Truncation, BrokenArray and
         // TruncCorrect recipes in one library.
@@ -712,7 +800,7 @@ mod tests {
             .iter()
             .map(|e| (e.name.clone(), e.recipe.clone(), e.profile))
             .collect();
-        let rebuilt = MultiplierLibrary::from_parts(8, ReductionKind::Dadda, parts);
+        let rebuilt = MultiplierLibrary::from_parts(8, ReductionKind::Dadda, &parts);
         assert_eq!(rebuilt.len(), original.len());
         for (a, b) in original.entries().iter().zip(rebuilt.entries()) {
             assert_eq!(a.name, b.name, "order must be preserved verbatim");
@@ -741,7 +829,7 @@ mod tests {
             .iter()
             .map(|e| (e.name.clone(), e.recipe.clone(), e.profile))
             .collect();
-        let rebuilt = MultiplierLibrary::from_parts(4, config.kind, parts);
+        let rebuilt = MultiplierLibrary::from_parts(4, config.kind, &parts);
         for (a, b) in original.entries().iter().zip(rebuilt.entries()) {
             assert_eq!(a.name, b.name);
             assert_eq!(a.transistors(), b.transistors());

@@ -43,7 +43,7 @@ pub mod verilog;
 pub use area::{Area, NAND2_TRANSISTORS};
 pub use equiv::{check_equivalence, Equivalence};
 pub use gate::{BinOp, Node, NodeId, UnOp};
-pub use netlist::{Netlist, NetlistError, NetlistStats};
+pub use netlist::{Netlist, NetlistError, NetlistStats, SweepAnalysis, SweepReason};
 pub use sim::{LaneSim, WORD_LANES};
 pub use tech::{TechNode, TechParams};
 pub use verilog::to_verilog;

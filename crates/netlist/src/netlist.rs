@@ -354,55 +354,8 @@ impl Netlist {
     /// always retained (even if dead) so the port interface — and thus
     /// LUT indexing — is stable.
     pub fn sweep(&self) -> Netlist {
-        // Forward pass: compute, per node, either a known constant or a
-        // canonical live source (for buffers).
-        let mut vals: Vec<Val> = Vec::with_capacity(self.nodes.len());
-        for (idx, n) in self.nodes.iter().enumerate() {
-            let v = match n {
-                Node::Input { .. } => Val::Ref(NodeId(idx as u32)),
-                Node::Const { value } => Val::Const(*value),
-                Node::Unary { op, a } => match (op, vals[a.index()]) {
-                    (UnOp::Buf, v) => v,
-                    (UnOp::Not, Val::Const(c)) => Val::Const(!c),
-                    (UnOp::Not, Val::Ref(_)) => Val::Ref(NodeId(idx as u32)),
-                },
-                Node::Binary { op, a, b } => {
-                    let va = vals[a.index()];
-                    let vb = vals[b.index()];
-                    match (va, vb) {
-                        (Val::Const(x), Val::Const(y)) => {
-                            Val::Const(op.apply(x as u64, y as u64) & 1 == 1)
-                        }
-                        _ => match Self::fold_one_const(*op, va, vb) {
-                            Some(v) => v,
-                            None => Val::Ref(NodeId(idx as u32)),
-                        },
-                    }
-                }
-            };
-            vals.push(v);
-        }
-
-        // Mark liveness from outputs through canonicalized refs.
-        let resolve = |id: NodeId| -> Val { vals[id.index()] };
-        let mut live = vec![false; self.nodes.len()];
-        let mut stack: Vec<NodeId> = Vec::new();
-        for (_, out) in &self.outputs {
-            if let Val::Ref(r) = resolve(*out) {
-                stack.push(r);
-            }
-        }
-        while let Some(id) = stack.pop() {
-            if live[id.index()] {
-                continue;
-            }
-            live[id.index()] = true;
-            for op in self.nodes[id.index()].operands() {
-                if let Val::Ref(r) = resolve(op) {
-                    stack.push(r);
-                }
-            }
-        }
+        let vals = self.canonical_vals();
+        let live = self.liveness(&vals);
 
         // Rebuild. Inputs always survive.
         let mut out = Netlist::new(self.name.clone());
@@ -448,6 +401,122 @@ impl Netlist {
             out.output(name.clone(), target);
         }
         out
+    }
+
+    /// Forward pass shared by [`sweep`] and [`sweep_analysis`]: per
+    /// node, either a known constant or a canonical live source
+    /// (buffer chains and one-const identities collapse to the node
+    /// they forward).
+    ///
+    /// [`sweep`]: Netlist::sweep
+    /// [`sweep_analysis`]: Netlist::sweep_analysis
+    fn canonical_vals(&self) -> Vec<Val> {
+        let mut vals: Vec<Val> = Vec::with_capacity(self.nodes.len());
+        for (idx, n) in self.nodes.iter().enumerate() {
+            let v = match n {
+                Node::Input { .. } => Val::Ref(NodeId(idx as u32)),
+                Node::Const { value } => Val::Const(*value),
+                Node::Unary { op, a } => match (op, vals[a.index()]) {
+                    (UnOp::Buf, v) => v,
+                    (UnOp::Not, Val::Const(c)) => Val::Const(!c),
+                    (UnOp::Not, Val::Ref(_)) => Val::Ref(NodeId(idx as u32)),
+                },
+                Node::Binary { op, a, b } => {
+                    let va = vals[a.index()];
+                    let vb = vals[b.index()];
+                    match (va, vb) {
+                        (Val::Const(x), Val::Const(y)) => {
+                            Val::Const(op.apply(x as u64, y as u64) & 1 == 1)
+                        }
+                        _ => match Self::fold_one_const(*op, va, vb) {
+                            Some(v) => v,
+                            None => Val::Ref(NodeId(idx as u32)),
+                        },
+                    }
+                }
+            };
+            vals.push(v);
+        }
+        vals
+    }
+
+    /// Marks liveness from outputs through canonicalized refs. A node
+    /// is live iff it survives [`sweep`] as the canonical driver of
+    /// some output cone; forwarding/folded gates are never live.
+    ///
+    /// [`sweep`]: Netlist::sweep
+    fn liveness(&self, vals: &[Val]) -> Vec<bool> {
+        let resolve = |id: NodeId| -> Val { vals[id.index()] };
+        let mut live = vec![false; self.nodes.len()];
+        let mut stack: Vec<NodeId> = Vec::new();
+        for (_, out) in &self.outputs {
+            if let Val::Ref(r) = resolve(*out) {
+                stack.push(r);
+            }
+        }
+        while let Some(id) = stack.pop() {
+            if live[id.index()] {
+                continue;
+            }
+            live[id.index()] = true;
+            for op in self.nodes[id.index()].operands() {
+                if let Val::Ref(r) = resolve(op) {
+                    stack.push(r);
+                }
+            }
+        }
+        live
+    }
+
+    /// Explains what [`sweep`] would remove, without rebuilding.
+    ///
+    /// Runs the same forward-canonicalization and liveness passes as
+    /// [`sweep`] (the two share their implementation, so agreement is
+    /// by construction) and reports, instead of a rebuilt netlist:
+    ///
+    /// - every gate `sweep` would drop, with a [`SweepReason`]
+    ///   (`removed.len() == self.gate_count() - self.sweep().gate_count()`);
+    /// - every primary input no output cone depends on (`sweep` keeps
+    ///   such inputs to preserve the port interface, but they are
+    ///   floating: no output ever observes them).
+    ///
+    /// A gate that is both constant-foldable and unreachable reports
+    /// [`SweepReason::ConstantFold`]; reachability is only reported
+    /// when no fold applies.
+    ///
+    /// [`sweep`]: Netlist::sweep
+    pub fn sweep_analysis(&self) -> SweepAnalysis {
+        let vals = self.canonical_vals();
+        let live = self.liveness(&vals);
+        let mut removed = Vec::new();
+        let mut dead_inputs = Vec::new();
+        for (idx, n) in self.nodes.iter().enumerate() {
+            let id = NodeId(idx as u32);
+            match n {
+                Node::Input { .. } => {
+                    if !live[idx] {
+                        dead_inputs.push(id);
+                    }
+                }
+                // Constants are not gates; sweep re-materializes the
+                // ones still referenced on demand.
+                Node::Const { .. } => {}
+                Node::Unary { .. } | Node::Binary { .. } => {
+                    if !live[idx] {
+                        let reason = match vals[idx] {
+                            Val::Const(c) => SweepReason::ConstantFold(c),
+                            Val::Ref(r) if r != id => SweepReason::ForwardsTo(r),
+                            Val::Ref(_) => SweepReason::Unreachable,
+                        };
+                        removed.push((id, reason));
+                    }
+                }
+            }
+        }
+        SweepAnalysis {
+            removed,
+            dead_inputs,
+        }
     }
 
     /// `x OP const` simplifications that keep the result either a
@@ -550,6 +619,42 @@ impl fmt::Display for Netlist {
 enum Val {
     Const(bool),
     Ref(NodeId),
+}
+
+/// Why [`Netlist::sweep`] removes a gate, as reported by
+/// [`Netlist::sweep_analysis`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepReason {
+    /// The gate computes this compile-time constant on every input.
+    ConstantFold(bool),
+    /// The gate forwards the referenced node's value unchanged (buffer
+    /// chain or a one-const identity such as `x AND 1`).
+    ForwardsTo(NodeId),
+    /// No primary-output cone depends on the gate.
+    Unreachable,
+}
+
+impl fmt::Display for SweepReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepReason::ConstantFold(v) => write!(f, "folds to constant {}", u8::from(*v)),
+            SweepReason::ForwardsTo(id) => write!(f, "forwards node {id}"),
+            SweepReason::Unreachable => write!(f, "unreachable from outputs"),
+        }
+    }
+}
+
+/// Static description of what [`Netlist::sweep`] would remove, from
+/// [`Netlist::sweep_analysis`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SweepAnalysis {
+    /// Gates `sweep` would drop, in topological order, each with the
+    /// reason it is removable.
+    pub removed: Vec<(NodeId, SweepReason)>,
+    /// Primary inputs no output cone depends on. `sweep` retains them
+    /// (the port interface is stable) but they are functionally
+    /// floating.
+    pub dead_inputs: Vec<NodeId>,
 }
 
 #[cfg(test)]
@@ -760,5 +865,119 @@ mod tests {
         let s = n.to_string();
         assert!(s.contains("fa"), "{s}");
         assert!(s.contains("5 gates"), "{s}");
+    }
+
+    #[test]
+    fn validate_and_sweep_zero_gate_netlist() {
+        let mut n = Netlist::new("wires");
+        let a = n.input("a");
+        let b = n.input("b");
+        n.output("x", b);
+        n.output("y", a);
+        n.validate().unwrap();
+        assert_eq!(n.gate_count(), 0);
+        let swept = n.sweep();
+        swept.validate().unwrap();
+        assert_eq!(swept.input_count(), 2);
+        assert_eq!(swept.gate_count(), 0);
+        assert_eq!(swept.eval_bits(&[true, false]), vec![false, true]);
+        assert_eq!(n.sweep_analysis(), SweepAnalysis::default());
+    }
+
+    #[test]
+    fn validate_and_sweep_constant_only_outputs() {
+        let mut n = Netlist::new("consts");
+        let c0 = n.constant(false);
+        let c1 = n.constant(true);
+        n.output("zero", c0);
+        n.output("one", c1);
+        n.validate().unwrap();
+        let swept = n.sweep();
+        swept.validate().unwrap();
+        assert_eq!(swept.gate_count(), 0);
+        assert_eq!(swept.eval_bits(&[]), vec![false, true]);
+        // Nothing to remove: constants are not gates.
+        assert_eq!(n.sweep_analysis(), SweepAnalysis::default());
+    }
+
+    #[test]
+    fn rewrite_to_buf_out_of_range_operand_index_uses_parity() {
+        // `which` beyond 1 is reduced by parity: even picks operand a,
+        // odd picks operand b. The rewrite stays total.
+        for (which, expect_follows_a) in [(2usize, true), (7, false), (usize::MAX, false)] {
+            let mut n = Netlist::new("buf");
+            let a = n.input("a");
+            let b = n.input("b");
+            let g = n.binary(BinOp::And, a, b);
+            n.output("o", g);
+            n.rewrite_to_buf(g, which).unwrap();
+            n.validate().unwrap();
+            assert_eq!(
+                n.eval_bits(&[true, false]),
+                vec![expect_follows_a],
+                "which={which}"
+            );
+        }
+    }
+
+    #[test]
+    fn rewrite_to_buf_unknown_target_is_rejected() {
+        let mut n = full_adder();
+        let bogus = NodeId::from_index(1000);
+        assert_eq!(
+            n.rewrite_to_buf(bogus, 0),
+            Err(NetlistError::UnknownNode { node: bogus })
+        );
+    }
+
+    #[test]
+    fn sweep_analysis_matches_sweep_removal_set() {
+        let mut n = full_adder();
+        let or_id = n.gate_ids().last().copied().unwrap();
+        n.rewrite_to_const(or_id, false).unwrap();
+        let analysis = n.sweep_analysis();
+        let swept = n.sweep();
+        assert_eq!(
+            n.gate_count() - analysis.removed.len(),
+            swept.gate_count(),
+            "removal set must account exactly for sweep's shrinkage"
+        );
+        // The swept netlist is a fixpoint: nothing left to remove.
+        assert_eq!(swept.sweep_analysis().removed, Vec::new());
+    }
+
+    #[test]
+    fn sweep_analysis_classifies_reasons() {
+        let mut n = Netlist::new("reasons");
+        let a = n.input("a");
+        let b = n.input("b");
+        let c1 = n.constant(true);
+        let fold = n.binary(BinOp::And, a, c1); // forwards a
+        let dead = n.binary(BinOp::Xor, a, b); // unreachable
+        let konst = n.binary(BinOp::Or, c1, a); // folds to 1
+        let live = n.binary(BinOp::And, fold, a);
+        n.output("o", live);
+        n.output("k", konst);
+        let analysis = n.sweep_analysis();
+        assert_eq!(
+            analysis.removed,
+            vec![
+                (fold, SweepReason::ForwardsTo(a)),
+                (dead, SweepReason::Unreachable),
+                (konst, SweepReason::ConstantFold(true)),
+            ]
+        );
+        assert_eq!(analysis.dead_inputs, vec![b]);
+    }
+
+    #[test]
+    fn sweep_analysis_reports_dead_inputs() {
+        let mut n = Netlist::new("deadin");
+        let a = n.input("a");
+        let _unused = n.input("u");
+        n.output("o", a);
+        let analysis = n.sweep_analysis();
+        assert_eq!(analysis.dead_inputs, vec![NodeId::from_index(1)]);
+        assert!(analysis.removed.is_empty());
     }
 }

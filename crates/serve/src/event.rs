@@ -204,7 +204,7 @@ impl Conn {
     }
 
     /// Stages a finished response and records its latency.
-    fn finish(&mut self, state: &ServeState, response: Response, started: Instant) {
+    fn finish(&mut self, state: &ServeState, response: &Response, started: Instant) {
         state.metrics.latency.record(started.elapsed());
         self.outbuf.extend_from_slice(&response.encode());
         if response.close {
@@ -221,7 +221,7 @@ impl Conn {
                 TryParse::Error(e) => {
                     if let Some(response) = request_error_response(&e) {
                         let started = Instant::now();
-                        self.finish(state, response.closing(), started);
+                        self.finish(state, &response.closing(), started);
                     }
                     self.close_after_flush = true;
                     break;
@@ -237,7 +237,7 @@ impl Conn {
                             if !keep_alive {
                                 response.close = true;
                             }
-                            self.finish(state, response, started);
+                            self.finish(state, &response, started);
                         }
                         Routed::WaitJob { id, fingerprint } => {
                             self.waiting = Some(Waiting::Job {
@@ -261,7 +261,7 @@ impl Conn {
                         }
                         Routed::Shutdown(mut response) => {
                             response.close = true;
-                            self.finish(state, response, started);
+                            self.finish(state, &response, started);
                             state.shutdown.store(true, Ordering::SeqCst);
                             // Fails still-queued jobs and notifies the
                             // waker, releasing every suspended
@@ -291,7 +291,7 @@ impl Conn {
                     if !keep_alive {
                         response.close = true;
                     }
-                    self.finish(state, response, started);
+                    self.finish(state, &response, started);
                     self.process_inbuf(state);
                 }
                 None => {
@@ -322,7 +322,7 @@ impl Conn {
                     if !keep_alive {
                         response.close = true;
                     }
-                    self.finish(state, response, started);
+                    self.finish(state, &response, started);
                     self.process_inbuf(state);
                 } else {
                     self.waiting = Some(Waiting::Batch {

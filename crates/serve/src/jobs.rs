@@ -307,21 +307,21 @@ impl JobQueue {
     pub fn start_workers(
         self: &Arc<Self>,
         workers: usize,
-        runner: RunnerFn,
+        runner: &RunnerFn,
     ) -> Vec<JoinHandle<()>> {
         (0..workers)
             .map(|n| {
                 let queue = Arc::clone(self);
-                let runner = Arc::clone(&runner);
+                let runner = Arc::clone(runner);
                 std::thread::Builder::new()
                     .name(format!("carma-serve-worker-{n}"))
-                    .spawn(move || queue.worker_loop(runner))
+                    .spawn(move || queue.worker_loop(&runner))
                     .expect("spawn worker thread")
             })
             .collect()
     }
 
-    fn worker_loop(&self, runner: RunnerFn) {
+    fn worker_loop(&self, runner: &RunnerFn) {
         loop {
             // Claim the next job (or exit on shutdown).
             let (id, fingerprint, spec) = {
@@ -344,7 +344,7 @@ impl JobQueue {
                 .unwrap_or_else(|panic| {
                     let msg = panic
                         .downcast_ref::<&str>()
-                        .map(|s| s.to_string())
+                        .map(std::string::ToString::to_string)
                         .or_else(|| panic.downcast_ref::<String>().cloned())
                         .unwrap_or_else(|| "runner panicked".to_string());
                     Err(format!("runner panicked: {msg}"))
@@ -417,7 +417,7 @@ mod tests {
     #[test]
     fn submit_run_wait_roundtrip() {
         let queue = JobQueue::new(8);
-        let workers = queue.start_workers(2, echo_runner(Duration::ZERO, None));
+        let workers = queue.start_workers(2, &echo_runner(Duration::ZERO, None));
         let Submit::Enqueued(id) = queue.submit("aa11", "fig2", &spec()) else {
             panic!("fresh fingerprint must enqueue");
         };
@@ -449,7 +449,7 @@ mod tests {
             queue.submit("cc33", "fig2", &spec()),
             Submit::Enqueued(_)
         ));
-        let workers = queue.start_workers(1, echo_runner(Duration::ZERO, None));
+        let workers = queue.start_workers(1, &echo_runner(Duration::ZERO, None));
         queue.wait(id).expect("job exists");
         // Once done, the fingerprint is no longer in flight — a
         // resubmission is a fresh job (the server checks its cache
@@ -488,7 +488,7 @@ mod tests {
     #[test]
     fn failures_and_panics_mark_the_job_failed_not_the_pool() {
         let queue = JobQueue::new(8);
-        let workers = queue.start_workers(1, echo_runner(Duration::ZERO, Some("ee55")));
+        let workers = queue.start_workers(1, &echo_runner(Duration::ZERO, Some("ee55")));
         let Submit::Enqueued(fail_id) = queue.submit("ee55", "fig2", &spec()) else {
             panic!("enqueue");
         };
@@ -521,7 +521,7 @@ mod tests {
     #[test]
     fn finished_job_history_is_bounded() {
         let queue = JobQueue::new(FINISHED_JOB_HISTORY + 16);
-        let workers = queue.start_workers(1, echo_runner(Duration::ZERO, None));
+        let workers = queue.start_workers(1, &echo_runner(Duration::ZERO, None));
         let mut first_id = None;
         let mut last_id = 0;
         for n in 0..FINISHED_JOB_HISTORY + 1 {

@@ -132,7 +132,7 @@ impl Server {
                 Ok(cache.insert(fingerprint, report.to_json()))
             })
         };
-        let workers = queue.start_workers(config.workers.max(1), runner);
+        let workers = queue.start_workers(config.workers.max(1), &runner);
 
         let wake = if use_threaded(&config) {
             None
@@ -169,18 +169,18 @@ impl Server {
     fn serve(
         listener: TcpListener,
         wake: Option<(event::Waker, TcpStream)>,
-        state: Arc<ServeState>,
+        state: &Arc<ServeState>,
     ) {
         match wake {
-            Some((_, wake_rx)) => event::event_loop(listener, wake_rx, &state),
-            None => accept_loop_threaded(&listener, &state),
+            Some((_, wake_rx)) => event::event_loop(listener, wake_rx, state),
+            None => accept_loop_threaded(&listener, state),
         }
     }
 
     /// Runs the connection loop on the calling thread until a shutdown
     /// request arrives, then joins the worker pool.
     pub fn run(self) -> io::Result<()> {
-        Self::serve(self.listener, self.wake, Arc::clone(&self.state));
+        Self::serve(self.listener, self.wake, &self.state);
         self.state.queue.shutdown();
         for handle in self.workers {
             let _ = handle.join();
@@ -200,7 +200,7 @@ impl Server {
             let wake = self.wake;
             thread::Builder::new()
                 .name("carma-serve-loop".to_string())
-                .spawn(move || Self::serve(listener, wake, state))?
+                .spawn(move || Self::serve(listener, wake, &state))?
         };
         Ok(ServerHandle {
             addr,

@@ -11,7 +11,7 @@
 
 use std::process::ExitCode;
 
-use carma_core::scenario::{banner_text, ExperimentRegistry, Scale, ScenarioSpec};
+use carma_core::scenario::{banner_text, Artifact, ExperimentRegistry, Scale, ScenarioSpec};
 
 const USAGE: &str = "\
 carma — carbon-aware DNN accelerator experiments (Panteleaki et al., DATE 2025)
@@ -20,8 +20,19 @@ USAGE:
   carma list                          show every experiment and what it reproduces
   carma run <name> [OPTIONS]          run a registered experiment
   carma run --spec <file> [OPTIONS]   run a JSON scenario spec
+  carma lint [LINT OPTIONS]           statically analyze the multiplier libraries
   carma serve [SERVE OPTIONS]         serve experiments over HTTP with a result cache
   carma help                          show this message
+
+LINT OPTIONS:
+  --family <f>         ladder|classic|evolved|all      (default: all)
+  --library-depth <N>  truncation depth 1..=7          (default: scale default)
+  --scale quick|full   library scale                   (default: $CARMA_SCALE or quick)
+  --out text|json      output format                   (default: text)
+  --output <path>      write the report to <path> instead of stdout
+  --fixture corrupted  lint the built-in corrupted fixture netlist instead
+                       (strict profile; exercises the failure path)
+  Exits 1 when any error-severity finding is present, 2 on usage errors.
 
 SERVE OPTIONS:
   --addr <host:port>   listen address                     (default: 127.0.0.1:8337)
@@ -67,6 +78,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("run") => run(&args[1..]),
+        Some("lint") => lint(&args[1..]),
         Some("serve") => serve(&args[1..]),
         Some(other) => {
             eprintln!("error: unknown command `{other}`\n");
@@ -191,6 +203,144 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
         return Err("give an experiment name or `--spec <file>`".to_string());
     }
     Ok(parsed)
+}
+
+/// The `carma lint` entry point: run the static-analysis experiment
+/// over the multiplier libraries (or the corrupted fixture) and map
+/// error-severity findings to a non-zero exit code.
+fn lint(args: &[String]) -> ExitCode {
+    let mut family: Option<String> = None;
+    let mut library_depth: Option<u8> = None;
+    let mut scale: Option<Scale> = None;
+    let mut threads: Option<usize> = None;
+    let mut out = OutFormat::Text;
+    let mut output: Option<String> = None;
+    let mut fixture = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_for = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("`{flag}` needs a value"))
+        };
+        let parsed = match arg.as_str() {
+            "--family" => value_for("--family").and_then(|v| match v.as_str() {
+                "ladder" | "classic" | "evolved" => {
+                    family = Some(v);
+                    Ok(())
+                }
+                "all" => {
+                    family = None;
+                    Ok(())
+                }
+                other => Err(format!(
+                    "unknown family `{other}` (expected ladder|classic|evolved|all)"
+                )),
+            }),
+            "--library-depth" => value_for("--library-depth").and_then(|v| {
+                v.parse::<u8>()
+                    .ok()
+                    .filter(|&n| (1..=7).contains(&n))
+                    .map(|n| library_depth = Some(n))
+                    .ok_or_else(|| {
+                        format!("`--library-depth` needs an integer in 1..=7 (got `{v}`)")
+                    })
+            }),
+            "--scale" => value_for("--scale").and_then(|v| {
+                v.parse::<Scale>()
+                    .map(|s| scale = Some(s))
+                    .map_err(|e| e.to_string())
+            }),
+            "--threads" => value_for("--threads").and_then(|v| {
+                v.parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .map(|n| threads = Some(n))
+                    .ok_or_else(|| format!("`--threads` needs a positive integer (got `{v}`)"))
+            }),
+            "--out" => value_for("--out").and_then(|v| match v.as_str() {
+                "text" => {
+                    out = OutFormat::Text;
+                    Ok(())
+                }
+                "json" => {
+                    out = OutFormat::Json;
+                    Ok(())
+                }
+                other => Err(format!(
+                    "unknown output format `{other}` (expected text|json)"
+                )),
+            }),
+            "--output" => value_for("--output").map(|v| output = Some(v)),
+            "--fixture" => value_for("--fixture").and_then(|v| match v.as_str() {
+                "corrupted" => {
+                    fixture = true;
+                    Ok(())
+                }
+                other => Err(format!("unknown fixture `{other}` (expected corrupted)")),
+            }),
+            other => Err(format!("unknown lint argument `{other}`")),
+        };
+        if let Err(msg) = parsed {
+            return usage_error(&msg);
+        }
+    }
+
+    print_env_diagnostics();
+
+    let report = if fixture {
+        carma_core::fixture_lint_report(carma_core::scenario::resolve_scale(None, scale))
+    } else {
+        let mut spec = ScenarioSpec::named("lint");
+        if let Some(f) = family {
+            spec.family = f;
+        }
+        spec.library_depth = library_depth;
+        let registry = ExperimentRegistry::standard();
+        match registry.run_with_env(&spec, scale, threads, &carma_core::RunEnv::standard()) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    };
+
+    let payload = match out {
+        OutFormat::Text => format!("{}{}", report.tables_text(), report.notes_text()),
+        OutFormat::Json => {
+            let mut json = report.to_json();
+            json.push('\n');
+            json
+        }
+        OutFormat::Csv => report.to_csv(),
+    };
+    match output {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, payload) {
+                eprintln!("error: cannot write `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("(written to {path})");
+        }
+        None => print!("{payload}"),
+    }
+
+    let errors: usize = report
+        .artifacts
+        .iter()
+        .map(|a| match a {
+            Artifact::Lint(rows) => rows.iter().map(|row| row.errors).sum(),
+            _ => 0,
+        })
+        .sum();
+    if errors > 0 {
+        eprintln!("lint: {errors} error-severity finding(s)");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 /// The `carma serve` entry point: boot the embedded HTTP scenario

@@ -1,0 +1,112 @@
+//! Soundness harness for the static analyzer: the interval-propagated
+//! error bound must dominate the exhaustively measured worst-case
+//! error for every library entry, and the dead-gate lint must agree
+//! exactly with `Netlist::sweep`'s removal set.
+
+use carma_analyze::{corrupted_fixture, lint, static_error_bound, LintCode, LintOptions};
+use carma_ga::Nsga2Config;
+use carma_multiplier::{LibraryConfig, MultiplierCircuit, MultiplierLibrary, ReductionKind};
+use carma_netlist::{BinOp, Netlist};
+
+fn exact_reference() -> MultiplierCircuit {
+    MultiplierCircuit::generate(8, ReductionKind::Dadda)
+}
+
+/// static bound ≥ measured WCE for every entry; the exact entry's
+/// bound is proven zero by canonicalization.
+fn assert_sound(label: &str, lib: &MultiplierLibrary) {
+    let exact = exact_reference();
+    for entry in lib.entries() {
+        let bound = static_error_bound(entry.circuit.netlist(), exact.netlist())
+            .unwrap_or_else(|e| panic!("{label}/{}: bound failed: {e:?}", entry.name));
+        assert!(
+            bound.worst_abs >= entry.profile.wce,
+            "{label}/{}: static bound {} < measured WCE {} — unsound",
+            entry.name,
+            bound.worst_abs,
+            entry.profile.wce
+        );
+        if entry.profile.wce == 0 {
+            assert_eq!(
+                bound.worst_abs, 0,
+                "{label}/{}: exact circuit must get a zero static bound",
+                entry.name
+            );
+        }
+    }
+}
+
+#[test]
+fn static_bound_dominates_measured_wce_across_ladder_depths() {
+    for depth in 1..=4 {
+        let lib = MultiplierLibrary::truncation_ladder(8, depth);
+        assert_sound(&format!("ladder@{depth}"), &lib);
+    }
+}
+
+#[test]
+fn static_bound_dominates_measured_wce_across_classic_depths() {
+    for depth in 1..=3 {
+        let lib = MultiplierLibrary::classic_families(8, depth);
+        assert_sound(&format!("classic@{depth}"), &lib);
+    }
+}
+
+#[test]
+fn static_bound_dominates_measured_wce_for_evolved_front() {
+    let lib = MultiplierLibrary::evolve(LibraryConfig {
+        width: 8,
+        max_truncation: 2,
+        max_prunes: 6,
+        nsga: Nsga2Config::default()
+            .with_population(12)
+            .with_generations(4)
+            .with_seed(0x50DA),
+        ..LibraryConfig::default()
+    });
+    assert_sound("evolved", &lib);
+}
+
+/// The dead-gate diagnostics name exactly the gates `sweep()` removes.
+fn assert_lint_agrees_with_sweep(label: &str, nl: &Netlist) {
+    let report = lint(nl, &LintOptions::default());
+    let dead: Vec<String> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.code == LintCode::DeadGate)
+        .map(|d| d.node.expect("dead-gate anchors to a node").to_string())
+        .collect();
+    let analysis = nl.sweep_analysis();
+    let removed: Vec<String> = analysis
+        .removed
+        .iter()
+        .map(|(id, _)| id.to_string())
+        .collect();
+    assert_eq!(dead, removed, "{label}: lint and sweep disagree");
+
+    let swept = nl.sweep();
+    assert_eq!(
+        nl.gate_count() - removed.len(),
+        swept.gate_count(),
+        "{label}: removal set size disagrees with sweep's effect"
+    );
+}
+
+#[test]
+fn dead_gate_lint_matches_sweep_removal_set() {
+    assert_lint_agrees_with_sweep("fixture", &corrupted_fixture());
+    // Library circuits are pre-swept, so both sides must be empty.
+    for entry in MultiplierLibrary::truncation_ladder(8, 2).entries() {
+        assert_lint_agrees_with_sweep(&entry.name, entry.circuit.netlist());
+    }
+    // A netlist sweep shrinks in two rounds: a gate forwarding into a
+    // dead cone.
+    let mut nl = Netlist::new("two_round");
+    let a = nl.input("a");
+    let b = nl.input("b");
+    let keep = nl.binary(BinOp::And, a, b);
+    let fwd = nl.binary(BinOp::Or, a, a); // forwards to a
+    let _dead = nl.binary(BinOp::Xor, fwd, b); // unreachable
+    nl.output("o", keep);
+    assert_lint_agrees_with_sweep("two-round", &nl);
+}
