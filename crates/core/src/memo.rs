@@ -25,12 +25,12 @@ use carma_multiplier::{
     ApproxGenome, CircuitRecipe, LibraryConfig, MultiplierLibrary, Prune, PruneAction,
     ReductionKind,
 };
-use carma_netlist::{Area, TechNode};
+use carma_netlist::{Area, ImportFormat, TechNode};
 use serde::json::{to_string as js, Value};
 
 use crate::context::{CarmaContext, ContextSeed, DesignEval};
 use crate::flow::SweepPoint;
-use crate::scenario::{Family, ResolvedScenario};
+use crate::scenario::{Family, LibrarySource, ResolvedScenario};
 
 /// The shared memo handle a run reads through: CLI, serve workers and
 /// registry runners all hold clones of one layer, so overlapping
@@ -72,33 +72,55 @@ impl MemoLayer {
     /// The characterized library of `(scenario, family)`, through the
     /// memo.
     pub fn library(&self, r: &ResolvedScenario, family: Family) -> Arc<MultiplierLibrary> {
+        self.library_from(r, &LibrarySource::Builtin(family))
+    }
+
+    /// The characterized library of `(scenario, source)`, through the
+    /// memo. Imported sources key on the content hash of the library
+    /// file's bytes, so a rename hits and an edit misses.
+    pub fn library_from(
+        &self,
+        r: &ResolvedScenario,
+        source: &LibrarySource,
+    ) -> Arc<MultiplierLibrary> {
         self.store.get_or_compute(
             Stage::Library,
-            &library_canon(r, family),
+            &library_source_canon(r, source),
             encode_library,
             decode_library,
-            || r.library_for(family),
+            || r.library_from(source),
         )
     }
 
-    /// The evaluation context of `(scenario, family, node)`, read
-    /// through the memo: the library stage feeds the context stage,
-    /// and the returned context carries a write-back handle that keys
-    /// its cell-stage lookups (and persists its warmed perf cache on
-    /// drop).
+    /// [`Self::context_from`] at a builtin family (the ablation
+    /// loops pivot on `Family` directly).
     pub fn context_with_family(
         &self,
         r: &ResolvedScenario,
         family: Family,
         node: TechNode,
     ) -> CarmaContext {
-        let lib_canon = library_canon(r, family);
+        self.context_from(r, &LibrarySource::Builtin(family), node)
+    }
+
+    /// The evaluation context of `(scenario, source, node)`, read
+    /// through the memo: the library stage feeds the context stage,
+    /// and the returned context carries a write-back handle that keys
+    /// its cell-stage lookups (and persists its warmed perf cache on
+    /// drop).
+    pub fn context_from(
+        &self,
+        r: &ResolvedScenario,
+        source: &LibrarySource,
+        node: TechNode,
+    ) -> CarmaContext {
+        let lib_canon = library_source_canon(r, source);
         let library = self.store.get_or_compute(
             Stage::Library,
             &lib_canon,
             encode_library,
             decode_library,
-            || r.library_for(family),
+            || r.library_from(source),
         );
         let ctx_canon = context_canon(&carma_memo::fingerprint(&lib_canon), node, &r.evaluator());
         let context_key = carma_memo::fingerprint(&ctx_canon);
@@ -130,9 +152,9 @@ impl MemoLayer {
         )
     }
 
-    /// [`Self::context_with_family`] at the scenario's resolved family.
+    /// [`Self::context_from`] at the scenario's resolved source.
     pub fn context(&self, r: &ResolvedScenario, node: TechNode) -> CarmaContext {
-        self.context_with_family(r, r.family.unwrap_or(Family::Ladder), node)
+        self.context_from(r, &r.library_source(), node)
     }
 }
 
@@ -164,6 +186,24 @@ pub fn library_canon(r: &ResolvedScenario, family: Family) -> String {
                 0xFA31u64,
             )
         }
+    }
+}
+
+/// Canonical JSON of the **library** stage key for any source. For a
+/// builtin family this is [`library_canon`]; for an imported source
+/// the key names the format, the width, and a content hash of the
+/// file bytes — never the path — so renaming the file keeps the memo
+/// hit while editing the file invalidates it.
+pub fn library_source_canon(r: &ResolvedScenario, source: &LibrarySource) -> String {
+    match source {
+        LibrarySource::Builtin(family) => library_canon(r, *family),
+        LibrarySource::Imported(src) => format!(
+            "{{\"stage\":\"library\",\"v\":1,\"family\":\"imported\",\"format\":{},\
+             \"bytes\":{},\"width\":{}}}",
+            js(src.library.format.as_str()),
+            js(&src.library.content_hash),
+            src.library.width,
+        ),
     }
 }
 
@@ -309,10 +349,17 @@ fn recipe_json(recipe: &CircuitRecipe) -> String {
                 prunes.join(",")
             )
         }
+        CircuitRecipe::Imported { verilog } => {
+            format!("{{\"t\":\"imported\",\"verilog\":{}}}", js(verilog))
+        }
     }
 }
 
-fn decode_recipe(v: &Value) -> Option<CircuitRecipe> {
+/// `width` is the library width the decoded recipe must build at:
+/// imported recipes re-parse their Verilog on `build()`, which panics
+/// on a corrupt or wrong-width module, so the decoder validates the
+/// payload here and turns any mismatch into a memo miss.
+fn decode_recipe(v: &Value, width: u32) -> Option<CircuitRecipe> {
     match v.get("t")?.as_str()? {
         "exact" => Some(CircuitRecipe::Exact),
         "trunc" => Some(CircuitRecipe::Truncation {
@@ -350,6 +397,21 @@ fn decode_recipe(v: &Value) -> Option<CircuitRecipe> {
                 truncate_b: u8::try_from(field_uint(v, "tb")?).ok()?,
                 prunes,
             }))
+        }
+        "imported" => {
+            let verilog = v.get("verilog")?.as_str()?;
+            let mut modules = carma_netlist::parse_netlists(verilog, ImportFormat::Verilog).ok()?;
+            if modules.len() != 1 {
+                return None;
+            }
+            let netlist = modules.pop()?;
+            let w = usize::try_from(width).ok()?;
+            if netlist.input_count() != 2 * w || netlist.output_count() != 2 * w {
+                return None;
+            }
+            Some(CircuitRecipe::Imported {
+                verilog: verilog.to_string(),
+            })
         }
         _ => None,
     }
@@ -424,7 +486,7 @@ pub(crate) fn decode_library(text: &str) -> Option<MultiplierLibrary> {
         }
         parts.push((
             triple[0].as_str()?.to_string(),
-            decode_recipe(&triple[1])?,
+            decode_recipe(&triple[1], width)?,
             decode_profile(&triple[2])?,
         ));
     }
@@ -574,6 +636,77 @@ mod tests {
         let mut quick_vs_full = r.clone();
         quick_vs_full.scale = crate::scenario::Scale::Full;
         assert_ne!(evolved, library_canon(&quick_vs_full, Family::Evolved));
+    }
+
+    #[test]
+    fn imported_library_canon_keys_on_content_not_path() {
+        let r = resolved("fig2");
+        // A tiny admissible library: the exact 2-bit multiplier.
+        let base = carma_multiplier::MultiplierCircuit::generate(2, ReductionKind::Dadda);
+        let mut nl = base.netlist().clone();
+        nl.set_name("mul2_copy");
+        let text = carma_netlist::to_verilog(&nl);
+        let imported = |path: &str, bytes: &[u8]| crate::scenario::ImportedSource {
+            path: path.to_string(),
+            library: carma_import::parse_library(bytes, ImportFormat::Verilog, path)
+                .expect("admissible"),
+        };
+
+        let a = LibrarySource::Imported(imported("a.v", text.as_bytes()));
+        let canon = library_source_canon(&r, &a);
+        assert!(canon.contains("\"family\":\"imported\""), "{canon}");
+        assert!(
+            canon.contains(&carma_import::content_hash(text.as_bytes())),
+            "{canon}"
+        );
+        assert!(
+            !canon.contains("a.v"),
+            "path must not shape the key: {canon}"
+        );
+
+        // Same bytes under another name: same key (rename-stable).
+        let renamed = LibrarySource::Imported(imported("b/renamed.v", text.as_bytes()));
+        assert_eq!(canon, library_source_canon(&r, &renamed));
+
+        // Edited bytes under the same name: different key.
+        let edited_text = format!("{text}\n// tweak\n");
+        let edited = LibrarySource::Imported(imported("a.v", edited_text.as_bytes()));
+        assert_ne!(canon, library_source_canon(&r, &edited));
+
+        // Builtin sources keep their legacy keys byte-for-byte.
+        assert_eq!(
+            library_source_canon(&r, &LibrarySource::Builtin(Family::Ladder)),
+            library_canon(&r, Family::Ladder)
+        );
+    }
+
+    #[test]
+    fn imported_recipes_round_trip_and_poisoned_payloads_miss() {
+        let base = carma_multiplier::MultiplierCircuit::generate(2, ReductionKind::Dadda);
+        let verilog = carma_netlist::to_verilog(base.netlist());
+        let recipe = CircuitRecipe::Imported {
+            verilog: verilog.clone(),
+        };
+        let encoded = recipe_json(&recipe);
+        assert_eq!(
+            decode_recipe(&serde::json::parse(&encoded).expect("json"), 2).as_ref(),
+            Some(&recipe)
+        );
+        // Wrong width, corrupt Verilog, missing field: all miss, never
+        // panic (the durable payload is untrusted input).
+        let parsed = serde::json::parse(&encoded).expect("json");
+        assert_eq!(decode_recipe(&parsed, 4), None);
+        for bad in [
+            "{\"t\":\"imported\"}".to_string(),
+            "{\"t\":\"imported\",\"verilog\":\"module m (\"}".to_string(),
+            format!(
+                "{{\"t\":\"imported\",\"verilog\":{}}}",
+                js(&format!("{verilog}{verilog}"))
+            ),
+        ] {
+            let v = serde::json::parse(&bad).expect("json");
+            assert_eq!(decode_recipe(&v, 2), None, "payload: {bad}");
+        }
     }
 
     #[test]

@@ -29,8 +29,8 @@ pub use artifact::{
 };
 pub use registry::{fixture_lint_report, ExperimentInfo, ExperimentRegistry, RunEnv, Runner};
 pub use spec::{
-    DeploymentSpec, Family, GaSpec, ModelSel, ResolvedScenario, ScenarioSpec,
-    DEPLOYMENT_FIELD_ORDER, DEPLOYMENT_GRIDS, DEPLOYMENT_LIFETIMES_H, GA_FIELD_ORDER,
+    DeploymentSpec, Family, GaSpec, ImportedSource, LibrarySource, ModelSel, ResolvedScenario,
+    ScenarioSpec, DEPLOYMENT_FIELD_ORDER, DEPLOYMENT_GRIDS, DEPLOYMENT_LIFETIMES_H, GA_FIELD_ORDER,
     SPEC_FIELD_ORDER,
 };
 
@@ -219,8 +219,49 @@ pub enum ScenarioError {
     ModelGridUnsupported(String),
     /// A tech node failed to parse.
     UnknownNode(String),
-    /// `family` is not `ladder` / `classic` / `evolved`.
+    /// `family` is not `ladder` / `classic` / `evolved` / `imported`.
     UnknownFamily(String),
+    /// `family = "imported"` without a `library` path.
+    MissingLibraryPath,
+    /// A `library` path given with a non-`imported` family.
+    LibraryNeedsImportedFamily(String),
+    /// The library file could not be read.
+    LibraryUnreadable {
+        /// The path as spelled in the spec.
+        path: String,
+        /// OS-level reason.
+        reason: String,
+    },
+    /// The library path's extension maps to no supported format.
+    LibraryUnknownFormat(String),
+    /// The library file is not valid Verilog/EDIF in the supported
+    /// subset.
+    LibraryMalformed {
+        /// The path as spelled in the spec.
+        path: String,
+        /// Parser diagnostic (with line number where known).
+        reason: String,
+    },
+    /// A module in the library failed the `carma-analyze` admission
+    /// gate (Strict lint, static error bound, equivalence run).
+    LibraryRejected {
+        /// The path as spelled in the spec.
+        path: String,
+        /// The offending module.
+        module: String,
+        /// The gate's diagnostics, verbatim.
+        diagnostics: Vec<String>,
+    },
+    /// The library's operand width does not fit the experiment (the
+    /// evaluation contexts are 8-bit; only `lint` takes other widths).
+    LibraryWidthUnsupported {
+        /// The path as spelled in the spec.
+        path: String,
+        /// The file's operand width.
+        width: u32,
+        /// The experiment that cannot take it.
+        experiment: String,
+    },
     /// `scale` is not `quick` / `full`.
     UnknownScale(String),
     /// More than one node given to a single-node experiment.
@@ -283,7 +324,55 @@ impl std::fmt::Display for ScenarioError {
             }
             ScenarioError::UnknownFamily(fam) => write!(
                 f,
-                "unknown multiplier family `{fam}` (known: ladder, classic, evolved)"
+                "unknown multiplier family `{fam}` \
+                 (known: ladder, classic, evolved, imported)"
+            ),
+            ScenarioError::MissingLibraryPath => write!(
+                f,
+                "family `imported` requires a `library` path \
+                 (a .v/.verilog or .edf/.edif file)"
+            ),
+            ScenarioError::LibraryNeedsImportedFamily(fam) => {
+                if fam.is_empty() {
+                    write!(f, "a `library` path requires `family = \"imported\"`")
+                } else {
+                    write!(
+                        f,
+                        "a `library` path requires `family = \"imported\"`, \
+                         not `{fam}` (builtin families are generated)"
+                    )
+                }
+            }
+            ScenarioError::LibraryUnreadable { path, reason } => {
+                write!(f, "cannot read library `{path}`: {reason}")
+            }
+            ScenarioError::LibraryUnknownFormat(path) => write!(
+                f,
+                "cannot infer library format of `{path}` \
+                 (recognized extensions: .v, .verilog, .edf, .edif)"
+            ),
+            ScenarioError::LibraryMalformed { path, reason } => {
+                write!(f, "malformed library `{path}`: {reason}")
+            }
+            ScenarioError::LibraryRejected {
+                path,
+                module,
+                diagnostics,
+            } => write!(
+                f,
+                "library `{path}` rejected: module `{module}` failed the \
+                 admission gate (Strict lint + static bound + equivalence): {}",
+                diagnostics.join("; ")
+            ),
+            ScenarioError::LibraryWidthUnsupported {
+                path,
+                width,
+                experiment,
+            } => write!(
+                f,
+                "library `{path}` is {width}-bit, but experiment `{experiment}` \
+                 evaluates through the paper's 8-bit context (only `lint` \
+                 accepts other widths)"
             ),
             ScenarioError::UnknownScale(s) => {
                 write!(f, "unknown scale `{s}` (known: quick, full)")
@@ -342,6 +431,30 @@ impl std::error::Error for ScenarioError {}
 impl From<ConstraintError> for ScenarioError {
     fn from(e: ConstraintError) -> Self {
         ScenarioError::Constraint(e)
+    }
+}
+
+impl From<carma_import::ImportFailure> for ScenarioError {
+    fn from(e: carma_import::ImportFailure) -> Self {
+        use carma_import::ImportFailure;
+        match e {
+            ImportFailure::Unreadable { path, reason } => {
+                ScenarioError::LibraryUnreadable { path, reason }
+            }
+            ImportFailure::UnknownFormat { path } => ScenarioError::LibraryUnknownFormat(path),
+            ImportFailure::Malformed { path, reason } => {
+                ScenarioError::LibraryMalformed { path, reason }
+            }
+            ImportFailure::Rejected {
+                path,
+                module,
+                diagnostics,
+            } => ScenarioError::LibraryRejected {
+                path,
+                module,
+                diagnostics,
+            },
+        }
     }
 }
 

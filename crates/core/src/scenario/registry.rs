@@ -16,7 +16,7 @@ use super::artifact::{
     Artifact, DeploymentRow, FamilyRow, GridRow, LintFindingRow, LintRow, MetricRow, ParallelRow,
     Report, SearchRow, YieldRow,
 };
-use super::spec::{Family, ResolvedScenario, ScenarioSpec};
+use super::spec::{Family, LibrarySource, ResolvedScenario, ScenarioSpec};
 use super::{Scale, ScenarioError};
 use crate::context::{CarmaContext, DesignEval};
 use crate::experiments::{fig2_scatter_with, fig3_with, reduction_table_with, Fig2Row};
@@ -94,9 +94,15 @@ impl RunEnv {
     /// The context of an explicit library `family` on the scenario's
     /// primary node (the `ablation_family` arms).
     pub fn context_with_family(&self, r: &ResolvedScenario, family: Family) -> CarmaContext {
+        self.context_from(r, &LibrarySource::Builtin(family))
+    }
+
+    /// The context of an explicit library `source` on the scenario's
+    /// primary node.
+    pub fn context_from(&self, r: &ResolvedScenario, source: &LibrarySource) -> CarmaContext {
         match &self.memo {
-            Some(layer) => layer.context_with_family(r, family, r.node),
-            None => CarmaContext::with_parts(r.node, r.library_for(family), r.evaluator()),
+            Some(layer) => layer.context_from(r, source, r.node),
+            None => CarmaContext::with_parts(r.node, r.library_from(source), r.evaluator()),
         }
     }
 
@@ -117,9 +123,21 @@ impl RunEnv {
         r: &ResolvedScenario,
         family: Family,
     ) -> std::sync::Arc<MultiplierLibrary> {
+        self.library_from(r, &LibrarySource::Builtin(family))
+    }
+
+    /// The scenario's multiplier library of any `source` — builtin
+    /// family or imported file — read through the memo's library stage
+    /// when one is configured. Imported sources hit on the content
+    /// hash of the file bytes, so a rename reuses the characterization.
+    pub fn library_from(
+        &self,
+        r: &ResolvedScenario,
+        source: &LibrarySource,
+    ) -> std::sync::Arc<MultiplierLibrary> {
         match &self.memo {
-            Some(layer) => layer.library(r, family),
-            None => std::sync::Arc::new(r.library_for(family)),
+            Some(layer) => layer.library_from(r, source),
+            None => std::sync::Arc::new(r.library_from(source)),
         }
     }
 }
@@ -440,15 +458,25 @@ fn run_ablation_family(r: &ResolvedScenario, env: &RunEnv) -> Report {
     let model = r.single_model();
 
     let mut rows = Vec::new();
-    // One arm per family, built by the same construction a
-    // `family = "…"` spec resolves to.
-    for family in [Family::Ladder, Family::Classic, Family::Evolved] {
-        let ctx = env.context_with_family(r, family);
+    // One arm per builtin family, built by the same construction a
+    // `family = "…"` spec resolves to; a scenario that imported a
+    // library gets a fourth arm so the external pool is compared
+    // against all three builtins in one table.
+    let mut arms = vec![
+        LibrarySource::Builtin(Family::Ladder),
+        LibrarySource::Builtin(Family::Classic),
+        LibrarySource::Builtin(Family::Evolved),
+    ];
+    if let Some(imported @ LibrarySource::Imported(_)) = &r.source {
+        arms.push(imported.clone());
+    }
+    for source in arms {
+        let ctx = env.context_from(r, &source);
         let units = ctx.library().len();
         let baseline = smallest_exact_meeting(&ctx, model, r.constraints.min_fps);
         let best = ga_cdp(&ctx, model, r.constraints, r.ga);
         rows.push(FamilyRow {
-            library: family.as_str().to_string(),
+            library: source.as_str().to_string(),
             units,
             multiplier: best.multiplier.clone(),
             fps: best.fps,
@@ -833,29 +861,35 @@ fn lint_depth(lr: &LintReport) -> usize {
 }
 
 fn run_lint(r: &ResolvedScenario, env: &RunEnv) -> Report {
-    let families = match r.family {
-        Some(f) => vec![f],
-        None => vec![Family::Ladder, Family::Classic, Family::Evolved],
-    };
-    // The exact Dadda reference every static bound is taken against —
-    // the same base circuit the library generators start from.
-    let exact = MultiplierCircuit::generate(8, ReductionKind::Dadda);
-    let opts = LintOptions {
-        profile: LintProfile::Trusted,
-        multiplier_width: Some(8),
+    let sources = match &r.source {
+        Some(s) => vec![s.clone()],
+        None => vec![
+            LibrarySource::Builtin(Family::Ladder),
+            LibrarySource::Builtin(Family::Classic),
+            LibrarySource::Builtin(Family::Evolved),
+        ],
     };
 
     let mut rows = Vec::new();
     let mut findings = Vec::new();
-    for family in families {
-        let lib = env.library_for(r, family);
+    for source in sources {
+        let lib = env.library_from(r, &source);
+        // The exact Dadda reference every static bound is taken
+        // against — the same base circuit the library generators start
+        // from, at the library's own width (imported libraries are the
+        // one source that can be narrower than 8 bits here).
+        let exact = MultiplierCircuit::generate(lib.width(), ReductionKind::Dadda);
+        let opts = LintOptions {
+            profile: LintProfile::Trusted,
+            multiplier_width: Some(lib.width()),
+        };
         for entry in lib.entries() {
             let nl = entry.circuit.netlist();
             let lr = lint(nl, &opts);
             let bound = static_error_bound(nl, exact.netlist())
-                .expect("library entries follow the 8-bit port convention");
+                .expect("library entries follow the multiplier port convention");
             rows.push(LintRow {
-                family: family.as_str().to_string(),
+                family: source.as_str().to_string(),
                 circuit: entry.name.clone(),
                 gates: nl.gate_count(),
                 transistors: nl.transistor_count(),
@@ -867,7 +901,7 @@ fn run_lint(r: &ResolvedScenario, env: &RunEnv) -> Report {
                 measured_wce: entry.profile.wce,
                 sound: bound.worst_abs >= entry.profile.wce,
             });
-            findings.extend(lint_finding_rows(family.as_str(), &entry.name, &lr));
+            findings.extend(lint_finding_rows(source.as_str(), &entry.name, &lr));
         }
     }
 

@@ -77,9 +77,16 @@ pub struct ScenarioSpec {
     #[serde(default)]
     pub fps_thresholds: Vec<f64>,
     /// Multiplier family for the context library (`ladder`, `classic`,
-    /// `evolved`). Empty = the scale's default (truncation ladder).
+    /// `evolved`, or `imported` with a `library` path). Empty = the
+    /// scale's default (truncation ladder).
     #[serde(default)]
     pub family: String,
+    /// Path to an external library file (gate-level Verilog `.v` or
+    /// EDIF `.edf`/`.edif`) — requires `family = "imported"`. The file
+    /// is parsed and admitted through the `carma-analyze` gate at
+    /// resolve time.
+    #[serde(default)]
+    pub library: String,
     /// Truncation depth of the library (1..=7). `None` = scale
     /// default (3 quick, 4 full).
     #[serde(default)]
@@ -178,7 +185,7 @@ pub struct GaSpec {
 /// rely on it. Reordering the struct declaration does NOT change it;
 /// adding a field means extending this list (and accepting that every
 /// serialized spec changes shape, visibly, in review).
-pub const SPEC_FIELD_ORDER: [&str; 15] = [
+pub const SPEC_FIELD_ORDER: [&str; 16] = [
     "experiment",
     "model",
     "node",
@@ -186,6 +193,7 @@ pub const SPEC_FIELD_ORDER: [&str; 15] = [
     "accuracy_classes",
     "fps_thresholds",
     "family",
+    "library",
     "library_depth",
     "accuracy_samples",
     "ga",
@@ -229,6 +237,7 @@ impl Serialize for ScenarioSpec {
         st.serialize_field("accuracy_classes", &self.accuracy_classes)?;
         st.serialize_field("fps_thresholds", &self.fps_thresholds)?;
         st.serialize_field("family", &self.family)?;
+        st.serialize_field("library", &self.library)?;
         st.serialize_field("library_depth", &self.library_depth)?;
         st.serialize_field("accuracy_samples", &self.accuracy_samples)?;
         st.serialize_field("ga", &self.ga)?;
@@ -406,6 +415,7 @@ impl ScenarioSpec {
             accuracy_classes: Vec::new(),
             fps_thresholds: Vec::new(),
             family: String::new(),
+            library: String::new(),
             library_depth: None,
             accuracy_samples: None,
             ga: None,
@@ -415,6 +425,21 @@ impl ScenarioSpec {
             objective: String::new(),
             deployment: None,
         }
+    }
+
+    /// Builder: sets the multiplier family.
+    #[must_use]
+    pub fn with_family(mut self, family: &str) -> Self {
+        self.family = family.to_string();
+        self
+    }
+
+    /// Builder: sets the imported-library path (pair with
+    /// `with_family("imported")`).
+    #[must_use]
+    pub fn with_library(mut self, library: &str) -> Self {
+        self.library = library.to_string();
+        self
     }
 
     /// Builder: sets the model.
@@ -584,11 +609,49 @@ impl ScenarioSpec {
         }
         let constraints = constraints.expect("non-empty after default");
 
-        let family = match self.family.as_str() {
-            "" => None,
-            "ladder" => Some(Family::Ladder),
-            "classic" => Some(Family::Classic),
-            "evolved" => Some(Family::Evolved),
+        let builtin = |family: Family| -> Result<Option<LibrarySource>, ScenarioError> {
+            if self.library.is_empty() {
+                Ok(Some(LibrarySource::Builtin(family)))
+            } else {
+                Err(ScenarioError::LibraryNeedsImportedFamily(
+                    self.family.clone(),
+                ))
+            }
+        };
+        let source = match self.family.as_str() {
+            "" => {
+                if self.library.is_empty() {
+                    None
+                } else {
+                    return Err(ScenarioError::LibraryNeedsImportedFamily(
+                        self.family.clone(),
+                    ));
+                }
+            }
+            "ladder" => builtin(Family::Ladder)?,
+            "classic" => builtin(Family::Classic)?,
+            "evolved" => builtin(Family::Evolved)?,
+            "imported" => {
+                if self.library.is_empty() {
+                    return Err(ScenarioError::MissingLibraryPath);
+                }
+                let library = carma_import::load_library(std::path::Path::new(&self.library))
+                    .map_err(ScenarioError::from)?;
+                // The evaluation contexts are built over the paper's
+                // 8-bit accuracy pipeline; only the library-level
+                // `lint` experiment can take other widths.
+                if library.width != 8 && info.name != "lint" {
+                    return Err(ScenarioError::LibraryWidthUnsupported {
+                        path: self.library.clone(),
+                        width: library.width,
+                        experiment: self.experiment.clone(),
+                    });
+                }
+                Some(LibrarySource::Imported(ImportedSource {
+                    path: self.library.clone(),
+                    library,
+                }))
+            }
             other => return Err(ScenarioError::UnknownFamily(other.to_string())),
         };
 
@@ -681,7 +744,7 @@ impl ScenarioSpec {
             accuracy_classes,
             fps_thresholds,
             constraints,
-            family,
+            source,
             library_depth: self.library_depth,
             accuracy_samples: self.accuracy_samples,
             ga,
@@ -726,6 +789,52 @@ impl Family {
     }
 }
 
+/// Where a scenario's multiplier library comes from: one of the three
+/// built-in generated families, or an external file admitted through
+/// the `carma-import` gate. This is the open axis that used to be the
+/// closed [`Family`] enum — every layer downstream (library and
+/// context construction, memo canon keys, `lint` loops, artifact
+/// family columns) dispatches on it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LibrarySource {
+    /// A generated family (`ladder` / `classic` / `evolved`).
+    Builtin(Family),
+    /// An imported library file, already parsed and admitted at
+    /// resolve time.
+    Imported(ImportedSource),
+}
+
+impl LibrarySource {
+    /// The family column label (`ladder`, …, or `imported`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            LibrarySource::Builtin(f) => f.as_str(),
+            LibrarySource::Imported(_) => "imported",
+        }
+    }
+
+    /// The builtin family, if this source is one.
+    pub fn builtin(&self) -> Option<Family> {
+        match self {
+            LibrarySource::Builtin(f) => Some(*f),
+            LibrarySource::Imported(_) => None,
+        }
+    }
+}
+
+/// An imported library source: the spec path (display / provenance
+/// only) plus the admitted file contents. Keeping the parsed modules
+/// here — not just the path — means runners never re-read the file,
+/// so a rename or edit between resolve and run cannot skew results;
+/// identity downstream is the byte content hash, never the path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImportedSource {
+    /// The path as spelled in the spec.
+    pub path: String,
+    /// Parsed, admitted library (modules, width, content hash).
+    pub library: carma_import::ImportedLibrary,
+}
+
 /// A fully validated scenario: every defaulted [`ScenarioSpec`] field
 /// made concrete. Construct via [`ScenarioSpec::resolve`].
 #[derive(Debug, Clone, PartialEq)]
@@ -746,8 +855,8 @@ pub struct ResolvedScenario {
     pub fps_thresholds: Vec<f64>,
     /// The binding constraint pair: first threshold, last class.
     pub constraints: Constraints,
-    /// Library family override (`None` = scale default ladder).
-    pub family: Option<Family>,
+    /// Library source override (`None` = scale default ladder).
+    pub source: Option<LibrarySource>,
     /// Library depth override.
     pub library_depth: Option<u8>,
     /// Accuracy-sample override.
@@ -809,10 +918,29 @@ impl ResolvedScenario {
         cfg
     }
 
+    /// The effective library source (scale-default ladder when the
+    /// spec named none).
+    pub fn library_source(&self) -> LibrarySource {
+        self.source
+            .clone()
+            .unwrap_or(LibrarySource::Builtin(Family::Ladder))
+    }
+
     /// Builds the scenario's multiplier library (family × depth at
-    /// this scale).
+    /// this scale, or the characterized imported file).
     pub fn library(&self) -> MultiplierLibrary {
-        self.library_for(self.family.unwrap_or(Family::Ladder))
+        self.library_from(&self.library_source())
+    }
+
+    /// Builds the library of an explicit `source` at this scenario's
+    /// settings — builtin families via [`Self::library_for`], imported
+    /// sources via `carma-import` characterization of the modules
+    /// admitted at resolve time.
+    pub fn library_from(&self, source: &LibrarySource) -> MultiplierLibrary {
+        match source {
+            LibrarySource::Builtin(family) => self.library_for(*family),
+            LibrarySource::Imported(src) => carma_import::build_library(&src.library),
+        }
     }
 
     /// Builds the library of an explicit `family` at this scenario's
@@ -881,7 +1009,19 @@ impl ResolvedScenario {
             .iter()
             .map(std::string::ToString::to_string)
             .collect();
-        let family = self.family.unwrap_or(Family::Ladder).as_str();
+        let source = self.library_source();
+        let family = source.as_str();
+        // Imported sources append their content identity right after
+        // the family value; builtin scenarios keep the exact canonical
+        // bytes they had before the `library` field existed.
+        let library = match &source {
+            LibrarySource::Builtin(_) => String::new(),
+            LibrarySource::Imported(src) => format!(
+                ",\"library\":{{\"format\":{},\"content\":{}}}",
+                js(src.library.format.as_str()),
+                js(&src.library.content_hash),
+            ),
+        };
         let package = match self.deployment.package {
             Package::Monolithic => "monolithic",
             Package::Interposer2_5d => "interposer-2.5d",
@@ -894,7 +1034,7 @@ impl ResolvedScenario {
 
         format!(
             "{{\"experiment\":{},\"scale\":{},\"models\":{},\"node\":{},\"nodes\":{},\
-             \"accuracy_classes\":{},\"fps_thresholds\":{},\"family\":{},\
+             \"accuracy_classes\":{},\"fps_thresholds\":{},\"family\":{}{},\
              \"library_depth\":{},\"accuracy_samples\":{},\
              \"ga\":{{\"population\":{},\"generations\":{},\"tournament\":{},\
              \"crossover_rate\":{},\"mutation_rate\":{},\"elites\":{},\"seed\":{}}},\
@@ -910,6 +1050,7 @@ impl ResolvedScenario {
             js(&self.accuracy_classes),
             js(&self.fps_thresholds),
             js(family),
+            library,
             self.depth(),
             self.evaluator().samples,
             self.ga.population,

@@ -1,0 +1,128 @@
+//! Regenerates the committed `examples/libraries/` fixtures:
+//!
+//! - `approx8.v` — three 8-bit approximate multipliers derived from
+//!   the exact Dadda tree by substituting OR for XOR in the lowest
+//!   compressor columns. Connectivity is untouched, so every module is
+//!   Strict-lint clean and passes the admission gate.
+//! - `approx4.edf` — the same substitution at width 4, exported as
+//!   EDIF 2.0.0 (exercises the second import format end-to-end; 4-bit
+//!   libraries are `carma lint`-able but too narrow for a full run).
+//! - `corrupted.v` — an 8-bit multiplier truncated so deeply that its
+//!   low operand bits float. It parses fine but must be **rejected**
+//!   by the admission gate with FloatingInput diagnostics.
+//!
+//! Run from the workspace root:
+//!
+//! ```text
+//! cargo run -p carma-import --example gen_fixtures [out-dir]
+//! ```
+//!
+//! Each emitted file is re-ingested through [`carma_import`] before it
+//! is written, so a drifted generator fails here instead of in CI.
+
+use std::collections::HashSet;
+
+use carma_import::ImportFailure;
+use carma_multiplier::{ApproxGenome, MultiplierCircuit, ReductionKind};
+use carma_netlist::{to_edif, to_verilog, BinOp, ImportFormat, Netlist, Node};
+
+/// Rebuilds `base` with the first `count` XOR gates (topological
+/// order — the low compressor columns come first) replaced by OR.
+/// OR differs from XOR only on the `1,1` input pattern, so the result
+/// is a live-everywhere approximate multiplier.
+fn substitute_xor_to_or(base: &Netlist, name: &str, count: usize) -> Netlist {
+    let mut nl = Netlist::new(name);
+    let mut swapped = 0;
+    for node in base.nodes() {
+        match node {
+            Node::Input { name } => {
+                nl.input(name.clone());
+            }
+            Node::Const { value } => {
+                nl.constant(*value);
+            }
+            Node::Unary { op, a } => {
+                nl.unary(*op, *a);
+            }
+            Node::Binary { op, a, b } => {
+                let op = if *op == BinOp::Xor && swapped < count {
+                    swapped += 1;
+                    BinOp::Or
+                } else {
+                    *op
+                };
+                nl.binary(op, *a, *b);
+            }
+        }
+    }
+    for (port, id) in base.output_ports() {
+        nl.output(port.clone(), *id);
+    }
+    assert!(swapped == count, "base has fewer than {count} XOR gates");
+    nl.validate().expect("substitution preserves structure");
+    nl
+}
+
+fn main() {
+    let out_dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "examples/libraries".to_string());
+    std::fs::create_dir_all(&out_dir).expect("create output dir");
+
+    // ── approx8.v ────────────────────────────────────────────────────
+    let base8 = MultiplierCircuit::generate(8, ReductionKind::Dadda);
+    let mut verilog = String::new();
+    for count in [2usize, 4, 6] {
+        let nl = substitute_xor_to_or(base8.netlist(), &format!("mul8_or{count}"), count);
+        verilog.push_str(&to_verilog(&nl));
+        verilog.push('\n');
+    }
+    let lib = carma_import::parse_library(verilog.as_bytes(), ImportFormat::Verilog, "approx8.v")
+        .expect("generated 8-bit modules must pass the admission gate");
+    assert_eq!(lib.width, 8);
+    assert!(
+        lib.modules.iter().all(|m| !m.exact),
+        "substituted modules must be approximate"
+    );
+    write(&out_dir, "approx8.v", &verilog);
+
+    // ── approx4.edf ──────────────────────────────────────────────────
+    let base4 = MultiplierCircuit::generate(4, ReductionKind::Dadda);
+    let nl = substitute_xor_to_or(base4.netlist(), "mul4_or2", 2);
+    let edif = to_edif(&nl);
+    let lib = carma_import::parse_library(edif.as_bytes(), ImportFormat::Edif, "approx4.edf")
+        .expect("generated EDIF module must pass the admission gate");
+    assert_eq!(lib.width, 4);
+    write(&out_dir, "approx4.edf", &edif);
+
+    // ── corrupted.v ──────────────────────────────────────────────────
+    // Truncating the four low bits of both operands leaves a0..a3 and
+    // b0..b3 floating: valid Verilog, invalid library.
+    let truncated = ApproxGenome::truncation(4, 4).apply(&base8);
+    let mut nl = truncated.netlist().clone();
+    nl.set_name("mul8_truncated");
+    let corrupted = to_verilog(&nl);
+    match carma_import::parse_library(corrupted.as_bytes(), ImportFormat::Verilog, "corrupted.v") {
+        Err(ImportFailure::Rejected { diagnostics, .. }) => {
+            assert!(
+                diagnostics.iter().any(|d| d.contains("FloatingInput")),
+                "rejection must carry the lint findings, got: {diagnostics:?}"
+            );
+        }
+        other => panic!("corrupted fixture must be rejected, got: {other:?}"),
+    }
+    write(&out_dir, "corrupted.v", &corrupted);
+
+    // Distinct content hashes — the memo keys the files by content.
+    let hashes: HashSet<String> = [&verilog, &edif, &corrupted]
+        .iter()
+        .map(|text| carma_import::content_hash(text.as_bytes()))
+        .collect();
+    assert_eq!(hashes.len(), 3);
+}
+
+fn write(dir: &str, file: &str, text: &str) {
+    let path = std::path::Path::new(dir).join(file);
+    std::fs::write(&path, text).expect("write fixture");
+    println!("wrote {}", path.display());
+}

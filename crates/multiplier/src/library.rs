@@ -10,6 +10,7 @@ use std::fmt;
 use std::sync::OnceLock;
 
 use carma_ga::{MultiObjectiveProblem, Nsga2, Nsga2Config};
+use carma_netlist::ImportFormat;
 use rand::{Rng, RngExt};
 
 use crate::approx::{ApproxGenome, Prune, PruneAction};
@@ -47,6 +48,16 @@ pub enum CircuitRecipe {
     },
     /// An NSGA-II-evolved genome (truncation + gate prunes).
     Genome(ApproxGenome),
+    /// An externally imported design, carried as the canonical
+    /// structural-Verilog text of its netlist (the `to_verilog` form),
+    /// so imported libraries stay durable through
+    /// [`MultiplierLibrary::from_parts`] round trips. The text must
+    /// parse back into a `2*width`-in / `2*width`-out netlist; memo
+    /// decode pre-validates this before `build` is reached.
+    Imported {
+        /// Structural Verilog source of the circuit.
+        verilog: String,
+    },
 }
 
 impl CircuitRecipe {
@@ -68,6 +79,13 @@ impl CircuitRecipe {
                 crate::families::truncated_with_correction(width, *omit, kind)
             }
             CircuitRecipe::Genome(g) => g.apply(base),
+            CircuitRecipe::Imported { verilog } => {
+                let netlist = carma_netlist::parse_netlists(verilog, ImportFormat::Verilog)
+                    .ok()
+                    .and_then(|mut mods| (mods.len() == 1).then(|| mods.pop().expect("len 1")))
+                    .expect("imported recipe carries valid single-module Verilog");
+                MultiplierCircuit::from_netlist(netlist, width)
+            }
         }
     }
 
@@ -78,7 +96,8 @@ impl CircuitRecipe {
         match self {
             CircuitRecipe::Exact
             | CircuitRecipe::BrokenArray { .. }
-            | CircuitRecipe::TruncCorrect { .. } => ApproxGenome::exact(),
+            | CircuitRecipe::TruncCorrect { .. }
+            | CircuitRecipe::Imported { .. } => ApproxGenome::exact(),
             CircuitRecipe::Truncation { a, b } => ApproxGenome::truncation(*a, *b),
             CircuitRecipe::Genome(g) => g.clone(),
         }

@@ -35,6 +35,7 @@
 pub mod area;
 pub mod equiv;
 pub mod gate;
+pub mod import;
 pub mod netlist;
 pub mod sim;
 pub mod tech;
@@ -43,6 +44,8 @@ pub mod verilog;
 pub use area::{Area, NAND2_TRANSISTORS};
 pub use equiv::{check_equivalence, Equivalence};
 pub use gate::{BinOp, Node, NodeId, UnOp};
+pub use import::edif::to_edif;
+pub use import::{parse_netlists, ImportError, ImportFormat};
 pub use netlist::{Netlist, NetlistError, NetlistStats, SweepAnalysis, SweepReason};
 pub use sim::{LaneSim, WORD_LANES};
 pub use tech::{TechNode, TechParams};

@@ -25,7 +25,10 @@ USAGE:
   carma help                          show this message
 
 LINT OPTIONS:
-  --family <f>         ladder|classic|evolved|all      (default: all)
+  --family <f>         ladder|classic|evolved|imported|all   (default: all)
+  --library <path>     lint an imported .v/.edf library file (implies
+                       --family imported; the file passes the admission gate
+                       — strict lint + static bound + equivalence — first)
   --library-depth <N>  truncation depth 1..=7          (default: scale default)
   --scale quick|full   library scale                   (default: $CARMA_SCALE or quick)
   --out text|json      output format                   (default: text)
@@ -50,6 +53,10 @@ OPTIONS:
   --model <name>       DNN model (vgg16|vgg19|resnet50|resnet152|mobilenet_v1|alexnet|zoo)
   --node <node>        primary tech node (7nm|14nm|28nm)
   --nodes <a,b,..>     node sweep for multi-node experiments
+  --library <path>     run against an imported multiplier library
+                       (gate-level structural Verilog `.v` or EDIF 2.0.0
+                       `.edf`; implies `family: \"imported\"`; every module
+                       must pass the admission gate at resolve time)
   --seed <N>           GA seed override
   --out text|json|csv  output format (default: text)
   --output <path>      write the output to <path> instead of stdout
@@ -113,6 +120,7 @@ struct RunArgs {
     model: Option<String>,
     node: Option<String>,
     nodes: Option<Vec<String>>,
+    library: Option<String>,
     seed: Option<u64>,
     out: OutFormat,
     output: Option<String>,
@@ -136,6 +144,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
         model: None,
         node: None,
         nodes: None,
+        library: None,
         seed: None,
         out: OutFormat::Text,
         output: None,
@@ -172,6 +181,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
                 let v = value_for("--nodes")?;
                 parsed.nodes = Some(v.split(',').map(|s| s.trim().to_string()).collect());
             }
+            "--library" => parsed.library = Some(value_for("--library")?),
             "--seed" => {
                 let v = value_for("--seed")?;
                 parsed.seed = Some(
@@ -210,6 +220,7 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
 /// error-severity findings to a non-zero exit code.
 fn lint(args: &[String]) -> ExitCode {
     let mut family: Option<String> = None;
+    let mut library: Option<String> = None;
     let mut library_depth: Option<u8> = None;
     let mut scale: Option<Scale> = None;
     let mut threads: Option<usize> = None;
@@ -226,7 +237,7 @@ fn lint(args: &[String]) -> ExitCode {
         };
         let parsed = match arg.as_str() {
             "--family" => value_for("--family").and_then(|v| match v.as_str() {
-                "ladder" | "classic" | "evolved" => {
+                "ladder" | "classic" | "evolved" | "imported" => {
                     family = Some(v);
                     Ok(())
                 }
@@ -235,9 +246,10 @@ fn lint(args: &[String]) -> ExitCode {
                     Ok(())
                 }
                 other => Err(format!(
-                    "unknown family `{other}` (expected ladder|classic|evolved|all)"
+                    "unknown family `{other}` (expected ladder|classic|evolved|imported|all)"
                 )),
             }),
+            "--library" => value_for("--library").map(|v| library = Some(v)),
             "--library-depth" => value_for("--library-depth").and_then(|v| {
                 v.parse::<u8>()
                     .ok()
@@ -295,6 +307,12 @@ fn lint(args: &[String]) -> ExitCode {
         let mut spec = ScenarioSpec::named("lint");
         if let Some(f) = family {
             spec.family = f;
+        }
+        if let Some(path) = library {
+            spec.library = path;
+            if spec.family.is_empty() {
+                spec.family = "imported".to_string();
+            }
         }
         spec.library_depth = library_depth;
         let registry = ExperimentRegistry::standard();
@@ -498,6 +516,16 @@ fn run(args: &[String]) -> ExitCode {
     if let Some(nodes) = parsed.nodes {
         if spec.nodes.is_empty() {
             spec.nodes = nodes;
+        }
+    }
+    if let Some(library) = parsed.library {
+        if spec.library.is_empty() {
+            spec.library = library;
+        }
+        // A library path only takes effect under the imported family;
+        // filling it in keeps `--library foo.v` self-contained.
+        if spec.family.is_empty() {
+            spec.family = "imported".to_string();
         }
     }
     if let Some(seed) = parsed.seed {

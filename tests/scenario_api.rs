@@ -775,6 +775,7 @@ fn fully_populated_spec() -> ScenarioSpec {
         accuracy_classes: vec![0.005, 0.02],
         fps_thresholds: vec![30.0],
         family: "classic".to_string(),
+        library: String::new(),
         library_depth: Some(2),
         accuracy_samples: Some(48),
         ga: Some(GaSpec {
@@ -845,7 +846,8 @@ fn spec_json_bytes_are_pinned() {
     let expected = concat!(
         "{\"experiment\":\"fig2\",\"model\":\"resnet50\",\"node\":\"7nm\",",
         "\"nodes\":[\"7nm\",\"14nm\"],\"accuracy_classes\":[0.005,0.02],",
-        "\"fps_thresholds\":[30],\"family\":\"classic\",\"library_depth\":2,",
+        "\"fps_thresholds\":[30],\"family\":\"classic\",\"library\":\"\",",
+        "\"library_depth\":2,",
         "\"accuracy_samples\":48,\"ga\":{\"population\":10,\"generations\":6,",
         "\"tournament\":null,\"crossover_rate\":0.9,\"mutation_rate\":null,",
         "\"elites\":null,\"seed\":7},\"seed\":42,\"scale\":\"quick\",\"threads\":2,",

@@ -274,6 +274,59 @@ fn error_paths_return_typed_statuses() {
     handle.shutdown();
 }
 
+#[test]
+fn imported_library_specs_cache_by_content_not_path() {
+    let handle = boot(ServerConfig::default());
+    let addr = handle.addr();
+    let dir = std::env::temp_dir().join(format!("carma_serve_import_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let text = std::fs::read_to_string("examples/libraries/approx8.v").expect("fixture");
+    let a = dir.join("a.v");
+    let renamed = dir.join("renamed.v");
+    let edited = dir.join("edited.v");
+    std::fs::write(&a, &text).expect("write");
+    std::fs::write(&renamed, &text).expect("write");
+    std::fs::write(&edited, format!("{text}\n// tweak\n")).expect("write");
+
+    let spec = |path: &std::path::Path| {
+        format!(
+            r#"{{"experiment": "fig2", "model": "resnet50", "family": "imported",
+                "library": "{}", "accuracy_samples": 48,
+                "ga": {{"population": 10, "generations": 6}},
+                "seed": 77, "scale": "quick"}}"#,
+            path.display()
+        )
+    };
+
+    let first = post_run(addr, &spec(&a));
+    assert_eq!(first.status, 200, "{}", first.body);
+    assert_eq!(cache_marker(&first), "miss");
+
+    // Same bytes under another path: the content-hash fingerprint is
+    // unchanged, so the result is served from the first entry.
+    let second = post_run(addr, &spec(&renamed));
+    assert_eq!(second.status, 200, "{}", second.body);
+    assert_eq!(cache_marker(&second), "hit", "rename must hit the cache");
+    assert_eq!(extract_report(&first.body), extract_report(&second.body));
+
+    // Edited bytes: a different scenario, recomputed.
+    let third = post_run(addr, &spec(&edited));
+    assert_eq!(third.status, 200, "{}", third.body);
+    assert_eq!(cache_marker(&third), "miss", "edit must invalidate");
+
+    // A library failing the admission gate is a 422 resolve error
+    // carrying the lint diagnostics.
+    let rejected = post_run(
+        addr,
+        &spec(std::path::Path::new("examples/libraries/corrupted.v")),
+    );
+    assert_eq!(rejected.status, 422, "{}", rejected.body);
+    assert!(rejected.body.contains("FloatingInput"), "{}", rejected.body);
+
+    let _ = std::fs::remove_dir_all(&dir);
+    handle.shutdown();
+}
+
 /// Writes raw bytes on a fresh connection and returns everything the
 /// server sends back before closing (for wire-level parser checks).
 fn raw_roundtrip(addr: SocketAddr, bytes: &[u8]) -> String {
