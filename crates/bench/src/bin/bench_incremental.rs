@@ -22,7 +22,7 @@
 //! cold, that the memo actually served the shared stages (hit
 //! counters), and that the cold and warm reports are byte-identical.
 
-use std::time::Instant;
+use std::sync::Arc;
 
 use carma_core::scenario::{ExperimentRegistry, RunEnv, Scale, ScenarioSpec};
 
@@ -46,15 +46,21 @@ fn main() {
     let deployment = ScenarioSpec::named("deployment");
     let fig2 = ScenarioSpec::named("fig2");
 
+    // Every measured run goes through the shared `time_it` helper
+    // under one collector, so the per-phase breakdown lands in the
+    // trace summary printed at the end.
+    let collector = Arc::new(carma_trace::Collector::new());
     let run = |env: &RunEnv, spec: &ScenarioSpec| {
-        let start = Instant::now();
-        let report = registry
-            .run_with_env(spec, cli_scale, None, env)
-            .unwrap_or_else(|e| {
-                eprintln!("error: {e}");
-                std::process::exit(2);
-            });
-        (start.elapsed().as_secs_f64(), report)
+        carma_trace::with_collector(&collector, || {
+            carma_bench::time_it("bench.run", || {
+                registry
+                    .run_with_env(spec, cli_scale, None, env)
+                    .unwrap_or_else(|e| {
+                        eprintln!("error: {e}");
+                        std::process::exit(2);
+                    })
+            })
+        })
     };
 
     // Cold: fresh environment, every stage computes.
@@ -128,4 +134,5 @@ fn main() {
         "\ncold {cold_s:.3}s -> warm {warm_s:.3}s ({speedup_warm:.1}x) -> \
          repeat {repeat_s:.3}s ({speedup_repeat:.1}x)"
     );
+    eprint!("\n{}", collector.snapshot().text_profile());
 }

@@ -30,6 +30,21 @@ pub fn banner(name: &str, scale: Scale) {
     print!("{}", carma_core::scenario::banner_text(name, scale));
 }
 
+/// Times `f` and returns `(seconds, result)` — the one wall-clock
+/// helper every bench binary shares instead of hand-rolling
+/// `Instant::now()` pairs. The measured section also runs under a
+/// `carma-trace` span, so when a collector is installed (see
+/// [`carma_trace::with_collector`]) each timed phase shows up in the
+/// trace summary with the same name.
+pub fn time_it<R>(name: &'static str, f: impl FnOnce() -> R) -> (f64, R) {
+    let start = std::time::Instant::now();
+    let result = {
+        let _span = carma_trace::span!(name);
+        f()
+    };
+    (start.elapsed().as_secs_f64(), result)
+}
+
 /// The body of every legacy experiment binary: run the named
 /// experiment with its default spec (scale/threads from the
 /// environment), print banner + tables + notes, and write the legacy
@@ -37,11 +52,13 @@ pub fn banner(name: &str, scale: Scale) {
 pub fn shim_main(name: &str) {
     // Surface mistyped CARMA_SCALE / CARMA_THREADS before the silent
     // lenient fallbacks (quick scale / available parallelism) apply.
+    // Diagnostics go through the trace crate's locked stderr writer so
+    // they stay line-atomic next to worker-thread output.
     if let Some(warning) = carma_core::scenario::scale_env_diagnostic() {
-        eprintln!("{warning}");
+        carma_trace::diag(&warning);
     }
     if let Some(warning) = carma_core::scenario::threads_env_diagnostic() {
-        eprintln!("{warning}");
+        carma_trace::diag(&warning);
     }
     let registry = ExperimentRegistry::standard();
     let info = registry

@@ -48,7 +48,8 @@ pub use context::{CarmaContext, DesignEval};
 pub use flow::{ConstraintError, Constraints, FitnessMetric, Objective, SweepPoint};
 pub use memo::MemoLayer;
 pub use scenario::{
-    fixture_lint_report, ExperimentRegistry, Report, RunEnv, Scale, ScenarioError, ScenarioSpec,
+    fixture_lint_report, ExperimentRegistry, Provenance, Report, RunEnv, Scale, ScenarioError,
+    ScenarioSpec, SpanTotal,
 };
 pub use space::DesignPoint;
 

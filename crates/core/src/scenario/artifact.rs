@@ -649,6 +649,81 @@ fn reduction_classes(rows: &[ReductionRow]) -> Vec<f64> {
     classes
 }
 
+/// Aggregated time spent under one span name across a run — the
+/// span table of a [`Provenance`] block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanTotal {
+    /// Span name (`"memo.library"`, `"ga.generation"`, …).
+    pub name: String,
+    /// Number of spans recorded under the name.
+    pub count: u64,
+    /// Total seconds across them.
+    pub total_s: f64,
+}
+
+/// Machine-readable run provenance, attached to a [`Report`] when a
+/// trace collector was installed for the run. **Never** part of the
+/// report's own sinks (`to_json`/`to_csv`/text): the result payload
+/// stays byte-identical trace-on vs trace-off, which the serve cache
+/// and the memo byte-identity suite rely on. Consumers read it via
+/// [`Provenance::to_json`] (`carma run --trace json`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Provenance {
+    /// Wall-clock seconds of the whole run.
+    pub wall_s: f64,
+    /// Thread width the `carma-exec` pool resolved to.
+    pub threads: usize,
+    /// Build identity (`carma <version> (<git>)`).
+    pub build: String,
+    /// Memo hit/miss/disk-hit counters per stage, when the run's
+    /// environment was memoized.
+    pub memo: Option<carma_memo::MemoStats>,
+    /// Per-span-name totals, sorted by name.
+    pub spans: Vec<SpanTotal>,
+}
+
+impl Provenance {
+    /// The provenance block as one JSON object.
+    pub fn to_json(&self) -> String {
+        let memo = match &self.memo {
+            None => "null".to_string(),
+            Some(stats) => {
+                let stage = |c: carma_memo::StageCounts| {
+                    format!(
+                        "{{\"hits\":{},\"misses\":{},\"disk_hits\":{}}}",
+                        c.hits, c.misses, c.disk_hits
+                    )
+                };
+                format!(
+                    "{{\"library\":{},\"context\":{},\"cell\":{}}}",
+                    stage(stats.library),
+                    stage(stats.context),
+                    stage(stats.cell)
+                )
+            }
+        };
+        let spans: Vec<String> = self
+            .spans
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"name\":{},\"count\":{},\"total_s\":{:.6}}}",
+                    serde::json::to_string(&s.name),
+                    s.count,
+                    s.total_s
+                )
+            })
+            .collect();
+        format!(
+            "{{\"wall_s\":{:.6},\"threads\":{},\"build\":{},\"memo\":{memo},\"spans\":[{}]}}",
+            self.wall_s,
+            self.threads,
+            serde::json::to_string(&self.build),
+            spans.join(",")
+        )
+    }
+}
+
 /// The complete result of one scenario run: metadata, typed artifacts
 /// and the human-readable observation notes the binaries print under
 /// their tables.
@@ -664,6 +739,10 @@ pub struct Report {
     pub artifacts: Vec<Artifact>,
     /// Headline observations (one string per printed line/paragraph).
     pub notes: Vec<String>,
+    /// Run provenance, present only when tracing was installed.
+    /// Deliberately excluded from `to_json`/`to_csv`/text so result
+    /// payloads are byte-identical with tracing on or off.
+    pub provenance: Option<Provenance>,
 }
 
 impl Report {
@@ -777,6 +856,7 @@ mod tests {
                 },
             ])],
             notes: vec!["a note".to_string()],
+            provenance: None,
         }
     }
 

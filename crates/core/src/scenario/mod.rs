@@ -25,7 +25,7 @@ mod spec;
 
 pub use artifact::{
     Artifact, DeploymentRow, FamilyRow, GridRow, LintFindingRow, LintRow, MetricRow, ParallelRow,
-    Report, SearchRow, YieldRow,
+    Provenance, Report, SearchRow, SpanTotal, YieldRow,
 };
 pub use registry::{fixture_lint_report, ExperimentInfo, ExperimentRegistry, RunEnv, Runner};
 pub use spec::{

@@ -357,21 +357,36 @@ impl ExperimentRegistry {
         cli_threads: Option<usize>,
         env: &RunEnv,
     ) -> Result<Report, ScenarioError> {
-        let resolved = spec.resolve(self, cli_scale, cli_threads)?;
+        let _run_span = carma_trace::span!("run", "{}", spec.experiment);
+        let resolved = {
+            let _span = carma_trace::span!("resolve");
+            spec.resolve(self, cli_scale, cli_threads)?
+        };
         let info = self
             .get(&resolved.name)
             .expect("resolved from this registry");
         let runner = info.runner;
         let go = || match runner {
             Runner::Single(f) => {
-                let ctx = env.context_for(&resolved, resolved.node);
+                let ctx = {
+                    let _span = carma_trace::span!("contexts");
+                    env.context_for(&resolved, resolved.node)
+                };
+                let _span = carma_trace::span!("runner", "{}", resolved.name);
                 f(&resolved, &ctx)
             }
             Runner::PerNode(f) => {
-                let ctxs = env.node_contexts(&resolved);
+                let ctxs = {
+                    let _span = carma_trace::span!("contexts");
+                    env.node_contexts(&resolved)
+                };
+                let _span = carma_trace::span!("runner", "{}", resolved.name);
                 f(&resolved, &ctxs)
             }
-            Runner::Custom(f) => f(&resolved, env),
+            Runner::Custom(f) => {
+                let _span = carma_trace::span!("runner", "{}", resolved.name);
+                f(&resolved, env)
+            }
         };
         Ok(match resolved.threads {
             Some(n) => carma_exec::with_threads(n, go),
@@ -387,6 +402,7 @@ fn report(r: &ResolvedScenario, artifacts: Vec<Artifact>, notes: Vec<String>) ->
         scale: r.scale,
         artifacts,
         notes,
+        provenance: None,
     }
 }
 
@@ -969,6 +985,7 @@ pub fn fixture_lint_report(scale: Scale) -> Report {
              constant-foldable gate; the strict profile must flag errors"
                 .to_string(),
         ],
+        provenance: None,
     }
 }
 

@@ -238,8 +238,20 @@ where
         local
     };
 
+    // Spawned workers start with empty thread-locals, so the caller's
+    // tracing context is captured here and re-installed on each one —
+    // spans opened inside `f` parent under the span active at the
+    // dispatch call, whatever thread they land on. `None` when tracing
+    // is off; propagating that is free. The caller keeps its own
+    // context and runs `work_loop` directly.
+    let ambient = carma_trace::ambient();
     let mut buckets: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads - 1).map(|_| s.spawn(work_loop)).collect();
+        let handles: Vec<_> = (0..threads - 1)
+            .map(|_| {
+                let ambient = ambient.clone();
+                s.spawn(move || carma_trace::with_ambient(ambient, work_loop))
+            })
+            .collect();
         // `work_loop` flags the caller as in-worker too (suppressing
         // nested parallelism inside `f`); clear it afterwards, on
         // unwind included — a caller that reaches dispatch() was not a

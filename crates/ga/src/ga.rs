@@ -255,6 +255,7 @@ impl<P: Problem> GeneticAlgorithm<P> {
     /// Panics if the problem's `evaluate_batch` override broke the
     /// one-result-per-genome contract.
     fn evaluate_all(&self, genomes: Vec<P::Genome>) -> Vec<Individual<P::Genome>> {
+        let _span = carma_trace::span!("ga.eval_batch", "n={}", genomes.len());
         let evaluations = self.problem.evaluate_batch(&genomes);
         assert_eq!(
             evaluations.len(),
@@ -292,6 +293,7 @@ impl<P: Problem> GeneticAlgorithm<P> {
         history.push(Self::stats(0, &pop));
 
         for generation in 1..=cfg.generations {
+            let _span = carma_trace::span!("ga.generation", "gen={generation}");
             Self::sort_by_rule(&mut pop);
             let elites: Vec<Individual<P::Genome>> = pop.iter().take(cfg.elites).cloned().collect();
             let mut children = Vec::with_capacity(cfg.population - elites.len());

@@ -254,6 +254,7 @@ impl<P: MultiObjectiveProblem> Nsga2<P> {
     /// Panics if the problem's `evaluate_batch` override broke the
     /// one-result-per-genome contract.
     fn evaluate_all(&self, genomes: Vec<P::Genome>) -> Vec<Member<P::Genome>> {
+        let _span = carma_trace::span!("nsga2.eval_batch", "n={}", genomes.len());
         let objectives = self.problem.evaluate_batch(&genomes);
         assert_eq!(
             objectives.len(),
@@ -290,7 +291,8 @@ impl<P: MultiObjectiveProblem> Nsga2<P> {
         let mut pop = self.evaluate_all(genomes);
         Self::assign_rank_and_crowding(&mut pop);
 
-        for _ in 0..cfg.generations {
+        for generation in 0..cfg.generations {
+            let _span = carma_trace::span!("nsga2.generation", "gen={generation}");
             // Produce offspring by binary tournament on (rank, crowding).
             let mut children: Vec<P::Genome> = Vec::with_capacity(cfg.population);
             while children.len() < cfg.population {

@@ -231,12 +231,14 @@ pub fn parse_library(
                 )],
             });
         }
+        let span = carma_trace::span!("import.admission", "{name}");
         let is_exact =
             admit(&nl, width, exact.netlist()).map_err(|diagnostics| ImportFailure::Rejected {
                 path: origin.to_string(),
                 module: name.clone(),
                 diagnostics,
             })?;
+        span.annotate(if is_exact { "exact" } else { "approximate" });
         modules.push(ImportedModule {
             name,
             netlist: nl,

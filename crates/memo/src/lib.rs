@@ -74,6 +74,15 @@ impl Stage {
             Stage::Cell => 2,
         }
     }
+
+    /// The trace span name of a lookup in this stage.
+    pub fn span_name(self) -> &'static str {
+        match self {
+            Stage::Library => "memo.library",
+            Stage::Context => "memo.context",
+            Stage::Cell => "memo.cell",
+        }
+    }
 }
 
 /// Hit/miss counters for one stage.
@@ -298,9 +307,11 @@ impl MemoStore {
         C: FnOnce() -> T,
     {
         let counters = &self.counters[stage.index()];
+        let span = carma_trace::span!(stage.span_name());
         let key = format!("{}/{}", stage.as_str(), fp);
         if let Some(v) = self.memory_get::<T>(&key) {
             counters.hits.fetch_add(1, Ordering::Relaxed);
+            span.annotate("hit");
             return v;
         }
         // Single-flight: one lock per key; losers of the race block
@@ -315,6 +326,7 @@ impl MemoStore {
         let _guard = gate.lock().expect("in-flight key lock");
         if let Some(v) = self.memory_get::<T>(&key) {
             counters.hits.fetch_add(1, Ordering::Relaxed);
+            span.annotate("hit");
             return v;
         }
         if let Some(path) = self.disk_path(stage, fp) {
@@ -324,6 +336,7 @@ impl MemoStore {
                     self.memory_put(key, Arc::clone(&value));
                     counters.hits.fetch_add(1, Ordering::Relaxed);
                     counters.disk_hits.fetch_add(1, Ordering::Relaxed);
+                    span.annotate("disk_hit");
                     return value;
                 }
             }
@@ -334,6 +347,7 @@ impl MemoStore {
         }
         self.memory_put(key, Arc::clone(&value));
         counters.misses.fetch_add(1, Ordering::Relaxed);
+        span.annotate("miss");
         value
     }
 

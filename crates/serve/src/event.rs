@@ -148,11 +148,13 @@ enum Waiting {
         fingerprint: String,
         keep_alive: bool,
         started: Instant,
+        path: String,
     },
     Batch {
         items: Vec<BatchItem>,
         keep_alive: bool,
         started: Instant,
+        path: String,
     },
 }
 
@@ -203,9 +205,19 @@ impl Conn {
         self.outpos < self.outbuf.len()
     }
 
-    /// Stages a finished response and records its latency.
-    fn finish(&mut self, state: &ServeState, response: &Response, started: Instant) {
+    /// Stages a finished response, records its latency, and stamps a
+    /// `request` span (labelled with the path) into the trace ring.
+    fn finish(
+        &mut self,
+        state: &ServeState,
+        response: &Response,
+        started: Instant,
+        path: Option<String>,
+    ) {
         state.metrics.latency.record(started.elapsed());
+        state
+            .trace
+            .record_complete("request", path, started.elapsed(), None);
         self.outbuf.extend_from_slice(&response.encode());
         if response.close {
             self.close_after_flush = true;
@@ -221,7 +233,7 @@ impl Conn {
                 TryParse::Error(e) => {
                     if let Some(response) = request_error_response(&e) {
                         let started = Instant::now();
-                        self.finish(state, &response.closing(), started);
+                        self.finish(state, &response.closing(), started, None);
                     }
                     self.close_after_flush = true;
                     break;
@@ -232,12 +244,13 @@ impl Conn {
                     state.metrics.requests.fetch_add(1, Ordering::Relaxed);
                     let started = Instant::now();
                     let keep_alive = request.keep_alive;
+                    let path = request.path.clone();
                     match route(&request, state) {
                         Routed::Ready(mut response) => {
                             if !keep_alive {
                                 response.close = true;
                             }
-                            self.finish(state, &response, started);
+                            self.finish(state, &response, started, Some(path));
                         }
                         Routed::WaitJob { id, fingerprint } => {
                             self.waiting = Some(Waiting::Job {
@@ -245,6 +258,7 @@ impl Conn {
                                 fingerprint,
                                 keep_alive,
                                 started,
+                                path,
                             });
                             // The job may have retired between routing
                             // and here (its wake byte already drained):
@@ -256,12 +270,13 @@ impl Conn {
                                 items,
                                 keep_alive,
                                 started,
+                                path,
                             });
                             self.try_retire(state);
                         }
                         Routed::Shutdown(mut response) => {
                             response.close = true;
-                            self.finish(state, &response, started);
+                            self.finish(state, &response, started, Some(path));
                             state.shutdown.store(true, Ordering::SeqCst);
                             // Fails still-queued jobs and notifies the
                             // waker, releasing every suspended
@@ -286,12 +301,13 @@ impl Conn {
                 fingerprint,
                 keep_alive,
                 started,
+                path,
             } => match job_outcome_response(state, id, &fingerprint) {
                 Some(mut response) => {
                     if !keep_alive {
                         response.close = true;
                     }
-                    self.finish(state, &response, started);
+                    self.finish(state, &response, started, Some(path));
                     self.process_inbuf(state);
                 }
                 None => {
@@ -300,6 +316,7 @@ impl Conn {
                         fingerprint,
                         keep_alive,
                         started,
+                        path,
                     });
                 }
             },
@@ -307,6 +324,7 @@ impl Conn {
                 mut items,
                 keep_alive,
                 started,
+                path,
             } => {
                 let mut all_ready = true;
                 for item in &mut items {
@@ -322,13 +340,14 @@ impl Conn {
                     if !keep_alive {
                         response.close = true;
                     }
-                    self.finish(state, &response, started);
+                    self.finish(state, &response, started, Some(path));
                     self.process_inbuf(state);
                 } else {
                     self.waiting = Some(Waiting::Batch {
                         items,
                         keep_alive,
                         started,
+                        path,
                     });
                 }
             }

@@ -30,7 +30,8 @@
 //! | `POST /run` | run a [`ScenarioSpec`] body; `?async=true` enqueues and returns a job id |
 //! | `POST /run` (array body) | batch: per-element results, deduplicated against cache and in-flight jobs |
 //! | `GET /jobs/:id` | job status; carries the report when done |
-//! | `GET /metrics` | Prometheus text: cache hit ratio, queue depth, p50/p99 latency, … |
+//! | `GET /metrics` | Prometheus text: cache hit ratio, queue depth, p50/p99 latency, per-stage `carma_stage_seconds_total`, … |
+//! | `GET /trace?last=N` | the `N` most recent request/run traces as Chrome `trace_event` JSON |
 //! | `POST /shutdown` | drain and stop the server |
 //!
 //! A `POST /run` response wraps the report as

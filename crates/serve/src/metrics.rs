@@ -198,6 +198,26 @@ pub fn render(
     text
 }
 
+/// Renders the trace-derived series appended after [`render`]:
+/// cumulative per-span-name seconds plus the total span count from the
+/// server's always-on trace collector. `aggregates` is
+/// `(name, count, total_ns)` as produced by
+/// `carma_trace::Collector::aggregates` — cumulative, so both series
+/// stay monotonic even though the span *ring* is bounded.
+pub fn render_spans(aggregates: &[(&'static str, u64, u64)], span_count: u64) -> String {
+    let mut text = String::from("# TYPE carma_stage_seconds_total counter\n");
+    for &(name, _count, total_ns) in aggregates {
+        text.push_str(&format!(
+            "carma_stage_seconds_total{{stage=\"{name}\"}} {:.6}\n",
+            total_ns as f64 / 1e9
+        ));
+    }
+    text.push_str(&format!(
+        "# TYPE carma_span_count_total counter\ncarma_span_count_total {span_count}\n"
+    ));
+    text
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -255,6 +275,24 @@ mod tests {
             "carma_request_latency_seconds{quantile=\"0.5\"}",
             "carma_request_latency_seconds{quantile=\"0.99\"}",
             "carma_request_latency_seconds_count 1",
+        ] {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn render_spans_exposes_stage_seconds_and_span_count() {
+        let aggregates = [
+            ("memo.library", 2u64, 1_500_000_000u64),
+            ("request", 5, 250_000),
+        ];
+        let text = render_spans(&aggregates, 7);
+        for needle in [
+            "# TYPE carma_stage_seconds_total counter",
+            "carma_stage_seconds_total{stage=\"memo.library\"} 1.500000",
+            "carma_stage_seconds_total{stage=\"request\"} 0.000250",
+            "# TYPE carma_span_count_total counter",
+            "carma_span_count_total 7",
         ] {
             assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
         }

@@ -36,6 +36,13 @@ use crate::metrics::{self, Metrics};
 /// Most specs accepted in one batch `POST /run` body.
 pub const MAX_BATCH: usize = 64;
 
+/// Spans kept in the server's bounded trace ring (recent request and
+/// stage spans for `GET /trace?last=N`).
+const TRACE_RING_SPANS: usize = 4096;
+
+/// `GET /trace` without `?last=N` returns this many recent roots.
+const TRACE_DEFAULT_LAST: usize = 32;
+
 /// Server tuning knobs; the defaults suit an interactive laptop
 /// session.
 #[derive(Debug, Clone)]
@@ -83,6 +90,12 @@ pub(crate) struct ServeState {
     /// Shared stage-memo environment every worker runs through;
     /// `/metrics` reads its hit/miss counters.
     pub(crate) env: RunEnv,
+    /// Always-on trace collector: workers run scenarios under it,
+    /// both connection models stamp per-request spans into it.
+    /// The span ring is bounded (feeding `GET /trace?last=N`); the
+    /// per-name aggregates behind `carma_stage_seconds_total` are
+    /// cumulative and unaffected by ring eviction.
+    pub(crate) trace: Arc<carma_trace::Collector>,
     pub(crate) shutdown: AtomicBool,
 }
 
@@ -118,17 +131,26 @@ impl Server {
             None => RunEnv::standard(),
         };
 
-        // The worker runner: execute through the registry, render the
-        // report, insert into the content-addressed cache. A `Done`
-        // job therefore always implies a warm cache entry.
+        // Always-on bounded trace ring: recent spans feed
+        // `GET /trace?last=N`, cumulative aggregates feed the
+        // `carma_stage_seconds_total` metrics series.
+        let trace = Arc::new(carma_trace::Collector::bounded(TRACE_RING_SPANS));
+
+        // The worker runner: execute through the registry (under the
+        // server's trace collector, so stage spans land in
+        // `/metrics` and `/trace`), render the report, insert into
+        // the content-addressed cache. A `Done` job therefore always
+        // implies a warm cache entry.
         let runner: RunnerFn = {
             let cache = Arc::clone(&cache);
             let registry = Arc::clone(&registry);
             let env = env.clone();
+            let trace = Arc::clone(&trace);
             Arc::new(move |fingerprint: &str, spec: &ScenarioSpec| {
-                let report = registry
-                    .run_with_env(spec, None, None, &env)
-                    .map_err(|e| e.to_string())?;
+                let report = carma_trace::with_collector(&trace, || {
+                    registry.run_with_env(spec, None, None, &env)
+                })
+                .map_err(|e| e.to_string())?;
                 Ok(cache.insert(fingerprint, report.to_json()))
             })
         };
@@ -154,6 +176,7 @@ impl Server {
                 config,
                 metrics: Metrics::new(),
                 env,
+                trace,
                 shutdown: AtomicBool::new(false),
             }),
             workers,
@@ -282,6 +305,7 @@ pub(crate) fn route(request: &Request, state: &ServeState) -> Routed {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => Routed::Ready(handle_healthz(state)),
         ("GET", "/metrics") => Routed::Ready(handle_metrics(state)),
+        ("GET", "/trace") => Routed::Ready(handle_trace(state, request)),
         ("GET", "/experiments") => Routed::Ready(handle_experiments(state)),
         ("POST", "/run") => handle_run(state, request),
         ("GET", path) if path.starts_with("/jobs/") => {
@@ -329,8 +353,22 @@ fn handle_metrics(state: &ServeState) -> Response {
             (hits, misses, state.cache.len()),
             (queue.queued, queue.running, queue.completed, queue.failed),
             state.env.memo_stats().unwrap_or_default(),
-        ),
+        ) + &metrics::render_spans(&state.trace.aggregates(), state.trace.span_count()),
     )
+}
+
+/// `GET /trace?last=N`: the `N` most recent root spans (requests and
+/// scenario runs) plus their descendants, as Chrome `trace_event`
+/// JSON — load the body in `chrome://tracing` or ui.perfetto.dev.
+fn handle_trace(state: &ServeState, request: &Request) -> Response {
+    let last = match request.query_param("last") {
+        Some(value) => match value.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => return Response::error(400, "`last` must be a non-negative integer"),
+        },
+        None => TRACE_DEFAULT_LAST,
+    };
+    Response::json(200, state.trace.snapshot().chrome_json_recent(last))
 }
 
 fn handle_experiments(state: &ServeState) -> Response {
@@ -758,6 +796,12 @@ fn handle_connection_threaded(
             response.close = true;
         }
         state.metrics.latency.record(started.elapsed());
+        state.trace.record_complete(
+            "request",
+            Some(request.path.clone()),
+            started.elapsed(),
+            None,
+        );
         let write_ok = write_response(&mut stream, &response).is_ok();
         if stop {
             state.shutdown.store(true, Ordering::SeqCst);

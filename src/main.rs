@@ -67,6 +67,15 @@ OPTIONS:
   --fingerprint        print the scenario's result-cache fingerprint and exit
                        (the content address `carma serve` memoizes under;
                        invariant to --threads / $CARMA_THREADS)
+  --trace <sink>       record a hierarchical span trace of the run and emit it:
+                       `text` (profile tree: count/total/self/p50/p99 per span),
+                       `chrome` (Chrome trace_event JSON — load the file in
+                       chrome://tracing or ui.perfetto.dev), or `json` (the
+                       machine-readable provenance block: wall time, thread
+                       width, memo counters, span totals, build info)
+  --trace-out <path>   write the trace sink to <path> instead of stderr
+  --verbose            print a stderr progress line as each pipeline stage
+                       finishes (stdout stays machine-clean in json/csv modes)
 
 Results are deterministic for a given spec and scale — the thread count
 never changes them: every width reproduces the serial reference
@@ -127,6 +136,17 @@ struct RunArgs {
     memo_dir: Option<String>,
     memo_stats: bool,
     fingerprint: bool,
+    trace: Option<TraceSink>,
+    trace_out: Option<String>,
+    verbose: bool,
+}
+
+/// Which `--trace` sink to emit after the run.
+#[derive(Clone, Copy, PartialEq)]
+enum TraceSink {
+    Text,
+    Chrome,
+    Json,
 }
 
 fn usage_error(msg: &str) -> ExitCode {
@@ -151,6 +171,9 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
         memo_dir: None,
         memo_stats: false,
         fingerprint: false,
+        trace: None,
+        trace_out: None,
+        verbose: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -201,6 +224,20 @@ fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
             "--memo-dir" => parsed.memo_dir = Some(value_for("--memo-dir")?),
             "--memo-stats" => parsed.memo_stats = true,
             "--fingerprint" => parsed.fingerprint = true,
+            "--trace" => {
+                parsed.trace = Some(match value_for("--trace")?.as_str() {
+                    "text" => TraceSink::Text,
+                    "chrome" => TraceSink::Chrome,
+                    "json" => TraceSink::Json,
+                    other => {
+                        return Err(format!(
+                            "unknown trace sink `{other}` (expected text|chrome|json)"
+                        ))
+                    }
+                });
+            }
+            "--trace-out" => parsed.trace_out = Some(value_for("--trace-out")?),
+            "--verbose" => parsed.verbose = true,
             flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
             name => {
                 if parsed.name.replace(name.to_string()).is_some() {
@@ -442,8 +479,8 @@ fn serve(args: &[String]) -> ExitCode {
             .map_or("memory only".to_string(), |d| d.display().to_string()),
     );
     eprintln!(
-        "endpoints: GET /healthz, GET /experiments, GET /metrics, POST /run (spec or batch \
-         array), GET /jobs/:id, POST /shutdown"
+        "endpoints: GET /healthz, GET /experiments, GET /metrics, GET /trace?last=N, POST /run \
+         (spec or batch array), GET /jobs/:id, POST /shutdown"
     );
     match server.run() {
         Ok(()) => ExitCode::SUCCESS,
@@ -458,10 +495,10 @@ fn serve(args: &[String]) -> ExitCode {
 /// silently swallowed by the lenient library fallbacks.
 fn print_env_diagnostics() {
     if let Some(warning) = carma_core::scenario::scale_env_diagnostic() {
-        eprintln!("{warning}");
+        carma_trace::diag(&warning);
     }
     if let Some(warning) = carma_core::scenario::threads_env_diagnostic() {
-        eprintln!("{warning}");
+        carma_trace::diag(&warning);
     }
 }
 
@@ -583,13 +620,74 @@ fn run(args: &[String]) -> ExitCode {
         None => carma_core::RunEnv::standard(),
     };
 
-    let report = match registry.run_with_env(&spec, parsed.scale, parsed.threads, &env) {
+    // `--trace` / `--verbose` install an ambient collector for the
+    // duration of the run; with neither flag every span throughout the
+    // pipeline stays a no-op.
+    let collector = (parsed.trace.is_some() || parsed.verbose).then(|| {
+        std::sync::Arc::new(if parsed.verbose {
+            carma_trace::Collector::new_verbose()
+        } else {
+            carma_trace::Collector::new()
+        })
+    });
+    let started = std::time::Instant::now();
+    let go = || registry.run_with_env(&spec, parsed.scale, parsed.threads, &env);
+    let result = match &collector {
+        Some(collector) => carma_trace::with_collector(collector, go),
+        None => go(),
+    };
+    let wall_s = started.elapsed().as_secs_f64();
+    let mut report = match result {
         Ok(report) => report,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::from(2);
         }
     };
+
+    if let Some(collector) = &collector {
+        let trace = collector.snapshot();
+        report.provenance = Some(carma_core::Provenance {
+            wall_s,
+            threads: parsed.threads.unwrap_or_else(carma_exec::current_threads),
+            build: carma_trace::build_info(),
+            memo: env.memo_stats(),
+            spans: trace
+                .span_totals()
+                .into_iter()
+                .map(|(name, count, total_ns)| carma_core::SpanTotal {
+                    name: name.to_string(),
+                    count,
+                    total_s: total_ns as f64 / 1e9,
+                })
+                .collect(),
+        });
+        if let Some(sink) = parsed.trace {
+            let payload = match sink {
+                TraceSink::Text => trace.text_profile(),
+                TraceSink::Chrome => trace.chrome_json(),
+                TraceSink::Json => {
+                    let mut json = report
+                        .provenance
+                        .as_ref()
+                        .expect("provenance attached above")
+                        .to_json();
+                    json.push('\n');
+                    json
+                }
+            };
+            match &parsed.trace_out {
+                Some(path) => {
+                    if let Err(e) = std::fs::write(path, payload) {
+                        eprintln!("error: cannot write `{path}`: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    eprintln!("(trace written to {path})");
+                }
+                None => eprint!("{payload}"),
+            }
+        }
+    }
 
     if parsed.memo_stats {
         if let Some(stats) = env.memo_stats() {
